@@ -1,0 +1,468 @@
+// Benchmark harness: one bench per experiment in DESIGN.md's
+// per-experiment index.  Each BenchmarkE* target regenerates its table
+// (printed once under -v via b.Log) and reports the headline quantity as
+// a custom metric, so `go test -bench=. -benchmem` reproduces the full
+// evaluation of the paper.
+package fem2_test
+
+import (
+	"strconv"
+	"testing"
+
+	fem2 "repro"
+	"repro/internal/arch"
+	"repro/internal/exp"
+	"repro/internal/fem"
+	"repro/internal/hgraph"
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/navm"
+	"repro/internal/spvm"
+	"repro/internal/trace"
+)
+
+// logTable prints an experiment table once per benchmark.
+func logTable(b *testing.B, t *exp.Table, err error) *exp.Table {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + t.String())
+	return t
+}
+
+// BenchmarkE1RequirementsSweep regenerates the Adams–Voigt style
+// processing/storage/communication requirements table (E1).
+func BenchmarkE1RequirementsSweep(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E1Requirements([]int{8, 16, 32}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE2SolverSpeedup regenerates the solver speedup curve (E2).
+func BenchmarkE2SolverSpeedup(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E2SolverSpeedup(24, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	t = logTable(b, t, nil)
+	if s, err := strconv.ParseFloat(t.Rows[len(t.Rows)-1][2], 64); err == nil {
+		b.ReportMetric(s, "speedup@16")
+	}
+}
+
+// BenchmarkE3Substructure regenerates the substructure parallelism table
+// (E3).
+func BenchmarkE3Substructure(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E3Substructure([]int{1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE4MultiUser regenerates the multi-user throughput table (E4).
+func BenchmarkE4MultiUser(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E4MultiUser([]int{1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE5TaskInitiation regenerates the dynamic task initiation table
+// (E5).
+func BenchmarkE5TaskInitiation(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E5TaskInitiation([]int{10, 100, 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE6WindowAccess regenerates the window access cost table (E6).
+func BenchmarkE6WindowAccess(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E6WindowAccess()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE7FaultIsolation regenerates the fault isolation table (E7).
+func BenchmarkE7FaultIsolation(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E7FaultIsolation([]int{0, 1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE8ProgrammabilityLevels regenerates the per-level
+// programmability table (E8).
+func BenchmarkE8ProgrammabilityLevels(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E8Programmability()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE9ClusterScheduling regenerates the cluster scheduling table
+// (E9).
+func BenchmarkE9ClusterScheduling(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E9ClusterScheduling([]int{2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE10LinalgKernels regenerates the NAVM kernel scaling table
+// (E10).
+func BenchmarkE10LinalgKernels(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E10LinalgKernels([]int{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE11HGraphValidation regenerates the formal-specification
+// validation table (E11) and measures grammar-check throughput.
+func BenchmarkE11HGraphValidation(b *testing.B) {
+	g := hgraph.SPVMMessageGrammar()
+	msg := &spvm.Message{Type: spvm.MsgInitiate, TaskType: "w", Replications: 8, Params: []float64{1, 2}}
+	gr := msg.ToHGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if errs := g.Validate(gr); len(errs) != 0 {
+			b.Fatal(errs)
+		}
+	}
+	b.StopTimer()
+	t, err := exp.E11HGraphValidation(20)
+	logTable(b, t, err)
+}
+
+// BenchmarkE12SolverComparison regenerates the CG / multi-colour SOR /
+// Jacobi comparison (E12).
+func BenchmarkE12SolverComparison(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E12SolverComparison(8, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE13LatencyAblation regenerates the network latency ablation
+// (E13) — the design-space sensitivity study.
+func BenchmarkE13LatencyAblation(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E13LatencyAblation([]int64{0, 50, 200, 800})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE14CommunicationPattern regenerates the cluster traffic
+// matrices (E14) — the paper's "communication patterns" measurement.
+func BenchmarkE14CommunicationPattern(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E14CommunicationPattern()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkE15RenumberingAblation regenerates the RCM renumbering
+// ablation (E15) for the direct-solve baseline.
+func BenchmarkE15RenumberingAblation(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.E15RenumberingAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// BenchmarkDesignIteration runs the design-method loop itself.
+func BenchmarkDesignIteration(b *testing.B) {
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = exp.DesignIteration()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, t, nil)
+}
+
+// --- kernel micro-benchmarks (the substrate costs behind the tables) ---
+
+func benchSystem(b *testing.B, n int) (*linalg.CSR, linalg.Vector) {
+	b.Helper()
+	o := fem.RectGridOpts{NX: n, NY: n, W: float64(n), H: float64(n), Mat: fem.Steel(), ClampLeft: true}
+	m, err := fem.RectGrid("bench", o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asm, err := fem.Assemble(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls := fem.EndLoad("l", o, 0, -1000)
+	_, index := m.FreeDOFs()
+	rhs, err := m.RHS(ls, index, len(asm.Free))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return asm.K, rhs
+}
+
+// BenchmarkSequentialCG is the sequential baseline solver.
+func BenchmarkSequentialCG(b *testing.B) {
+	k, rhs := benchSystem(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := linalg.CG(k, rhs, linalg.DefaultIterOpts(k.N), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBandedCholesky is the 1980s production direct solver baseline.
+func BenchmarkBandedCholesky(b *testing.B) {
+	k, rhs := benchSystem(b, 16)
+	banded := k.ToBanded()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := banded.SolveCholesky(rhs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelCG16 is the distributed solver on 16 simulated
+// workers.
+func BenchmarkParallelCG16(b *testing.B) {
+	k, rhs := benchSystem(b, 16)
+	d, err := navm.Partition(k, rhs, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := arch.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := navm.NewRuntime(arch.MustNew(cfg))
+		rt.AttachInstrumentation(metrics.NewCollector(), nil)
+		if _, _, err := rt.ParallelCG(d, linalg.DefaultIterOpts(k.N)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpMV measures the raw sparse kernel.
+func BenchmarkSpMV(b *testing.B) {
+	k, rhs := benchSystem(b, 24)
+	out := linalg.NewVector(k.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.MulVec(rhs, out, nil)
+	}
+	b.SetBytes(int64(k.NNZ() * 8))
+}
+
+// BenchmarkAssembly measures direct-stiffness assembly.
+func BenchmarkAssembly(b *testing.B) {
+	o := fem.RectGridOpts{NX: 16, NY: 16, W: 16, H: 16, Mat: fem.Steel(), ClampLeft: true}
+	m, err := fem.RectGrid("bench", o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fem.Assemble(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageCodec measures SPVM message encode+decode.
+func BenchmarkMessageCodec(b *testing.B) {
+	m := &spvm.Message{
+		Type: spvm.MsgRemoteCall, Procedure: "dot", Caller: 3,
+		Window: &spvm.WindowDesc{Array: "x", Kind: "row", Owner: 1, Rows: 1, Cols: 64},
+		Params: make([]float64, 32),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := m.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := spvm.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeapAllocFree measures the SPVM variable-size-block heap.
+func BenchmarkHeapAllocFree(b *testing.B) {
+	h := spvm.NewHeap(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a1, err := h.Alloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a2, err := h.Alloc(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Free(a1)
+		h.Free(a2)
+	}
+}
+
+// BenchmarkKernelDispatch measures the cluster kernel's decode+dispatch.
+func BenchmarkKernelDispatch(b *testing.B) {
+	cfg := arch.DefaultConfig()
+	m := arch.MustNew(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Send(1, i%cfg.Clusters, 8, 0, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTaskInitiation measures NAVM task spawn+join round trips.
+func BenchmarkTaskInitiation(b *testing.B) {
+	cfg := arch.DefaultConfig()
+	rt := navm.NewRuntime(arch.MustNew(cfg))
+	rt.AttachInstrumentation(metrics.NewCollector(), trace.NewCapped(1))
+	root, err := rt.NewRootTask()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.RegisterTaskType("noop", 16, 2, func(tc *navm.TaskCtx, r int) error { return nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := root.Initiate("noop", 4, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Wait(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAUVMCommand measures command interpretation end to end.
+func BenchmarkAUVMCommand(b *testing.B) {
+	sys, err := fem2.NewSystem(fem2.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sys.Session("bench")
+	if _, err := s.Execute("generate grid g 8 8 8 8 clamp-left"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Execute("load g l endload 0 -1000"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Execute("solve g l method cholesky"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGrammarValidateModel measures validating the AUVM model
+// grammar.
+func BenchmarkGrammarValidateModel(b *testing.B) {
+	g := hgraph.StructureModelGrammar()
+	gr := hgraph.NewGraph("model")
+	root := gr.Add("model")
+	root.Arc("name", gr.AddAtom("n", hgraph.Str("bench")))
+	grid := hgraph.NewGraph("grid")
+	groot := grid.Add("grid")
+	groot.Arc("nodes", grid.AddAtom("n", hgraph.Int(100)))
+	groot.Arc("dof-per-node", grid.AddAtom("d", hgraph.Int(2)))
+	gn := hgraph.NewNode("grid")
+	gn.SetSub(grid)
+	gr.AddNode(gn)
+	root.Arc("grid", gn)
+	elems := gr.Add("elements")
+	root.Arc("elements", elems)
+	loads := gr.Add("loads")
+	root.Arc("loads", loads)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if errs := g.Validate(gr); len(errs) != 0 {
+			b.Fatal(errs)
+		}
+	}
+}

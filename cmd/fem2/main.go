@@ -1,0 +1,62 @@
+// Command fem2 is the FEM-2 interactive workstation: the application
+// user's virtual machine as a REPL.  A structural engineer defines
+// models, generates grids, applies loads, solves (sequentially, in
+// parallel on the simulated machine, or by substructuring), recovers
+// stresses, and stores models in the shared database.
+//
+// Usage:
+//
+//	fem2 [-clusters N] [-pes N] [-script file]
+//
+// Without -script it reads commands from stdin; type `help` for the
+// command language.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fem2 "repro"
+)
+
+func main() {
+	clusters := flag.Int("clusters", 4, "number of PE clusters")
+	pes := flag.Int("pes", 8, "PEs per cluster (including the kernel PE)")
+	script := flag.String("script", "", "command script to run instead of stdin")
+	user := flag.String("user", "engineer", "user name for the session")
+	report := flag.Bool("report", false, "print the machine report on exit")
+	flag.Parse()
+
+	cfg := fem2.DefaultConfig()
+	cfg.Clusters = *clusters
+	cfg.PEsPerCluster = *pes
+	sys, err := fem2.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fem2:", err)
+		os.Exit(1)
+	}
+	sess := sys.Session(*user)
+
+	in := os.Stdin
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fem2:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else {
+		fmt.Printf("FEM-2 workstation (%d clusters × %d PEs). Type help for commands.\n",
+			cfg.Clusters, cfg.PEsPerCluster)
+	}
+	if err := sess.Run(in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fem2:", err)
+		os.Exit(1)
+	}
+	if *report {
+		fmt.Print(sys.Machine.Report())
+		fmt.Print(sys.Metrics.Report())
+	}
+}

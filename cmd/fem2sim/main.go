@@ -1,0 +1,43 @@
+// Command fem2sim runs the FEM-2 evaluation: every experiment table from
+// DESIGN.md's per-experiment index (E1-E11 plus the design-method
+// iteration), regenerated on the simulated machine.
+//
+// Usage:
+//
+//	fem2sim            # run everything
+//	fem2sim -only E2   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (E1..E11, DM)")
+	flag.Parse()
+
+	tables, err := exp.RunAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fem2sim:", err)
+		if len(tables) == 0 {
+			os.Exit(1)
+		}
+	}
+	printed := 0
+	for _, t := range tables {
+		if *only != "" && !strings.EqualFold(t.ID, *only) {
+			continue
+		}
+		fmt.Println(t)
+		printed++
+	}
+	if *only != "" && printed == 0 {
+		fmt.Fprintf(os.Stderr, "fem2sim: no experiment %q\n", *only)
+		os.Exit(1)
+	}
+}

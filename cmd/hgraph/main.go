@@ -1,0 +1,50 @@
+// Command hgraph prints and checks the formal H-graph semantics
+// definitions of the FEM-2 virtual machine levels.
+//
+// Usage:
+//
+//	hgraph          # list every level grammar in BNF-like notation
+//	hgraph -check   # verify all grammars are well-formed and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/hgraph"
+)
+
+func main() {
+	check := flag.Bool("check", false, "verify grammars and exit silently on success")
+	flag.Parse()
+
+	all := hgraph.AllLevelGrammars()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bad := 0
+	for _, n := range names {
+		g := all[n]
+		if errs := g.WellFormed(); len(errs) > 0 {
+			bad++
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "hgraph: %s: %v\n", n, e)
+			}
+			continue
+		}
+		if !*check {
+			fmt.Println(g)
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	if *check {
+		fmt.Printf("all %d level grammars well-formed\n", len(names))
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a FEM-2 system, solve a plane-stress cantilever plate
+// in parallel on the simulated machine, and recover stresses — the
+// end-to-end path a structural engineer takes through the application
+// user's virtual machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fem2 "repro"
+)
+
+func main() {
+	// A 4-cluster machine with 8 PEs per cluster (1 kernel + 7 workers
+	// each), the baseline FEM-2 configuration.
+	sys, err := fem2.NewSystem(fem2.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	engineer := sys.Session("engineer")
+
+	// The AUVM command language: generate a grid, load it, solve it on
+	// 8 parallel workers, recover stresses, and file the model in the
+	// shared database.
+	commands := []string{
+		"generate grid wing-panel 16 8 1600 800 clamp-left",
+		"load wing-panel cruise endload 0 -12000",
+		"solve wing-panel cruise parallel 8",
+		"stresses wing-panel",
+		"display displacements wing-panel",
+		"display stresses wing-panel",
+		"store wing-panel",
+		"list db",
+	}
+	for _, cmd := range commands {
+		out, err := engineer.Execute(cmd)
+		if err != nil {
+			log.Fatalf("%s: %v", cmd, err)
+		}
+		fmt.Printf("fem2> %s\n%s\n", cmd, out)
+	}
+
+	// The same solve is visible at every level of the stack: the
+	// simulated machine reports its cost.
+	fmt.Println("--- simulated machine ---")
+	fmt.Print(sys.Machine.Report())
+	fmt.Println("--- per-level requirements ---")
+	fmt.Print(sys.Metrics.Report())
+}

@@ -1,0 +1,58 @@
+// Workstation scripting: drives the AUVM command interpreter through an
+// embedded script, exactly as cmd/fem2 -script would — including building
+// a truss by hand (define structure / node / element / fix), the workflow
+// the paper's application user's VM enumerates operation by operation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	fem2 "repro"
+)
+
+const script = `
+# A hand-built king-post truss, N/mm units.
+define structure kingpost
+material 200000 0.3 10 2000
+node kingpost 0 0
+node kingpost 2000 0
+node kingpost 4000 0
+node kingpost 2000 1500
+element bar kingpost 0 1
+element bar kingpost 1 2
+element bar kingpost 0 3
+element bar kingpost 2 3
+element bar kingpost 1 3
+fix node kingpost 0
+fix dof kingpost 5
+# 50 kN hanging at mid-span (dof 3 = node 1, y).
+load kingpost deck 3 -50000
+solve kingpost deck method cholesky
+stresses kingpost
+display model kingpost
+display displacements kingpost
+display stresses kingpost
+store kingpost
+list db
+list workspace
+quit
+`
+
+func main() {
+	sys, err := fem2.NewSystem(fem2.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := sys.Session("drafter")
+	fmt.Println("FEM-2 scripted workstation session:")
+	fmt.Println(strings.Repeat("-", 50))
+	if err := s.Run(strings.NewReader(script), os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.Repeat("-", 50))
+	fmt.Printf("session issued %d AUVM operations\n",
+		sys.Metrics.Get(fem2.LevelAUVM, "ops"))
+}

@@ -1,0 +1,177 @@
+// Package fem2 is the public API of the FEM-2 reproduction: a complete
+// implementation of the system designed in "The FEM-2 Design Method"
+// (Pratt, Adams, Mehrotra, Van Rosendale, Voigt, Patrick; NASA CR-172197
+// / ICASE 83-41, 1983).
+//
+// FEM-2 is a parallel computer for structural analysis by finite element
+// methods, designed top-down as four layers of virtual machine, each
+// formally specified with H-graph semantics:
+//
+//	AUVM — the application user's machine (interactive command language,
+//	       model database, workspaces),
+//	NAVM — the numerical analyst's machine (tasks, windows on arrays,
+//	       forall/pardo, broadcast, remote procedure call, parallel
+//	       linear algebra),
+//	SPVM — the system programmer's machine (the seven task messages,
+//	       activation records, ready queues, a variable-size-block heap),
+//	ARCH — the hardware (clusters of PEs around shared memories, joined
+//	       by a communication network, one kernel PE per cluster).
+//
+// The hardware was never fabricated; per the paper's own method it is
+// evaluated by simulation.  NewSystem builds the whole stack over a
+// simulated machine; Session gives an interactive workstation; the
+// experiment runners regenerate the paper's evaluation (see DESIGN.md and
+// EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	sys, _ := fem2.NewSystem(fem2.DefaultConfig())
+//	s := sys.Session("engineer")
+//	s.Execute("generate grid wing 16 8 16 8 clamp-left")
+//	s.Execute("load wing cruise endload 0 -1000")
+//	out, _ := s.Execute("solve wing cruise parallel 8")
+//	fmt.Println(out)
+package fem2
+
+import (
+	"repro/internal/arch"
+	"repro/internal/auvm"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/fem"
+	"repro/internal/hgraph"
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/navm"
+)
+
+// Config describes a FEM-2 hardware configuration: cluster count, PEs per
+// cluster, shared memory size, and the network/memory/kernel cost model.
+type Config = arch.Config
+
+// DefaultConfig returns the baseline 4-cluster × 8-PE machine.
+func DefaultConfig() Config { return arch.DefaultConfig() }
+
+// System is a complete FEM-2 instance: simulated hardware, per-cluster
+// kernels, the NAVM runtime, the shared model database, user sessions,
+// and machine-wide instrumentation.
+type System = core.System
+
+// NewSystem builds the full four-layer stack over a hardware
+// configuration.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// Session is one interactive workstation user: a workspace, the shared
+// database, and the command interpreter.
+type Session = auvm.Session
+
+// Workspace holds a user's local models, load sets, solutions, and
+// stresses.
+type Workspace = auvm.Workspace
+
+// Database is the long-term shared model store.
+type Database = auvm.Database
+
+// LayerSpec is the design-time description of one virtual machine layer.
+type LayerSpec = core.LayerSpec
+
+// FEM2Layers returns the paper's four layer specifications, top first.
+func FEM2Layers() []*LayerSpec { return core.FEM2Layers() }
+
+// DesignIterator runs the design method's evaluate-adjust loop over a
+// hardware design space.
+type DesignIterator = core.DesignIterator
+
+// Requirements is one simulated evaluation: processing, storage, and
+// communication requirements plus makespan and utilization.
+type Requirements = core.Requirements
+
+// Model is a finite element structure/substructure model.
+type Model = fem.Model
+
+// LoadSet is a named set of applied nodal loads.
+type LoadSet = fem.LoadSet
+
+// Material carries element material and section properties.
+type Material = fem.Material
+
+// Solution is a solved load case.
+type Solution = fem.Solution
+
+// NewModel returns an empty model.
+func NewModel(name string) *Model { return fem.NewModel(name) }
+
+// Steel returns the default structural steel material.
+func Steel() Material { return fem.Steel() }
+
+// RectGridOpts parameterises the plane-stress grid generator.
+type RectGridOpts = fem.RectGridOpts
+
+// RectGrid generates a rectangular plane-stress model of CST elements.
+func RectGrid(name string, o RectGridOpts) (*Model, error) { return fem.RectGrid(name, o) }
+
+// CantileverTruss generates a triangulated cantilever truss of bar
+// elements.
+func CantileverTruss(name string, bays int, bayLen, height float64, mat Material) (*Model, error) {
+	return fem.CantileverTruss(name, bays, bayLen, height, mat)
+}
+
+// Solve solves a model/load set with a sequential method.
+func Solve(m *Model, ls *LoadSet, method fem.Method) (*Solution, error) {
+	return fem.Solve(m, ls, method)
+}
+
+// Stresses recovers element stresses from a solution.
+func Stresses(m *Model, sol *Solution) ([][]float64, error) { return fem.Stresses(m, sol) }
+
+// Solution methods re-exported from the fem package.
+const (
+	MethodCholesky = fem.MethodCholesky
+	MethodCG       = fem.MethodCG
+	MethodJacobi   = fem.MethodJacobi
+	MethodSOR      = fem.MethodSOR
+)
+
+// Runtime is the NAVM parallel runtime bound to a simulated machine.
+type Runtime = navm.Runtime
+
+// TaskCtx is a running NAVM task's handle: task control, windows,
+// broadcast, remote calls, and parallel linear algebra.
+type TaskCtx = navm.TaskCtx
+
+// Window grants access to a rectangular region of another task's array.
+type Window = navm.Window
+
+// DistSystem is a row-partitioned linear system with its halo
+// communication plan.
+type DistSystem = navm.DistSystem
+
+// Partition splits a sparse system into P contiguous row blocks.
+func Partition(a *linalg.CSR, b linalg.Vector, p int) (*DistSystem, error) {
+	return navm.Partition(a, b, p)
+}
+
+// Table is one experiment's printable result.
+type Table = exp.Table
+
+// RunAllExperiments regenerates every experiment table (E1-E11 plus the
+// design-method iteration) with default parameters.
+func RunAllExperiments() ([]*Table, error) { return exp.RunAll() }
+
+// Grammar is a formal H-graph grammar defining a class of data objects.
+type Grammar = hgraph.Grammar
+
+// AllLevelGrammars returns the formal grammars of every specified VM
+// level.
+func AllLevelGrammars() map[string]*Grammar { return hgraph.AllLevelGrammars() }
+
+// Level identifies a virtual machine layer in metrics and traces.
+type Level = metrics.Level
+
+// The four layers, top-down.
+const (
+	LevelAUVM = metrics.LevelAUVM
+	LevelNAVM = metrics.LevelNAVM
+	LevelSPVM = metrics.LevelSPVM
+	LevelARCH = metrics.LevelARCH
+)

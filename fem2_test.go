@@ -1,0 +1,189 @@
+package fem2_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	fem2 "repro"
+	"repro/internal/fem"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := fem2.NewSystem(fem2.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Session("engineer")
+	for _, cmd := range []string{
+		"generate grid wing 8 6 8 6 clamp-left",
+		"load wing cruise endload 0 -1000",
+		"solve wing cruise parallel 4",
+		"stresses wing",
+		"store wing",
+	} {
+		if _, err := s.Execute(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	if sys.Machine.Makespan() == 0 {
+		t.Error("no simulated time elapsed")
+	}
+	if got := sys.Database.Names(); len(got) != 1 || got[0] != "wing" {
+		t.Errorf("database = %v", got)
+	}
+}
+
+func TestProgrammaticAPIMatchesCommandAPI(t *testing.T) {
+	// Build and solve the same model through the Go API and through
+	// the command language; displacements must agree exactly.
+	o := fem2.RectGridOpts{NX: 6, NY: 4, W: 6, H: 4, Mat: fem2.Steel(), ClampLeft: true}
+	m, err := fem2.RectGrid("plate", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := fem.EndLoad("tip", o, 0, -500)
+	apiSol, err := fem2.Solve(m, ls, fem2.MethodCholesky)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, _ := fem2.NewSystem(fem2.DefaultConfig())
+	s := sys.Session("u")
+	for _, cmd := range []string{
+		"generate grid plate 6 4 6 4 clamp-left",
+		"load plate tip endload 0 -500",
+		"solve plate tip method cholesky",
+	} {
+		if _, err := s.Execute(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	cmdSol := s.WS.Solution("plate")
+	if len(cmdSol.U) != len(apiSol.U) {
+		t.Fatalf("dof counts differ: %d vs %d", len(cmdSol.U), len(apiSol.U))
+	}
+	for i := range apiSol.U {
+		if math.Abs(apiSol.U[i]-cmdSol.U[i]) > 1e-12 {
+			t.Fatalf("dof %d differs: %g vs %g", i, apiSol.U[i], cmdSol.U[i])
+		}
+	}
+}
+
+func TestLayerSpecsAndGrammarsExported(t *testing.T) {
+	layers := fem2.FEM2Layers()
+	if len(layers) != 4 {
+		t.Fatalf("layers = %d", len(layers))
+	}
+	grammars := fem2.AllLevelGrammars()
+	if len(grammars) < 5 {
+		t.Fatalf("grammars = %d", len(grammars))
+	}
+	for name, g := range grammars {
+		if errs := g.WellFormed(); len(errs) > 0 {
+			t.Errorf("grammar %s: %v", name, errs)
+		}
+	}
+	if fem2.LevelAUVM.String() != "AUVM" || fem2.LevelARCH.String() != "ARCH" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestStressRecoveryThroughFacade(t *testing.T) {
+	m, err := fem2.CantileverTruss("tr", 3, 100, 80, fem2.Steel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := &fem2.LoadSet{Name: "tip", Entries: []fem.LoadEntry{{DOF: fem.DOF(3, 1), Value: -100}}}
+	sol, err := fem2.Solve(m, ls, fem2.MethodCG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := fem2.Stresses(m, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != len(m.Elements) {
+		t.Errorf("stresses for %d of %d elements", len(st), len(m.Elements))
+	}
+}
+
+func TestDesignIteratorThroughFacade(t *testing.T) {
+	small := fem2.DefaultConfig()
+	small.Clusters = 1
+	small.PEsPerCluster = 2
+	big := fem2.DefaultConfig()
+	it := &fem2.DesignIterator{
+		Candidates: []fem2.Config{small, big},
+		Workload: func(sys *fem2.System) error {
+			s := sys.Session("e")
+			for _, c := range []string{
+				"generate grid g 8 4 8 4 clamp-left",
+				"load g l endload 0 -1",
+				"solve g l parallel 4",
+			} {
+				if _, err := s.Execute(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	best, history, err := it.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 {
+		t.Fatalf("history = %d", len(history))
+	}
+	if best.Config.Clusters != big.Clusters {
+		t.Errorf("winner = %d clusters", best.Config.Clusters)
+	}
+}
+
+func ExampleSession() {
+	sys, _ := fem2.NewSystem(fem2.DefaultConfig())
+	s := sys.Session("engineer")
+	out, _ := s.Execute("generate grid panel 4 4 4 4 clamp-left")
+	fmt.Println(out)
+	// Output: generated grid "panel": 25 nodes, 32 elements
+}
+
+func TestPartitionExportedAndShaped(t *testing.T) {
+	o := fem2.RectGridOpts{NX: 8, NY: 8, W: 8, H: 8, Mat: fem2.Steel(), ClampLeft: true}
+	m, _ := fem2.RectGrid("p", o)
+	asm, err := fem.Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := fem.EndLoad("l", o, 1, 0)
+	_, index := m.FreeDOFs()
+	b, _ := m.RHS(ls, index, len(asm.Free))
+	d, err := fem2.Partition(asm.K, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P != 4 || d.TotalHaloWords() == 0 {
+		t.Errorf("partition P=%d halo=%d", d.P, d.TotalHaloWords())
+	}
+}
+
+func TestRunAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tabs, err := fem2.RunAllExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all strings.Builder
+	for _, tab := range tabs {
+		all.WriteString(tab.String())
+	}
+	for _, want := range []string{"E1", "E11", "design-method"} {
+		if !strings.Contains(all.String(), want) {
+			t.Errorf("experiment output missing %q", want)
+		}
+	}
+}

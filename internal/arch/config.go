@@ -1,0 +1,86 @@
+// Package arch simulates the FEM-2 hardware architecture: clusters of
+// processing elements organized around a shared memory, with sets of
+// clusters communicating through a common communication network.  Within
+// each cluster one PE runs the operating system kernel, which fields
+// incoming messages and assigns available PEs to process them; messages
+// arriving in the input queue of any cluster can be processed by any
+// available PE.
+//
+// The FEM-2 hardware was never fabricated, so per the design method the
+// architecture is evaluated by simulation.  The simulator here is a
+// logical-clock cost model: every PE carries its own cycle clock, compute
+// charges advance the owning PE's clock, and network transfers carry a
+// latency plus per-word cost and serialize on the link between a cluster
+// pair.  The makespan of a computation is the maximum PE clock, so
+// parallel work on distinct PEs overlaps exactly as on the proposed
+// hardware, while the upper virtual machine layers run as ordinary Go
+// code.  All behaviour is deterministic given a deterministic driver.
+package arch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes a FEM-2 machine configuration.  The paper calls for
+// easy extension to larger configurations, so every dimension is a
+// parameter.
+type Config struct {
+	// Clusters is the number of PE clusters.
+	Clusters int
+	// PEsPerCluster counts the processing elements in each cluster,
+	// including the kernel PE (so each cluster has PEsPerCluster-1
+	// workers).
+	PEsPerCluster int
+	// SharedMemoryWords is the capacity of each cluster's shared
+	// memory, in words.
+	SharedMemoryWords int64
+	// NetLatency is the fixed cycle cost of any inter-cluster message.
+	NetLatency int64
+	// NetCyclesPerWord is the additional per-word transfer cost.
+	NetCyclesPerWord int64
+	// MemCyclesPerWord is the cost of moving a word within a cluster's
+	// shared memory (local window access, message staging).
+	MemCyclesPerWord int64
+	// KernelDecodeCycles is the kernel PE's cost to decode one message
+	// and assign it to a worker.
+	KernelDecodeCycles int64
+}
+
+// DefaultConfig returns the baseline configuration used by the experiments:
+// 4 clusters of 8 PEs (1 kernel + 7 workers), 1 M words of shared memory
+// per cluster, and costs in the ratio typical of early-1980s
+// microprocessor arrays (messages two orders of magnitude more expensive
+// than local memory touches).
+func DefaultConfig() Config {
+	return Config{
+		Clusters:           4,
+		PEsPerCluster:      8,
+		SharedMemoryWords:  1 << 20,
+		NetLatency:         200,
+		NetCyclesPerWord:   4,
+		MemCyclesPerWord:   1,
+		KernelDecodeCycles: 50,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Clusters < 1:
+		return fmt.Errorf("arch: config needs at least 1 cluster, got %d", c.Clusters)
+	case c.PEsPerCluster < 2:
+		return fmt.Errorf("arch: config needs at least 2 PEs per cluster (kernel + worker), got %d", c.PEsPerCluster)
+	case c.SharedMemoryWords < 1:
+		return fmt.Errorf("arch: config needs positive shared memory, got %d", c.SharedMemoryWords)
+	case c.NetLatency < 0 || c.NetCyclesPerWord < 0 || c.MemCyclesPerWord < 0 || c.KernelDecodeCycles < 0:
+		return errors.New("arch: config costs must be non-negative")
+	}
+	return nil
+}
+
+// TotalPEs returns the machine's PE count.
+func (c Config) TotalPEs() int { return c.Clusters * c.PEsPerCluster }
+
+// Workers returns the machine's worker (non-kernel) PE count.
+func (c Config) Workers() int { return c.Clusters * (c.PEsPerCluster - 1) }

@@ -1,0 +1,188 @@
+package auvm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/fem"
+)
+
+// ErrNotFound is returned when retrieving a model the database does not
+// hold.
+var ErrNotFound = errors.New("auvm: model not in database")
+
+// Database is the AUVM long-term shared store ("data base (long-term
+// storage; shared data)").  Models are serialized on store and
+// deserialized on retrieve, so the database holds values, not live
+// pointers — retrieving gives each user's workspace an independent copy,
+// exactly the "data movement between data base and workspace" the paper
+// describes.  It is safe for concurrent multi-user access.
+type Database struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return &Database{m: map[string][]byte{}} }
+
+// modelDTO is the serialized form of a model: gob needs exported,
+// concrete fields.
+type modelDTO struct {
+	Name     string
+	Nodes    []fem.NodeCoord
+	Bars     []barDTO
+	CSTs     []cstDTO
+	Order    []byte // 0 = next bar, 1 = next cst, preserving element order
+	Fixed    []int
+	LoadSets []loadSetDTO
+}
+
+type barDTO struct {
+	N1, N2 int
+	Mat    fem.Material
+}
+
+type cstDTO struct {
+	N1, N2, N3 int
+	Mat        fem.Material
+}
+
+type loadSetDTO struct {
+	Name    string
+	Entries []fem.LoadEntry
+}
+
+// encodeModel flattens a model (plus its load sets) into the DTO.
+func encodeModel(m *fem.Model, loads []*fem.LoadSet) (*modelDTO, error) {
+	dto := &modelDTO{Name: m.Name, Nodes: append([]fem.NodeCoord(nil), m.Nodes...)}
+	for _, e := range m.Elements {
+		switch el := e.(type) {
+		case *fem.Bar:
+			dto.Bars = append(dto.Bars, barDTO{N1: el.N1, N2: el.N2, Mat: el.Mat})
+			dto.Order = append(dto.Order, 0)
+		case *fem.CST:
+			dto.CSTs = append(dto.CSTs, cstDTO{N1: el.N1, N2: el.N2, N3: el.N3, Mat: el.Mat})
+			dto.Order = append(dto.Order, 1)
+		default:
+			return nil, fmt.Errorf("auvm: cannot serialize element kind %q", e.Kind())
+		}
+	}
+	for d := 0; d < m.NumDOF(); d++ {
+		if m.Fixed(d) {
+			dto.Fixed = append(dto.Fixed, d)
+		}
+	}
+	for _, ls := range loads {
+		dto.LoadSets = append(dto.LoadSets, loadSetDTO{Name: ls.Name, Entries: append([]fem.LoadEntry(nil), ls.Entries...)})
+	}
+	return dto, nil
+}
+
+// decodeModel rebuilds a model and its load sets from the DTO.
+func decodeModel(dto *modelDTO) (*fem.Model, []*fem.LoadSet, error) {
+	m := fem.NewModel(dto.Name)
+	for _, n := range dto.Nodes {
+		m.AddNode(n.X, n.Y)
+	}
+	bi, ci := 0, 0
+	for _, which := range dto.Order {
+		var e fem.Element
+		switch which {
+		case 0:
+			b := dto.Bars[bi]
+			bi++
+			e = &fem.Bar{N1: b.N1, N2: b.N2, Mat: b.Mat}
+		case 1:
+			c := dto.CSTs[ci]
+			ci++
+			e = &fem.CST{N1: c.N1, N2: c.N2, N3: c.N3, Mat: c.Mat}
+		default:
+			return nil, nil, fmt.Errorf("auvm: corrupt element order byte %d", which)
+		}
+		if err := m.AddElement(e); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, d := range dto.Fixed {
+		if err := m.FixDOF(d); err != nil {
+			return nil, nil, err
+		}
+	}
+	var loads []*fem.LoadSet
+	for _, ls := range dto.LoadSets {
+		loads = append(loads, &fem.LoadSet{Name: ls.Name, Entries: ls.Entries})
+	}
+	return m, loads, nil
+}
+
+// Store serializes a model and its load sets into the database ("store
+// model in DB").
+func (db *Database) Store(m *fem.Model, loads []*fem.LoadSet) error {
+	dto, err := encodeModel(m, loads)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		return fmt.Errorf("auvm: encode model %q: %w", m.Name, err)
+	}
+	db.mu.Lock()
+	db.m[m.Name] = buf.Bytes()
+	db.mu.Unlock()
+	return nil
+}
+
+// Retrieve deserializes a model and its load sets out of the database
+// ("retrieve").  The caller receives fresh copies.
+func (db *Database) Retrieve(name string) (*fem.Model, []*fem.LoadSet, error) {
+	db.mu.RLock()
+	raw, ok := db.m[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	var dto modelDTO
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&dto); err != nil {
+		return nil, nil, fmt.Errorf("auvm: decode model %q: %w", name, err)
+	}
+	return decodeModel(&dto)
+}
+
+// Delete removes a model, reporting whether it existed.
+func (db *Database) Delete(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.m[name]; !ok {
+		return false
+	}
+	delete(db.m, name)
+	return true
+}
+
+// Names returns the stored model names, sorted.
+func (db *Database) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.m))
+	for k := range db.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bytes returns the database's total serialized size (storage
+// accounting).
+func (db *Database) Bytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var t int64
+	for _, b := range db.m {
+		t += int64(len(b))
+	}
+	return t
+}

@@ -1,0 +1,651 @@
+package auvm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/fem"
+	"repro/internal/metrics"
+	"repro/internal/navm"
+)
+
+// ErrQuit is returned by Execute when the user issues the quit command;
+// the REPL loop treats it as a clean shutdown.
+var ErrQuit = errors.New("auvm: quit")
+
+// ErrUsage is the base error for command syntax problems.
+var ErrUsage = errors.New("auvm: usage")
+
+// Session is one interactive user of the FEM-2 workstation: a workspace
+// of local data, a shared database, and (optionally) a NAVM runtime for
+// parallel solution.  The command interpreter is the AUVM sequence
+// control: "direct interpretation of user commands".
+type Session struct {
+	// User names the session for multi-user experiments.
+	User string
+	// WS is the session's workspace.
+	WS *Workspace
+	// DB is the shared long-term database.
+	DB *Database
+	// RT, when non-nil, enables `solve ... parallel <p>`.
+	RT *navm.Runtime
+	// Metrics receives AUVM operation counts when non-nil.
+	Metrics *metrics.Collector
+
+	// mat is the current material, applied by generate/element
+	// commands.
+	mat fem.Material
+	// grids remembers grid generation parameters per model so endload
+	// can find the right edge.
+	grids map[string]fem.RectGridOpts
+}
+
+// NewSession builds a session over a shared database.
+func NewSession(user string, db *Database) *Session {
+	return &Session{
+		User: user, WS: NewWorkspace(), DB: db,
+		mat: fem.Steel(), grids: map[string]fem.RectGridOpts{},
+	}
+}
+
+// usage returns a command-specific usage error.
+func usage(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, args...))
+}
+
+// Execute interprets one command line and returns its display output.
+func (s *Session) Execute(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return "", nil
+	}
+	s.Metrics.Add(metrics.LevelAUVM, metrics.CtrOps, 1)
+	cmd := strings.ToLower(fields[0])
+	args := fields[1:]
+	switch cmd {
+	case "help":
+		return helpText, nil
+	case "quit", "exit":
+		return "bye", ErrQuit
+	case "define":
+		return s.cmdDefine(args)
+	case "material":
+		return s.cmdMaterial(args)
+	case "generate":
+		return s.cmdGenerate(args)
+	case "node":
+		return s.cmdNode(args)
+	case "element":
+		return s.cmdElement(args)
+	case "fix":
+		return s.cmdFix(args)
+	case "loadset":
+		return s.cmdLoadSet(args)
+	case "load":
+		return s.cmdLoad(args)
+	case "solve":
+		return s.cmdSolve(args)
+	case "stresses":
+		return s.cmdStresses(args)
+	case "display":
+		return s.cmdDisplay(args)
+	case "store":
+		return s.cmdStore(args)
+	case "retrieve":
+		return s.cmdRetrieve(args)
+	case "delete":
+		return s.cmdDelete(args)
+	case "list":
+		return s.cmdList(args)
+	default:
+		return "", usage("unknown command %q (try help)", cmd)
+	}
+}
+
+const helpText = `FEM-2 workstation commands:
+  define structure <name>
+  material <E> <nu> <thickness> <area>
+  generate grid <name> <nx> <ny> <w> <h> [clamp-left] [jitter <frac> <seed>]
+  generate truss <name> <bays> <baylen> <height>
+  generate bar <name> <segments> <length>
+  node <model> <x> <y>
+  element bar <model> <n1> <n2>
+  element cst <model> <n1> <n2> <n3>
+  fix node <model> <n> | fix dof <model> <d>
+  loadset <model> <name>
+  load <model> <set> <dof> <value>
+  load <model> <set> endload <fx> <fy>   (grid models)
+  solve <model> <set> [method cholesky|cg|sor|jacobi] [parallel <p>] [substructures <k>]
+  stresses <model>
+  display model|displacements|stresses <model>
+  store <model> | retrieve <name> | delete <name>
+  list db | list workspace
+  help | quit`
+
+func (s *Session) cmdDefine(args []string) (string, error) {
+	if len(args) != 2 || args[0] != "structure" {
+		return "", usage("define structure <name>")
+	}
+	name := args[1]
+	if s.WS.Model(name) != nil {
+		return "", fmt.Errorf("auvm: model %q already in workspace", name)
+	}
+	s.WS.PutModel(fem.NewModel(name))
+	return fmt.Sprintf("defined structure %q", name), nil
+}
+
+func (s *Session) cmdMaterial(args []string) (string, error) {
+	if len(args) != 4 {
+		return "", usage("material <E> <nu> <thickness> <area>")
+	}
+	vals, err := floats(args)
+	if err != nil {
+		return "", err
+	}
+	if vals[0] <= 0 {
+		return "", fmt.Errorf("auvm: modulus must be positive")
+	}
+	s.mat = fem.Material{E: vals[0], Nu: vals[1], T: vals[2], A: vals[3]}
+	return fmt.Sprintf("material E=%g nu=%g t=%g A=%g", vals[0], vals[1], vals[2], vals[3]), nil
+}
+
+func (s *Session) cmdGenerate(args []string) (string, error) {
+	if len(args) < 2 {
+		return "", usage("generate grid|truss|bar <name> ...")
+	}
+	kind, name := args[0], args[1]
+	rest := args[2:]
+	switch kind {
+	case "grid":
+		if len(rest) < 4 {
+			return "", usage("generate grid <name> <nx> <ny> <w> <h> [clamp-left] [jitter <frac> <seed>]")
+		}
+		nx, err1 := strconv.Atoi(rest[0])
+		ny, err2 := strconv.Atoi(rest[1])
+		w, err3 := strconv.ParseFloat(rest[2], 64)
+		h, err4 := strconv.ParseFloat(rest[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return "", usage("generate grid: numeric arguments required")
+		}
+		o := fem.RectGridOpts{NX: nx, NY: ny, W: w, H: h, Mat: s.mat}
+		for i := 4; i < len(rest); i++ {
+			switch rest[i] {
+			case "clamp-left":
+				o.ClampLeft = true
+			case "jitter":
+				if i+2 >= len(rest) {
+					return "", usage("jitter <frac> <seed>")
+				}
+				f, err := strconv.ParseFloat(rest[i+1], 64)
+				if err != nil {
+					return "", usage("jitter fraction %q", rest[i+1])
+				}
+				seed, err := strconv.ParseInt(rest[i+2], 10, 64)
+				if err != nil {
+					return "", usage("jitter seed %q", rest[i+2])
+				}
+				o.Jitter, o.Seed = f, seed
+				i += 2
+			default:
+				return "", usage("unknown grid option %q", rest[i])
+			}
+		}
+		m, err := fem.RectGrid(name, o)
+		if err != nil {
+			return "", err
+		}
+		s.WS.PutModel(m)
+		s.gridOpts(name, o)
+		return fmt.Sprintf("generated grid %q: %d nodes, %d elements", name, len(m.Nodes), len(m.Elements)), nil
+	case "truss":
+		if len(rest) != 3 {
+			return "", usage("generate truss <name> <bays> <baylen> <height>")
+		}
+		bays, err1 := strconv.Atoi(rest[0])
+		bl, err2 := strconv.ParseFloat(rest[1], 64)
+		ht, err3 := strconv.ParseFloat(rest[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return "", usage("generate truss: numeric arguments required")
+		}
+		m, err := fem.CantileverTruss(name, bays, bl, ht, s.mat)
+		if err != nil {
+			return "", err
+		}
+		s.WS.PutModel(m)
+		return fmt.Sprintf("generated truss %q: %d nodes, %d members", name, len(m.Nodes), len(m.Elements)), nil
+	case "bar":
+		if len(rest) != 2 {
+			return "", usage("generate bar <name> <segments> <length>")
+		}
+		n, err1 := strconv.Atoi(rest[0])
+		l, err2 := strconv.ParseFloat(rest[1], 64)
+		if err1 != nil || err2 != nil {
+			return "", usage("generate bar: numeric arguments required")
+		}
+		m, err := fem.UniaxialBar(name, n, l, s.mat)
+		if err != nil {
+			return "", err
+		}
+		s.WS.PutModel(m)
+		return fmt.Sprintf("generated bar %q: %d segments", name, n), nil
+	default:
+		return "", usage("generate grid|truss|bar")
+	}
+}
+
+func (s *Session) gridOpts(name string, o fem.RectGridOpts) {
+	s.grids[name] = o
+}
+
+func (s *Session) lookupGridOpts(name string) (fem.RectGridOpts, bool) {
+	o, ok := s.grids[name]
+	return o, ok
+}
+
+func (s *Session) model(name string) (*fem.Model, error) {
+	m := s.WS.Model(name)
+	if m == nil {
+		return nil, fmt.Errorf("auvm: no model %q in workspace (retrieve it first?)", name)
+	}
+	return m, nil
+}
+
+func (s *Session) cmdNode(args []string) (string, error) {
+	if len(args) != 3 {
+		return "", usage("node <model> <x> <y>")
+	}
+	m, err := s.model(args[0])
+	if err != nil {
+		return "", err
+	}
+	x, err1 := strconv.ParseFloat(args[1], 64)
+	y, err2 := strconv.ParseFloat(args[2], 64)
+	if err1 != nil || err2 != nil {
+		return "", usage("node coordinates must be numeric")
+	}
+	id := m.AddNode(x, y)
+	return fmt.Sprintf("node %d at (%g, %g)", id, x, y), nil
+}
+
+func (s *Session) cmdElement(args []string) (string, error) {
+	if len(args) < 3 {
+		return "", usage("element bar|cst <model> <nodes...>")
+	}
+	m, err := s.model(args[1])
+	if err != nil {
+		return "", err
+	}
+	switch args[0] {
+	case "bar":
+		if len(args) != 4 {
+			return "", usage("element bar <model> <n1> <n2>")
+		}
+		ns, err := ints(args[2:])
+		if err != nil {
+			return "", err
+		}
+		if err := m.AddElement(&fem.Bar{N1: ns[0], N2: ns[1], Mat: s.mat}); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("bar %d-%d added to %q", ns[0], ns[1], m.Name), nil
+	case "cst":
+		if len(args) != 5 {
+			return "", usage("element cst <model> <n1> <n2> <n3>")
+		}
+		ns, err := ints(args[2:])
+		if err != nil {
+			return "", err
+		}
+		if err := m.AddElement(&fem.CST{N1: ns[0], N2: ns[1], N3: ns[2], Mat: s.mat}); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("cst %d-%d-%d added to %q", ns[0], ns[1], ns[2], m.Name), nil
+	default:
+		return "", usage("element bar|cst")
+	}
+}
+
+func (s *Session) cmdFix(args []string) (string, error) {
+	if len(args) != 3 {
+		return "", usage("fix node|dof <model> <index>")
+	}
+	m, err := s.model(args[1])
+	if err != nil {
+		return "", err
+	}
+	idx, err := strconv.Atoi(args[2])
+	if err != nil {
+		return "", usage("fix index %q", args[2])
+	}
+	switch args[0] {
+	case "node":
+		if err := m.FixNode(idx); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("node %d fixed", idx), nil
+	case "dof":
+		if err := m.FixDOF(idx); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("dof %d fixed", idx), nil
+	default:
+		return "", usage("fix node|dof")
+	}
+}
+
+func (s *Session) cmdLoadSet(args []string) (string, error) {
+	if len(args) != 2 {
+		return "", usage("loadset <model> <name>")
+	}
+	if err := s.WS.PutLoadSet(args[0], &fem.LoadSet{Name: args[1]}); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("load set %q on %q", args[1], args[0]), nil
+}
+
+func (s *Session) cmdLoad(args []string) (string, error) {
+	if len(args) == 5 && args[2] == "endload" {
+		// load <model> <set> endload <fx> <fy> — spread over a grid's
+		// right edge.
+		o, ok := s.lookupGridOpts(args[0])
+		if !ok {
+			return "", fmt.Errorf("auvm: endload requires a generated grid model")
+		}
+		fx, err1 := strconv.ParseFloat(args[3], 64)
+		fy, err2 := strconv.ParseFloat(args[4], 64)
+		if err1 != nil || err2 != nil {
+			return "", usage("endload forces must be numeric")
+		}
+		ls := fem.EndLoad(args[1], o, fx, fy)
+		if err := s.WS.PutLoadSet(args[0], ls); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("end load %q: %d entries", args[1], len(ls.Entries)), nil
+	}
+	if len(args) != 4 {
+		return "", usage("load <model> <set> <dof> <value>")
+	}
+	ls := s.WS.LoadSet(args[0], args[1])
+	if ls == nil {
+		ls = &fem.LoadSet{Name: args[1]}
+		if err := s.WS.PutLoadSet(args[0], ls); err != nil {
+			return "", err
+		}
+	}
+	dof, err1 := strconv.Atoi(args[2])
+	val, err2 := strconv.ParseFloat(args[3], 64)
+	if err1 != nil || err2 != nil {
+		return "", usage("load dof/value must be numeric")
+	}
+	ls.Entries = append(ls.Entries, fem.LoadEntry{DOF: dof, Value: val})
+	return fmt.Sprintf("load %g on dof %d (%d entries)", val, dof, len(ls.Entries)), nil
+}
+
+func (s *Session) cmdSolve(args []string) (string, error) {
+	if len(args) < 2 {
+		return "", usage("solve <model> <set> [method <m>] [parallel <p>] [substructures <k>]")
+	}
+	m, err := s.model(args[0])
+	if err != nil {
+		return "", err
+	}
+	ls := s.WS.LoadSet(args[0], args[1])
+	if ls == nil {
+		return "", fmt.Errorf("auvm: no load set %q on model %q", args[1], args[0])
+	}
+	method := fem.MethodCholesky
+	parallel := 0
+	substructures := 0
+	for i := 2; i < len(args); i++ {
+		switch args[i] {
+		case "method":
+			if i+1 >= len(args) {
+				return "", usage("method cholesky|cg|sor|jacobi")
+			}
+			switch args[i+1] {
+			case "cholesky":
+				method = fem.MethodCholesky
+			case "cg":
+				method = fem.MethodCG
+			case "sor":
+				method = fem.MethodSOR
+			case "jacobi":
+				method = fem.MethodJacobi
+			default:
+				return "", usage("unknown method %q", args[i+1])
+			}
+			i++
+		case "parallel":
+			if i+1 >= len(args) {
+				return "", usage("parallel <p>")
+			}
+			p, err := strconv.Atoi(args[i+1])
+			if err != nil || p < 1 {
+				return "", usage("parallel worker count %q", args[i+1])
+			}
+			parallel = p
+			i++
+		case "substructures":
+			if i+1 >= len(args) {
+				return "", usage("substructures <k>")
+			}
+			k, err := strconv.Atoi(args[i+1])
+			if err != nil || k < 1 {
+				return "", usage("substructure count %q", args[i+1])
+			}
+			substructures = k
+			i++
+		default:
+			return "", usage("unknown solve option %q", args[i])
+		}
+	}
+	var sol *fem.Solution
+	switch {
+	case substructures > 0:
+		sub, err := fem.PartitionByX(m, substructures)
+		if err != nil {
+			return "", err
+		}
+		sol, err = fem.SolveSubstructured(m, sub, ls, s.RT)
+		if err != nil {
+			return "", err
+		}
+	case parallel > 0:
+		if s.RT == nil {
+			return "", fmt.Errorf("auvm: this session has no parallel machine attached")
+		}
+		var stats navm.SolveStats
+		sol, stats, err = fem.SolveParallel(s.RT, m, ls, parallel)
+		if err != nil {
+			return "", err
+		}
+		s.WS.PutSolution(args[0], sol)
+		dof, v := MaxDisplacement(sol)
+		return fmt.Sprintf("solved %q/%q in parallel on %d workers: %d iterations, %d halo words, makespan %d cycles; max |u| = %g at dof %d",
+			args[0], args[1], parallel, stats.Iterations, stats.HaloWords, stats.Makespan, v, dof), nil
+	default:
+		sol, err = fem.Solve(m, ls, method)
+		if err != nil {
+			return "", err
+		}
+	}
+	s.WS.PutSolution(args[0], sol)
+	dof, v := MaxDisplacement(sol)
+	return fmt.Sprintf("solved %q/%q (%s): max |u| = %g at dof %d", args[0], args[1], method, v, dof), nil
+}
+
+func (s *Session) cmdStresses(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", usage("stresses <model>")
+	}
+	m, err := s.model(args[0])
+	if err != nil {
+		return "", err
+	}
+	sol := s.WS.Solution(args[0])
+	if sol == nil {
+		return "", fmt.Errorf("auvm: model %q has no solution (solve first)", args[0])
+	}
+	st, err := fem.Stresses(m, sol)
+	if err != nil {
+		return "", err
+	}
+	s.WS.PutStresses(args[0], st)
+	elem, vm := MaxVonMises(st)
+	return fmt.Sprintf("stresses for %q: %d elements, max von Mises %g in element %d", args[0], len(st), vm, elem), nil
+}
+
+func (s *Session) cmdDisplay(args []string) (string, error) {
+	if len(args) != 2 {
+		return "", usage("display model|displacements|stresses <model>")
+	}
+	name := args[1]
+	switch args[0] {
+	case "model":
+		m, err := s.model(name)
+		if err != nil {
+			return "", err
+		}
+		kinds := map[string]int{}
+		for _, e := range m.Elements {
+			kinds[e.Kind()]++
+		}
+		var ks []string
+		for k, c := range kinds {
+			ks = append(ks, fmt.Sprintf("%d %s", c, k))
+		}
+		sort.Strings(ks)
+		return fmt.Sprintf("model %q: %d nodes, %d dofs (%d fixed), elements: %s",
+			name, len(m.Nodes), m.NumDOF(), m.NumFixed(), strings.Join(ks, ", ")), nil
+	case "displacements":
+		sol := s.WS.Solution(name)
+		if sol == nil {
+			return "", fmt.Errorf("auvm: model %q has no solution", name)
+		}
+		dof, v := MaxDisplacement(sol)
+		return fmt.Sprintf("displacements of %q: |u|∞ = %g (dof %d), norm %g",
+			name, v, dof, displacementNorm(sol)), nil
+	case "stresses":
+		st := s.WS.Stresses(name)
+		if st == nil {
+			return "", fmt.Errorf("auvm: model %q has no stresses", name)
+		}
+		elem, vm := MaxVonMises(st)
+		return fmt.Sprintf("stresses of %q: max von Mises %g in element %d of %d",
+			name, vm, elem, len(st)), nil
+	default:
+		return "", usage("display model|displacements|stresses")
+	}
+}
+
+func (s *Session) cmdStore(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", usage("store <model>")
+	}
+	m, err := s.model(args[0])
+	if err != nil {
+		return "", err
+	}
+	var loads []*fem.LoadSet
+	for _, n := range s.WS.LoadSetNames(args[0]) {
+		loads = append(loads, s.WS.LoadSet(args[0], n))
+	}
+	if err := s.DB.Store(m, loads); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("stored %q (%d load sets) in data base", args[0], len(loads)), nil
+}
+
+func (s *Session) cmdRetrieve(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", usage("retrieve <name>")
+	}
+	m, loads, err := s.DB.Retrieve(args[0])
+	if err != nil {
+		return "", err
+	}
+	s.WS.PutModel(m)
+	for _, ls := range loads {
+		if err := s.WS.PutLoadSet(m.Name, ls); err != nil {
+			return "", err
+		}
+	}
+	return fmt.Sprintf("retrieved %q (%d load sets) into workspace", args[0], len(loads)), nil
+}
+
+func (s *Session) cmdDelete(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", usage("delete <name>")
+	}
+	if !s.DB.Delete(args[0]) {
+		return "", fmt.Errorf("%w: %q", ErrNotFound, args[0])
+	}
+	return fmt.Sprintf("deleted %q from data base", args[0]), nil
+}
+
+func (s *Session) cmdList(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", usage("list db|workspace")
+	}
+	switch args[0] {
+	case "db":
+		names := s.DB.Names()
+		return fmt.Sprintf("data base (%d models, %d bytes): %s",
+			len(names), s.DB.Bytes(), strings.Join(names, " ")), nil
+	case "workspace":
+		names := s.WS.ModelNames()
+		return fmt.Sprintf("workspace (%d models, %d words): %s",
+			len(names), s.WS.Words(), strings.Join(names, " ")), nil
+	default:
+		return "", usage("list db|workspace")
+	}
+}
+
+// Run drives the session as a REPL: one command per line, output and
+// errors written to w, until EOF or quit.
+func (s *Session) Run(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		out, err := s.Execute(sc.Text())
+		if out != "" {
+			fmt.Fprintln(w, out)
+		}
+		if errors.Is(err, ErrQuit) {
+			return nil
+		}
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+	}
+	return sc.Err()
+}
+
+func floats(ss []string) ([]float64, error) {
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, usage("numeric argument expected, got %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func ints(ss []string) ([]int, error) {
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, usage("integer argument expected, got %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

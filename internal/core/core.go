@@ -1,0 +1,376 @@
+// Package core implements the FEM-2 design method itself — the paper's
+// primary contribution.  The method has three distinguishing aspects:
+//
+//  1. a top-down rather than bottom-up design process,
+//  2. the design considers the entire system structure in terms of layers
+//     of virtual machines, and
+//  3. each layer of virtual machine is defined formally during the design
+//     process.
+//
+// Accordingly, this package provides: LayerSpec, the formal description of
+// one virtual machine layer (its data objects, operations, sequence
+// control, data control, and storage management, with H-graph grammars as
+// the formal definitions); System, the complete four-layer stack wired
+// together; and DesignIterator, the method's evaluate-adjust loop that
+// simulates a candidate configuration against a workload and iterates the
+// hardware parameters until the requirements derived from the upper
+// layers are met ("the entire design process may be iterated ... until
+// the proper match of hardware and software organizations is found").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/auvm"
+	"repro/internal/hgraph"
+	"repro/internal/metrics"
+	"repro/internal/navm"
+	"repro/internal/trace"
+)
+
+// LayerSpec is the design-time description of one virtual machine layer,
+// structured exactly as the paper presents each layer: five component
+// categories plus the formal H-graph grammars defining its data objects.
+type LayerSpec struct {
+	// Level names the layer.
+	Level metrics.Level
+	// Audience is the class of user the layer serves.
+	Audience string
+	// DataObjects, Operations, SequenceControl, DataControl,
+	// StorageManagement are the five virtual machine component
+	// categories from the paper.
+	DataObjects       []string
+	Operations        []string
+	SequenceControl   []string
+	DataControl       []string
+	StorageManagement []string
+	// Grammars names the formal H-graph grammars (keys of
+	// hgraph.AllLevelGrammars) that define this layer's data objects.
+	Grammars []string
+}
+
+// Validate checks the layer spec is complete and its formal grammars
+// exist and are well-formed.
+func (l *LayerSpec) Validate() error {
+	for name, cat := range map[string][]string{
+		"data objects": l.DataObjects, "operations": l.Operations,
+		"sequence control": l.SequenceControl, "data control": l.DataControl,
+		"storage management": l.StorageManagement,
+	} {
+		if len(cat) == 0 {
+			return fmt.Errorf("core: layer %s has no %s", l.Level, name)
+		}
+	}
+	all := hgraph.AllLevelGrammars()
+	for _, g := range l.Grammars {
+		gr, ok := all[g]
+		if !ok {
+			return fmt.Errorf("core: layer %s names unknown grammar %q", l.Level, g)
+		}
+		if errs := gr.WellFormed(); len(errs) > 0 {
+			return fmt.Errorf("core: layer %s grammar %q ill-formed: %v", l.Level, g, errs[0])
+		}
+	}
+	return nil
+}
+
+// String renders the spec in the paper's outline style.
+func (l *LayerSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", l.Level, l.Audience)
+	section := func(title string, items []string) {
+		fmt.Fprintf(&b, "  %s:\n", title)
+		for _, it := range items {
+			fmt.Fprintf(&b, "    %s\n", it)
+		}
+	}
+	section("Data objects", l.DataObjects)
+	section("Operations", l.Operations)
+	section("Sequence control", l.SequenceControl)
+	section("Data control", l.DataControl)
+	section("Storage management", l.StorageManagement)
+	if len(l.Grammars) > 0 {
+		fmt.Fprintf(&b, "  Formal grammars: %s\n", strings.Join(l.Grammars, ", "))
+	}
+	return b.String()
+}
+
+// FEM2Layers returns the four layer specifications of the FEM-2 design,
+// transcribed from the paper, top layer first.
+func FEM2Layers() []*LayerSpec {
+	return []*LayerSpec{
+		{
+			Level:    metrics.LevelAUVM,
+			Audience: "structural engineer at an interactive workstation",
+			DataObjects: []string{
+				"structure/substructure model", "grid description",
+				"node/element description", "load set",
+				"displacements of nodes", "stresses on elements",
+			},
+			Operations: []string{
+				"define structure model", "generate grid", "define elements",
+				"solve structure model/load set for displacements",
+				"calculate stresses", "data base operations (store/retrieve)",
+			},
+			SequenceControl: []string{"direct interpretation of user commands"},
+			DataControl:     []string{"workspace (user local data)", "data base (long-term storage; shared data)"},
+			StorageManagement: []string{
+				"dynamic storage allocation for models, results, workspaces",
+				"data movement between data base and workspace",
+			},
+			Grammars: []string{"auvm-model"},
+		},
+		{
+			Level:    metrics.LevelNAVM,
+			Audience: "numerical analyst programming the parallel linear algebra",
+			DataObjects: []string{
+				"windows on arrays (row, column, block descriptors)",
+			},
+			Operations: []string{
+				"tasks (programmer-defined parallel procedures)",
+				"window operations: create window, access/assign data visible in a window",
+				"broadcast data to a set of tasks",
+				"linear algebra operations: inner product, vector operations",
+			},
+			SequenceControl: []string{
+				"forall loops", "pardo ... end",
+				"task control: initiate, pause, resume, terminate",
+				"remote procedure call located by window",
+			},
+			DataControl: []string{
+				"all data owned by a single task",
+				"data accessible non-locally only via windows",
+				"windows transmitted as parameters, partitioned, stored",
+				"tasks communicate through windows",
+			},
+			StorageManagement: []string{
+				"dynamic creation of data objects by a task",
+				"data lifetime = lifetime of owner task",
+				"dynamic creation of multiple task replications",
+				"local data retained over pause/resume",
+			},
+			Grammars: []string{"navm-window", "navm-task"},
+		},
+		{
+			Level:    metrics.LevelSPVM,
+			Audience: "system programmer implementing the NAVM",
+			DataObjects: []string{
+				"code blocks/constants blocks",
+				"task/procedure activation records",
+				"window descriptors", "storage representations",
+				"the seven task messages (initiate, pause, resume, terminate, remote call, remote return, load code)",
+			},
+			Operations: []string{
+				"sequential operations", "library linear algebra routines",
+				"format and send message", "decode and execute message",
+			},
+			SequenceControl: []string{"usual sequential control structures"},
+			DataControl:     []string{"usual sequential language structures"},
+			StorageManagement: []string{
+				"general heap with variable size blocks",
+			},
+			Grammars: []string{"spvm-message", "spvm-activation"},
+		},
+		{
+			Level:    metrics.LevelARCH,
+			Audience: "hardware organisation",
+			DataObjects: []string{
+				"clusters of processing elements around a shared memory",
+				"common communication network", "cluster input queues",
+			},
+			Operations: []string{
+				"kernel PE fields incoming messages and assigns available PEs",
+				"network transfer", "shared memory access",
+			},
+			SequenceControl: []string{"message-driven dispatch"},
+			DataControl:     []string{"messages processed by any available PE"},
+			StorageManagement: []string{
+				"shared memory dynamic allocation", "reconfiguration around faults",
+			},
+			Grammars: nil,
+		},
+	}
+}
+
+// System is a complete FEM-2 instance: the simulated hardware, the
+// per-cluster SPVM kernels, the NAVM runtime, the shared AUVM database,
+// and any number of user sessions — all sharing one metrics collector and
+// trace so experiments see every level at once.
+type System struct {
+	Machine  *arch.Machine
+	Runtime  *navm.Runtime
+	Database *auvm.Database
+	Metrics  *metrics.Collector
+	Trace    *trace.Trace
+
+	sessions map[string]*auvm.Session
+}
+
+// NewSystem builds the full stack over a hardware configuration.
+func NewSystem(cfg arch.Config) (*System, error) {
+	m, err := arch.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Machine:  m,
+		Runtime:  navm.NewRuntime(m),
+		Database: auvm.NewDatabase(),
+		Metrics:  metrics.NewCollector(),
+		Trace:    trace.NewCapped(1 << 16),
+		sessions: map[string]*auvm.Session{},
+	}
+	s.Runtime.AttachInstrumentation(s.Metrics, s.Trace)
+	return s, nil
+}
+
+// Session returns the named user session, creating it on first use —
+// FEM-2's multi-user access.
+func (s *System) Session(user string) *auvm.Session {
+	if sess, ok := s.sessions[user]; ok {
+		return sess
+	}
+	sess := auvm.NewSession(user, s.Database)
+	sess.RT = s.Runtime
+	sess.Metrics = s.Metrics
+	s.sessions[user] = sess
+	return sess
+}
+
+// Users returns the active session names, sorted.
+func (s *System) Users() []string {
+	out := make([]string, 0, len(s.sessions))
+	for u := range s.sessions {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateDesign checks every layer specification against its formal
+// grammars — the design method's "firm up" step.
+func (s *System) ValidateDesign() error {
+	for _, l := range FEM2Layers() {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Requirements is one simulated evaluation of a candidate configuration:
+// the processing, storage, and communication requirements the paper's
+// simulations were designed to measure, plus the resulting makespan.
+type Requirements struct {
+	Config       arch.Config
+	Makespan     int64
+	Flops        int64
+	Messages     int64
+	MessageWords int64
+	StorageWords int64
+	Utilization  float64
+}
+
+// Workload is a candidate workload the design iterator evaluates: it runs
+// a representative computation on a fresh System and returns an error if
+// the workload itself failed.
+type Workload func(sys *System) error
+
+// Evaluate builds a fresh system with cfg, runs the workload, and
+// collects the requirements.
+func Evaluate(cfg arch.Config, w Workload) (*Requirements, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w(sys); err != nil {
+		return nil, err
+	}
+	var storage int64
+	for _, c := range sys.Machine.Clusters() {
+		storage += c.Memory.HighWater()
+	}
+	for _, k := range sys.Runtime.Kernels() {
+		storage += k.Heap.HighWater()
+	}
+	return &Requirements{
+		Config:       cfg,
+		Makespan:     sys.Machine.Makespan(),
+		Flops:        sys.Metrics.Get(metrics.LevelNAVM, metrics.CtrFlops),
+		Messages:     sys.Machine.Network().TotalMessages(),
+		MessageWords: sys.Machine.Network().TotalWords(),
+		StorageWords: storage,
+		Utilization:  sys.Machine.Utilization(),
+	}, nil
+}
+
+// Objective scores a Requirements; lower is better.  The design iterator
+// minimises it.
+type Objective func(*Requirements) float64
+
+// MakespanObjective minimises completion time.
+func MakespanObjective(r *Requirements) float64 { return float64(r.Makespan) }
+
+// ErrNoViableConfig is returned when no candidate configuration completes
+// the workload.
+var ErrNoViableConfig = errors.New("core: no candidate configuration completed the workload")
+
+// IterationRecord documents one design iteration, per the method's
+// requirement that the process be recorded and repeatable.
+type IterationRecord struct {
+	Iteration int
+	Req       *Requirements
+	Score     float64
+	Best      bool
+}
+
+// DesignIterator runs the FEM-2 design method's iterate step: evaluate
+// each candidate hardware configuration against the workload the upper
+// layers impose, and keep the configuration with the best objective.
+type DesignIterator struct {
+	// Candidates is the hardware design space to sweep.
+	Candidates []arch.Config
+	// Workload is the representative upper-layer computation.
+	Workload Workload
+	// Objective scores each evaluation; defaults to MakespanObjective.
+	Objective Objective
+}
+
+// Run evaluates every candidate and returns the winning requirements plus
+// the full iteration history.
+func (d *DesignIterator) Run() (*Requirements, []IterationRecord, error) {
+	if len(d.Candidates) == 0 {
+		return nil, nil, fmt.Errorf("core: design iterator has no candidates")
+	}
+	obj := d.Objective
+	if obj == nil {
+		obj = MakespanObjective
+	}
+	var best *Requirements
+	bestScore := 0.0
+	var history []IterationRecord
+	for i, cfg := range d.Candidates {
+		req, err := Evaluate(cfg, d.Workload)
+		if err != nil {
+			// An infeasible configuration is part of the design
+			// record, not a fatal error.
+			history = append(history, IterationRecord{Iteration: i, Req: &Requirements{Config: cfg}, Score: -1})
+			continue
+		}
+		score := obj(req)
+		rec := IterationRecord{Iteration: i, Req: req, Score: score}
+		if best == nil || score < bestScore {
+			best, bestScore = req, score
+			rec.Best = true
+		}
+		history = append(history, rec)
+	}
+	if best == nil {
+		return nil, history, ErrNoViableConfig
+	}
+	return best, history, nil
+}

@@ -1,0 +1,83 @@
+package fem
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Assembled is a model's reduced (constraints eliminated) global system.
+type Assembled struct {
+	// K is the reduced stiffness matrix over free dofs.
+	K *linalg.CSR
+	// Free lists the global dof of each reduced index.
+	Free []int
+	// Index maps global dof -> reduced index (-1 when fixed).
+	Index []int
+	// Stats carries the assembly flop count.
+	Stats linalg.Stats
+}
+
+// Assemble builds the reduced global stiffness matrix by the direct
+// stiffness method: every element's stiffness scatters into the triplet
+// list at its global dofs, with fixed rows/columns eliminated — the AUVM
+// "solve structure model" operation's first half.
+func Assemble(m *Model) (*Assembled, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	free, index := m.FreeDOFs()
+	var ts []linalg.Triplet
+	st := linalg.Stats{}
+	for ei, e := range m.Elements {
+		ke, err := e.Stiffness(m)
+		if err != nil {
+			return nil, fmt.Errorf("fem: element %d: %w", ei, err)
+		}
+		dofs := ElementDOFs(e)
+		if ke.Rows != len(dofs) || ke.Cols != len(dofs) {
+			return nil, fmt.Errorf("fem: element %d stiffness %dx%d for %d dofs", ei, ke.Rows, ke.Cols, len(dofs))
+		}
+		for i, gi := range dofs {
+			ri := index[gi]
+			if ri < 0 {
+				continue
+			}
+			for j, gj := range dofs {
+				rj := index[gj]
+				if rj < 0 {
+					continue
+				}
+				v := ke.At(i, j)
+				if v != 0 {
+					ts = append(ts, linalg.Triplet{Row: ri, Col: rj, Val: v})
+					st.Flops++
+				}
+			}
+		}
+	}
+	k, err := linalg.NewCSRFromTriplets(len(free), ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Assembled{K: k, Free: free, Index: index, Stats: st}, nil
+}
+
+// Expand scatters a reduced solution back to the full dof vector, with
+// zeros at fixed dofs.
+func (a *Assembled) Expand(x linalg.Vector) linalg.Vector {
+	full := linalg.NewVector(len(a.Index))
+	for ri, d := range a.Free {
+		full[d] = x[ri]
+	}
+	return full
+}
+
+// Reduce gathers a full dof vector into reduced form.
+func (a *Assembled) Reduce(full linalg.Vector) linalg.Vector {
+	out := linalg.NewVector(len(a.Free))
+	for ri, d := range a.Free {
+		out[ri] = full[d]
+	}
+	return out
+}

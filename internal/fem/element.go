@@ -1,0 +1,171 @@
+package fem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Bar is a two-node axial (truss) element in the plane.
+type Bar struct {
+	// N1, N2 are the end node indices.
+	N1, N2 int
+	// Mat supplies E and A.
+	Mat Material
+}
+
+// Kind returns "bar".
+func (b *Bar) Kind() string { return "bar" }
+
+// Nodes returns the element connectivity.
+func (b *Bar) Nodes() []int { return []int{b.N1, b.N2} }
+
+// geometry returns length and direction cosines.
+func (b *Bar) geometry(m *Model) (l, c, s float64, err error) {
+	p1, p2 := m.Nodes[b.N1], m.Nodes[b.N2]
+	dx, dy := p2.X-p1.X, p2.Y-p1.Y
+	l = math.Hypot(dx, dy)
+	if l == 0 {
+		return 0, 0, 0, fmt.Errorf("%w: zero-length bar %d-%d", ErrModel, b.N1, b.N2)
+	}
+	return l, dx / l, dy / l, nil
+}
+
+// Stiffness returns the 4×4 global-coordinate bar stiffness
+// k = (EA/L)·[cc cs; cs ss] pattern.
+func (b *Bar) Stiffness(m *Model) (*linalg.Dense, error) {
+	l, c, s, err := b.geometry(m)
+	if err != nil {
+		return nil, err
+	}
+	k := b.Mat.E * b.Mat.A / l
+	cc, ss, cs := c*c, s*s, c*s
+	return linalg.DenseFromRows([][]float64{
+		{k * cc, k * cs, -k * cc, -k * cs},
+		{k * cs, k * ss, -k * cs, -k * ss},
+		{-k * cc, -k * cs, k * cc, k * cs},
+		{-k * cs, -k * ss, k * cs, k * ss},
+	}), nil
+}
+
+// Stress returns the single axial stress component (positive in tension).
+func (b *Bar) Stress(m *Model, u linalg.Vector) ([]float64, error) {
+	l, c, s, err := b.geometry(m)
+	if err != nil {
+		return nil, err
+	}
+	u1x, u1y := u[DOF(b.N1, 0)], u[DOF(b.N1, 1)]
+	u2x, u2y := u[DOF(b.N2, 0)], u[DOF(b.N2, 1)]
+	elong := (u2x-u1x)*c + (u2y-u1y)*s
+	return []float64{b.Mat.E * elong / l}, nil
+}
+
+// CST is the three-node constant strain triangle in plane stress.
+type CST struct {
+	// N1, N2, N3 are the corner node indices, counterclockwise.
+	N1, N2, N3 int
+	// Mat supplies E, Nu, and thickness T.
+	Mat Material
+}
+
+// Kind returns "cst".
+func (t *CST) Kind() string { return "cst" }
+
+// Nodes returns the element connectivity.
+func (t *CST) Nodes() []int { return []int{t.N1, t.N2, t.N3} }
+
+// bMatrixAndArea computes the 3×6 strain-displacement matrix and the
+// (signed) element area.
+func (t *CST) bMatrixAndArea(m *Model) (*linalg.Dense, float64, error) {
+	p1, p2, p3 := m.Nodes[t.N1], m.Nodes[t.N2], m.Nodes[t.N3]
+	// Signed area via the shoelace formula.
+	a2 := (p2.X-p1.X)*(p3.Y-p1.Y) - (p3.X-p1.X)*(p2.Y-p1.Y)
+	if a2 == 0 {
+		return nil, 0, fmt.Errorf("%w: degenerate CST %d-%d-%d", ErrModel, t.N1, t.N2, t.N3)
+	}
+	area := a2 / 2
+	b1 := p2.Y - p3.Y
+	b2 := p3.Y - p1.Y
+	b3 := p1.Y - p2.Y
+	c1 := p3.X - p2.X
+	c2 := p1.X - p3.X
+	c3 := p2.X - p1.X
+	inv := 1 / a2
+	b := linalg.DenseFromRows([][]float64{
+		{b1 * inv, 0, b2 * inv, 0, b3 * inv, 0},
+		{0, c1 * inv, 0, c2 * inv, 0, c3 * inv},
+		{c1 * inv, b1 * inv, c2 * inv, b2 * inv, c3 * inv, b3 * inv},
+	})
+	return b, area, nil
+}
+
+// dMatrix returns the plane stress constitutive matrix.
+func (t *CST) dMatrix() *linalg.Dense {
+	e, nu := t.Mat.E, t.Mat.Nu
+	f := e / (1 - nu*nu)
+	return linalg.DenseFromRows([][]float64{
+		{f, f * nu, 0},
+		{f * nu, f, 0},
+		{0, 0, f * (1 - nu) / 2},
+	})
+}
+
+// Stiffness returns the 6×6 element stiffness k = t·|A|·BᵀDB.
+func (t *CST) Stiffness(m *Model) (*linalg.Dense, error) {
+	b, area, err := t.bMatrixAndArea(m)
+	if err != nil {
+		return nil, err
+	}
+	if area < 0 {
+		area = -area
+	}
+	d := t.dMatrix()
+	bt := b.Transpose()
+	k := bt.Mul(d, nil).Mul(b, nil)
+	scale := t.Mat.T * area
+	for i := 0; i < k.Rows; i++ {
+		for j := 0; j < k.Cols; j++ {
+			k.Set(i, j, k.At(i, j)*scale)
+		}
+	}
+	return k, nil
+}
+
+// Stress returns the element stress components (σx, σy, τxy), constant
+// over the triangle.
+func (t *CST) Stress(m *Model, u linalg.Vector) ([]float64, error) {
+	b, _, err := t.bMatrixAndArea(m)
+	if err != nil {
+		return nil, err
+	}
+	ue := linalg.Vector{
+		u[DOF(t.N1, 0)], u[DOF(t.N1, 1)],
+		u[DOF(t.N2, 0)], u[DOF(t.N2, 1)],
+		u[DOF(t.N3, 0)], u[DOF(t.N3, 1)],
+	}
+	strain := b.MulVec(ue, nil, nil)
+	stress := t.dMatrix().MulVec(strain, nil, nil)
+	return []float64(stress), nil
+}
+
+// ElementDOFs returns the global dof indices of an element in local
+// order.
+func ElementDOFs(e Element) []int {
+	ns := e.Nodes()
+	out := make([]int, 0, DOFPerNode*len(ns))
+	for _, n := range ns {
+		out = append(out, DOF(n, 0), DOF(n, 1))
+	}
+	return out
+}
+
+// VonMises returns the von Mises equivalent stress for a plane stress
+// state (σx, σy, τxy).
+func VonMises(s []float64) float64 {
+	if len(s) == 1 {
+		return math.Abs(s[0]) // bar: axial only
+	}
+	sx, sy, txy := s[0], s[1], s[2]
+	return math.Sqrt(sx*sx - sx*sy + sy*sy + 3*txy*txy)
+}

@@ -1,0 +1,186 @@
+// Package fem implements the finite element substrate of the FEM-2
+// reproduction: the structure/substructure models, grid descriptions,
+// node/element descriptions, load sets, displacement solutions, and
+// element stresses that the application user's virtual machine operates
+// on.
+//
+// The element library matches the structural-analysis workloads the
+// Finite Element Machine targeted: 2D bar (truss) elements and constant
+// strain triangles in plane stress.  Assembly produces the symmetric
+// positive definite systems the paper's "solution of a particular system
+// of simultaneous equations" parallelism level refers to.
+package fem
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// DOFPerNode is the planar degrees of freedom per node (u_x, u_y).
+const DOFPerNode = 2
+
+// ErrModel is the base error for structurally invalid models.
+var ErrModel = errors.New("fem: invalid model")
+
+// NodeCoord is one grid node's position.
+type NodeCoord struct {
+	X, Y float64
+}
+
+// Material carries the element material/section properties: Young's
+// modulus E, Poisson ratio Nu, plate thickness T (CST), and bar
+// cross-section area A.
+type Material struct {
+	E, Nu, T, A float64
+}
+
+// Steel returns a typical structural steel in consistent units
+// (N, mm): E = 200 GPa = 200000 N/mm², ν = 0.3.
+func Steel() Material { return Material{E: 200000, Nu: 0.3, T: 10, A: 100} }
+
+// Element is one finite element: it knows its connectivity, its local
+// stiffness matrix, and how to recover stresses from nodal displacements.
+type Element interface {
+	// Kind returns the element type name ("bar", "cst").
+	Kind() string
+	// Nodes returns the global node indices, element-local order.
+	Nodes() []int
+	// Stiffness returns the element stiffness matrix in global
+	// coordinates, of order DOFPerNode*len(Nodes()).
+	Stiffness(m *Model) (*linalg.Dense, error)
+	// Stress recovers the element stress components from the global
+	// displacement vector.
+	Stress(m *Model, u linalg.Vector) ([]float64, error)
+}
+
+// LoadEntry applies a force value to one global degree of freedom.
+type LoadEntry struct {
+	DOF   int
+	Value float64
+}
+
+// LoadSet is a named collection of applied loads — the AUVM "load set"
+// data object.
+type LoadSet struct {
+	Name    string
+	Entries []LoadEntry
+}
+
+// Model is the AUVM "structure/substructure model": grid, elements, and
+// boundary conditions.  Load sets are kept separately so one model can be
+// solved for many load sets.
+type Model struct {
+	// Name identifies the model in the database.
+	Name string
+	// Nodes is the grid description.
+	Nodes []NodeCoord
+	// Elements is the element description list.
+	Elements []Element
+
+	fixed map[int]bool
+}
+
+// NewModel returns an empty model.
+func NewModel(name string) *Model {
+	return &Model{Name: name, fixed: map[int]bool{}}
+}
+
+// AddNode appends a grid node and returns its index.
+func (m *Model) AddNode(x, y float64) int {
+	m.Nodes = append(m.Nodes, NodeCoord{X: x, Y: y})
+	return len(m.Nodes) - 1
+}
+
+// AddElement appends an element after validating its connectivity.
+func (m *Model) AddElement(e Element) error {
+	for _, n := range e.Nodes() {
+		if n < 0 || n >= len(m.Nodes) {
+			return fmt.Errorf("%w: element references node %d of %d", ErrModel, n, len(m.Nodes))
+		}
+	}
+	m.Elements = append(m.Elements, e)
+	return nil
+}
+
+// NumDOF returns the total degree-of-freedom count.
+func (m *Model) NumDOF() int { return DOFPerNode * len(m.Nodes) }
+
+// DOF returns the global index of node n's d'th local freedom.
+func DOF(n, d int) int { return DOFPerNode*n + d }
+
+// FixDOF constrains one degree of freedom to zero displacement.
+func (m *Model) FixDOF(dof int) error {
+	if dof < 0 || dof >= m.NumDOF() {
+		return fmt.Errorf("%w: fix dof %d of %d", ErrModel, dof, m.NumDOF())
+	}
+	if m.fixed == nil {
+		m.fixed = map[int]bool{}
+	}
+	m.fixed[dof] = true
+	return nil
+}
+
+// FixNode constrains both freedoms of a node (a pin support).
+func (m *Model) FixNode(n int) error {
+	if err := m.FixDOF(DOF(n, 0)); err != nil {
+		return err
+	}
+	return m.FixDOF(DOF(n, 1))
+}
+
+// Fixed reports whether a dof is constrained.
+func (m *Model) Fixed(dof int) bool { return m.fixed[dof] }
+
+// NumFixed returns the number of constrained freedoms.
+func (m *Model) NumFixed() int { return len(m.fixed) }
+
+// FreeDOFs returns the unconstrained global dof indices in ascending
+// order, plus the inverse map from global dof to reduced index (-1 for
+// fixed).
+func (m *Model) FreeDOFs() (free []int, index []int) {
+	index = make([]int, m.NumDOF())
+	for i := range index {
+		index[i] = -1
+	}
+	for d := 0; d < m.NumDOF(); d++ {
+		if !m.fixed[d] {
+			index[d] = len(free)
+			free = append(free, d)
+		}
+	}
+	return free, index
+}
+
+// Validate checks the model is solvable: nodes exist, elements exist, and
+// at least three freedoms are fixed (rigid body modes removed in 2D).
+func (m *Model) Validate() error {
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("%w: no nodes", ErrModel)
+	}
+	if len(m.Elements) == 0 {
+		return fmt.Errorf("%w: no elements", ErrModel)
+	}
+	if len(m.fixed) < 3 {
+		return fmt.Errorf("%w: only %d constrained freedoms; 2D statics needs >= 3", ErrModel, len(m.fixed))
+	}
+	return nil
+}
+
+// RHS builds the load vector over free dofs for a load set, using the
+// dof→reduced index map from FreeDOFs.
+func (m *Model) RHS(ls *LoadSet, index []int, nfree int) (linalg.Vector, error) {
+	b := linalg.NewVector(nfree)
+	for _, e := range ls.Entries {
+		if e.DOF < 0 || e.DOF >= m.NumDOF() {
+			return nil, fmt.Errorf("%w: load on dof %d of %d", ErrModel, e.DOF, m.NumDOF())
+		}
+		if idx := index[e.DOF]; idx >= 0 {
+			b[idx] += e.Value
+		}
+		// Loads on fixed dofs go straight into the reactions; they
+		// do not enter the reduced system.
+	}
+	return b, nil
+}

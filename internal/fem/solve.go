@@ -1,0 +1,160 @@
+package fem
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/navm"
+)
+
+// Method selects a solution algorithm for Solve.
+type Method int
+
+// Solution methods: the sequential baselines and the iterative methods
+// the NAVM parallelises.
+const (
+	// MethodCholesky is the sequential banded direct solver — the
+	// 1980s production baseline.
+	MethodCholesky Method = iota
+	// MethodCG is sequential conjugate gradients.
+	MethodCG
+	// MethodJacobi is sequential Jacobi iteration.
+	MethodJacobi
+	// MethodSOR is sequential successive over-relaxation.
+	MethodSOR
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodCholesky:
+		return "cholesky"
+	case MethodCG:
+		return "cg"
+	case MethodJacobi:
+		return "jacobi"
+	case MethodSOR:
+		return "sor"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Solution is a solved load case: full displacement vector and solver
+// accounting.
+type Solution struct {
+	// U is the full displacement vector (zeros at fixed dofs).
+	U linalg.Vector
+	// Iterations is 0 for direct solves.
+	Iterations int
+	// Stats accumulates solver flops.
+	Stats linalg.Stats
+}
+
+// Solve assembles the model and solves it for one load set with the given
+// sequential method — the AUVM "solve structure model/load set for
+// displacements" operation.
+func Solve(m *Model, ls *LoadSet, method Method) (*Solution, error) {
+	asm, err := Assemble(m)
+	if err != nil {
+		return nil, err
+	}
+	return SolveAssembled(m, asm, ls, method)
+}
+
+// SolveAssembled solves a pre-assembled system (several load sets can
+// share one assembly).
+func SolveAssembled(m *Model, asm *Assembled, ls *LoadSet, method Method) (*Solution, error) {
+	b, err := m.RHS(ls, asm.Index, len(asm.Free))
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{}
+	sol.Stats.Merge(asm.Stats)
+	opts := linalg.DefaultIterOpts(asm.K.N)
+	var x linalg.Vector
+	var iters int
+	switch method {
+	case MethodCholesky:
+		x, err = asm.K.ToBanded().SolveCholesky(b, &sol.Stats)
+	case MethodCG:
+		x, iters, err = linalg.CG(asm.K, b, opts, &sol.Stats)
+	case MethodJacobi:
+		opts.MaxIter = 200 * asm.K.N
+		x, iters, err = linalg.Jacobi(asm.K, b, opts, &sol.Stats)
+	case MethodSOR:
+		opts.MaxIter = 100 * asm.K.N
+		x, iters, err = linalg.SOR(asm.K, b, opts, &sol.Stats)
+	default:
+		return nil, fmt.Errorf("fem: unknown method %d", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sol.U = asm.Expand(x)
+	sol.Iterations = iters
+	return sol, nil
+}
+
+// SolveParallel assembles the model and solves it with the NAVM
+// distributed CG on p simulated workers, returning the solution and the
+// simulated cost statistics.
+func SolveParallel(rt *navm.Runtime, m *Model, ls *LoadSet, p int) (*Solution, navm.SolveStats, error) {
+	var zero navm.SolveStats
+	asm, err := Assemble(m)
+	if err != nil {
+		return nil, zero, err
+	}
+	b, err := m.RHS(ls, asm.Index, len(asm.Free))
+	if err != nil {
+		return nil, zero, err
+	}
+	d, err := navm.Partition(asm.K, b, p)
+	if err != nil {
+		return nil, zero, err
+	}
+	x, stats, err := rt.ParallelCG(d, linalg.DefaultIterOpts(asm.K.N))
+	if err != nil {
+		return nil, stats, err
+	}
+	return &Solution{U: asm.Expand(x), Iterations: stats.Iterations}, stats, nil
+}
+
+// Stresses recovers per-element stress components from a solution — the
+// AUVM "calculate stresses" operation.
+func Stresses(m *Model, sol *Solution) ([][]float64, error) {
+	out := make([][]float64, len(m.Elements))
+	for i, e := range m.Elements {
+		s, err := e.Stress(m, sol.U)
+		if err != nil {
+			return nil, fmt.Errorf("fem: stress of element %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Reactions computes the constrained-dof reaction forces K_full·u at the
+// fixed dofs (useful for equilibrium checks: reactions balance applied
+// loads).
+func Reactions(m *Model, sol *Solution) (map[int]float64, error) {
+	reac := map[int]float64{}
+	for ei, e := range m.Elements {
+		ke, err := e.Stiffness(m)
+		if err != nil {
+			return nil, fmt.Errorf("fem: element %d: %w", ei, err)
+		}
+		dofs := ElementDOFs(e)
+		for i, gi := range dofs {
+			if !m.Fixed(gi) {
+				continue
+			}
+			var f float64
+			for j, gj := range dofs {
+				f += ke.At(i, j) * sol.U[gj]
+			}
+			reac[gi] += f
+		}
+	}
+	return reac, nil
+}

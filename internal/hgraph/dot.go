@@ -1,0 +1,58 @@
+package hgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToDOT renders the graph in Graphviz dot syntax, nested subgraphs as
+// clusters — the visual form of the formal H-graph models, handy when
+// reviewing a layer's specification.
+func ToDOT(g *Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph hgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	ids := map[*Node]string{}
+	next := 0
+	var emit func(g *Graph, indent string)
+	name := func(n *Node) string {
+		if id, ok := ids[n]; ok {
+			return id
+		}
+		id := fmt.Sprintf("n%d", next)
+		next++
+		ids[n] = id
+		return id
+	}
+	var emitNode func(n *Node, indent string)
+	emitNode = func(n *Node, indent string) {
+		id := name(n)
+		label := n.Label
+		if n.HasAtom {
+			label += "\\n" + strings.ReplaceAll(n.Atom.String(), `"`, `\"`)
+		}
+		fmt.Fprintf(&b, "%s%s [label=\"%s\"];\n", indent, id, label)
+		if n.Sub != nil {
+			fmt.Fprintf(&b, "%ssubgraph cluster_%s {\n%s  label=\"%s\";\n", indent, id, indent, n.Sub.Name)
+			emit(n.Sub, indent+"  ")
+			fmt.Fprintf(&b, "%s}\n", indent)
+			if n.Sub.Entry() != nil {
+				fmt.Fprintf(&b, "%s%s -> %s [style=dashed, label=\"↓\"];\n", indent, id, name(n.Sub.Entry()))
+			}
+		}
+	}
+	emit = func(g *Graph, indent string) {
+		for _, n := range g.Nodes() {
+			emitNode(n, indent)
+		}
+		for _, n := range g.Nodes() {
+			for _, sel := range n.Selectors() {
+				fmt.Fprintf(&b, "%s%s -> %s [label=\"%s\"];\n", indent, name(n), name(n.Follow(sel)), sel)
+			}
+		}
+	}
+	if g != nil {
+		emit(g, "  ")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

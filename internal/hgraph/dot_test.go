@@ -1,0 +1,59 @@
+package hgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToDOTRendersNodesArcsAndSubgraphs(t *testing.T) {
+	g := NewGraph("outer")
+	root := g.Add("root")
+	leaf := g.AddAtom("count", Int(3))
+	root.Arc("k", leaf)
+	inner := NewGraph("inner")
+	inner.Add("deep")
+	root.SetSub(inner)
+
+	dot := ToDOT(g)
+	for _, want := range []string{
+		"digraph hgraph", "root", "count", "3",
+		"label=\"k\"", "subgraph cluster_", "inner", "deep", "style=dashed",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}
+
+func TestToDOTNilAndEmpty(t *testing.T) {
+	if dot := ToDOT(nil); !strings.Contains(dot, "digraph") {
+		t.Error("nil graph DOT malformed")
+	}
+	if dot := ToDOT(NewGraph("e")); !strings.Contains(dot, "}") {
+		t.Error("empty graph DOT malformed")
+	}
+}
+
+func TestToDOTEscapesQuotedAtoms(t *testing.T) {
+	g := NewGraph("q")
+	g.AddAtom("s", Str(`say "hi"`))
+	dot := ToDOT(g)
+	if strings.Contains(dot, `""hi""`) {
+		t.Errorf("unescaped quotes in DOT:\n%s", dot)
+	}
+}
+
+func TestToDOTMessageModel(t *testing.T) {
+	// The DOT export of a grammar-valid message model stays usable.
+	m := buildInitiateMessage(4)
+	dot := ToDOT(m)
+	for _, want := range []string{"initiate", "replications", "params"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("message DOT missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package hgraph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildInitiateMessage constructs a well-formed H-graph model of an SPVM
+// "initiate" message.
+func buildInitiateMessage(reps int64) *Graph {
+	g := NewGraph("msg")
+	root := g.Add("message")
+	root.Arc("type", g.AddAtom("t", Str("initiate")))
+	root.Arc("task-type", g.AddAtom("tt", Str("cg-worker")))
+	root.Arc("replications", g.AddAtom("k", Int(reps)))
+	root.Arc("parent", g.AddAtom("p", Int(0)))
+	params := g.Add("params")
+	params.Arc("0", g.AddAtom("p0", Int(64)))
+	params.Arc("1", g.AddAtom("p1", Float(1e-8)))
+	root.Arc("params", params)
+	return g
+}
+
+func buildPauseMessage() *Graph {
+	g := NewGraph("msg")
+	root := g.Add("message")
+	root.Arc("type", g.AddAtom("t", Str("pause")))
+	root.Arc("task", g.AddAtom("id", Int(3)))
+	root.Arc("parent", g.AddAtom("p", Int(1)))
+	return g
+}
+
+func TestSPVMGrammarWellFormed(t *testing.T) {
+	if errs := SPVMMessageGrammar().WellFormed(); len(errs) > 0 {
+		t.Fatalf("SPVM grammar ill-formed: %v", errs)
+	}
+}
+
+func TestAllLevelGrammarsWellFormed(t *testing.T) {
+	for name, g := range AllLevelGrammars() {
+		if errs := g.WellFormed(); len(errs) > 0 {
+			t.Errorf("grammar %q ill-formed: %v", name, errs)
+		}
+	}
+}
+
+func TestValidInitiateMessageAccepted(t *testing.T) {
+	g := SPVMMessageGrammar()
+	if errs := g.Validate(buildInitiateMessage(8)); len(errs) > 0 {
+		t.Errorf("valid initiate rejected: %v", errs)
+	}
+}
+
+func TestValidPauseMessageAccepted(t *testing.T) {
+	g := SPVMMessageGrammar()
+	if errs := g.Validate(buildPauseMessage()); len(errs) > 0 {
+		t.Errorf("valid pause rejected: %v", errs)
+	}
+}
+
+func TestAllSevenMessageTypesHaveProductions(t *testing.T) {
+	g := SPVMMessageGrammar()
+	for _, name := range []string{"initiate", "pause", "resume", "terminate",
+		"remote-call", "remote-return", "load-code"} {
+		if g.Production(name) == nil {
+			t.Errorf("missing production for paper message type %q", name)
+		}
+	}
+}
+
+func TestMissingFieldRejected(t *testing.T) {
+	m := buildInitiateMessage(8)
+	m.Entry().RemoveArc("replications")
+	if errs := SPVMMessageGrammar().Validate(m); len(errs) == 0 {
+		t.Error("initiate without replications accepted")
+	}
+}
+
+func TestWrongAtomKindRejected(t *testing.T) {
+	m := buildInitiateMessage(8)
+	// replications must be INT, make it a string
+	m.Entry().Arc("replications", m.AddAtom("bad", Str("eight")))
+	if errs := SPVMMessageGrammar().Validate(m); len(errs) == 0 {
+		t.Error("initiate with string replications accepted")
+	}
+}
+
+func TestUnknownMessageTypeRejected(t *testing.T) {
+	m := buildPauseMessage()
+	m.Entry().Arc("type", m.AddAtom("t", Str("abort"))) // not one of the 7
+	errs := SPVMMessageGrammar().Validate(m)
+	if len(errs) == 0 {
+		t.Error("unknown message type accepted")
+	}
+}
+
+func TestClosedStructRejectsExtraArc(t *testing.T) {
+	m := buildPauseMessage()
+	m.Entry().Arc("extra", m.AddAtom("x", Int(1)))
+	if errs := SPVMMessageGrammar().Validate(m); len(errs) == 0 {
+		t.Error("closed struct accepted extra arc")
+	}
+}
+
+func TestListTypeGapRejected(t *testing.T) {
+	m := buildInitiateMessage(1)
+	params := m.Entry().Follow("params")
+	params.RemoveArc("0") // leaves index 1 without index 0 — a gap
+	if errs := SPVMMessageGrammar().Validate(m); len(errs) == 0 {
+		t.Error("gapped list accepted")
+	}
+}
+
+func TestListMinLen(t *testing.T) {
+	g := NewGrammar("l", "s")
+	g.Define("s", ListType{Elem: AtomType{AtomInt}, MinLen: 2})
+	gr := NewGraph("x")
+	root := gr.Add("root")
+	root.Arc("0", gr.AddAtom("a", Int(1)))
+	if errs := g.Validate(gr); len(errs) == 0 {
+		t.Error("list below MinLen accepted")
+	}
+	root.Arc("1", gr.AddAtom("b", Int(2)))
+	if errs := g.Validate(gr); len(errs) > 0 {
+		t.Errorf("list at MinLen rejected: %v", errs)
+	}
+}
+
+func TestWindowGrammarAcceptsAllKinds(t *testing.T) {
+	g := WindowGrammar()
+	for _, kind := range []string{"row", "col", "block"} {
+		gr := NewGraph("w")
+		root := gr.Add("window")
+		root.Arc("array", gr.AddAtom("a", Str("K")))
+		root.Arc("kind", gr.AddAtom("k", Str(kind)))
+		root.Arc("owner", gr.AddAtom("o", Int(2)))
+		root.Arc("row0", gr.AddAtom("r0", Int(0)))
+		root.Arc("rows", gr.AddAtom("r", Int(4)))
+		root.Arc("col0", gr.AddAtom("c0", Int(0)))
+		root.Arc("cols", gr.AddAtom("c", Int(4)))
+		if errs := g.Validate(gr); len(errs) > 0 {
+			t.Errorf("window kind %q rejected: %v", kind, errs)
+		}
+	}
+}
+
+func TestWindowGrammarRejectsBadKind(t *testing.T) {
+	g := WindowGrammar()
+	gr := NewGraph("w")
+	root := gr.Add("window")
+	root.Arc("array", gr.AddAtom("a", Str("K")))
+	root.Arc("kind", gr.AddAtom("k", Str("diagonal")))
+	root.Arc("owner", gr.AddAtom("o", Int(2)))
+	root.Arc("row0", gr.AddAtom("r0", Int(0)))
+	root.Arc("rows", gr.AddAtom("r", Int(4)))
+	root.Arc("col0", gr.AddAtom("c0", Int(0)))
+	root.Arc("cols", gr.AddAtom("c", Int(4)))
+	if errs := g.Validate(gr); len(errs) == 0 {
+		t.Error("window kind \"diagonal\" accepted")
+	}
+}
+
+func TestTaskStateGrammar(t *testing.T) {
+	g := TaskStateGrammar()
+	mk := func(state string) *Graph {
+		gr := NewGraph("task")
+		root := gr.Add("task")
+		root.Arc("id", gr.AddAtom("id", Int(7)))
+		root.Arc("type", gr.AddAtom("ty", Str("worker")))
+		root.Arc("parent", gr.AddAtom("p", Int(0)))
+		root.Arc("state", gr.AddAtom("s", Str(state)))
+		return gr
+	}
+	for _, s := range []string{"ready", "running", "paused", "terminated"} {
+		if errs := g.Validate(mk(s)); len(errs) > 0 {
+			t.Errorf("task state %q rejected: %v", s, errs)
+		}
+	}
+	if errs := g.Validate(mk("zombie")); len(errs) == 0 {
+		t.Error("task state \"zombie\" accepted")
+	}
+}
+
+func TestSubgraphTypeRequiresNestedGraph(t *testing.T) {
+	g := TaskStateGrammar()
+	gr := NewGraph("task")
+	root := gr.Add("task")
+	root.Arc("id", gr.AddAtom("id", Int(7)))
+	root.Arc("type", gr.AddAtom("ty", Str("worker")))
+	root.Arc("parent", gr.AddAtom("p", Int(0)))
+	root.Arc("state", gr.AddAtom("s", Str("ready")))
+	// locals present but not a subgraph:
+	root.Arc("locals", gr.AddAtom("l", Int(0)))
+	if errs := g.Validate(gr); len(errs) == 0 {
+		t.Error("locals without nested graph accepted")
+	}
+	// Now make it a proper subgraph.
+	locals := NewGraph("locals")
+	locals.Add("objects")
+	ln := NewNode("locals")
+	ln.SetSub(locals)
+	gr.AddNode(ln)
+	root.Arc("locals", ln)
+	if errs := g.Validate(gr); len(errs) > 0 {
+		t.Errorf("proper locals rejected: %v", errs)
+	}
+}
+
+func TestStructureModelGrammar(t *testing.T) {
+	g := StructureModelGrammar()
+	gr := NewGraph("model")
+	root := gr.Add("model")
+	root.Arc("name", gr.AddAtom("n", Str("wing-panel")))
+	grid := NewGraph("grid")
+	groot := grid.Add("grid")
+	groot.Arc("nodes", grid.AddAtom("n", Int(25)))
+	groot.Arc("dof-per-node", grid.AddAtom("d", Int(2)))
+	gn := NewNode("grid")
+	gn.SetSub(grid)
+	gr.AddNode(gn)
+	root.Arc("grid", gn)
+
+	elems := gr.Add("elements")
+	e0 := gr.Add("e0")
+	e0.Arc("kind", gr.AddAtom("k", Str("cst")))
+	ns := gr.Add("ns")
+	ns.Arc("0", gr.AddAtom("n0", Int(0)))
+	ns.Arc("1", gr.AddAtom("n1", Int(1)))
+	ns.Arc("2", gr.AddAtom("n2", Int(5)))
+	e0.Arc("nodes", ns)
+	elems.Arc("0", e0)
+	root.Arc("elements", elems)
+
+	loads := gr.Add("loads")
+	l0 := gr.Add("l0")
+	l0.Arc("name", gr.AddAtom("ln", Str("tip-load")))
+	entries := gr.Add("entries")
+	ent := gr.Add("ent")
+	ent.Arc("dof", gr.AddAtom("d", Int(48)))
+	ent.Arc("value", gr.AddAtom("v", Float(-1000)))
+	entries.Arc("0", ent)
+	l0.Arc("entries", entries)
+	loads.Arc("0", l0)
+	root.Arc("loads", loads)
+
+	if errs := g.Validate(gr); len(errs) > 0 {
+		t.Errorf("valid model rejected: %v", errs)
+	}
+	// Element with only 1 node violates MinLen 2.
+	ns.RemoveArc("1")
+	ns.RemoveArc("2")
+	if errs := g.Validate(gr); len(errs) == 0 {
+		t.Error("element with 1 node accepted")
+	}
+}
+
+func TestValidateEmptyGraph(t *testing.T) {
+	g := WindowGrammar()
+	if errs := g.Validate(nil); len(errs) == 0 {
+		t.Error("nil graph accepted")
+	}
+	if errs := g.Validate(NewGraph("empty")); len(errs) == 0 {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestUndefinedProductionReported(t *testing.T) {
+	g := NewGrammar("g", "start")
+	g.Define("start", Ref("nowhere"))
+	if errs := g.WellFormed(); len(errs) == 0 {
+		t.Error("dangling reference not reported by WellFormed")
+	}
+	gr := NewGraph("x")
+	gr.Add("root")
+	if errs := g.Validate(gr); len(errs) == 0 {
+		t.Error("validation against dangling reference did not fail")
+	}
+}
+
+func TestWellFormedMissingStart(t *testing.T) {
+	g := NewGrammar("g", "start")
+	if errs := g.WellFormed(); len(errs) == 0 {
+		t.Error("missing start production not reported")
+	}
+}
+
+func TestRecursiveGrammarAcceptsCyclicGraph(t *testing.T) {
+	// <list-node> ::= {next?: <list-node>, val: INT} — a circular linked
+	// list should validate without infinite recursion.
+	g := NewGrammar("rec", "list-node")
+	g.Define("list-node", StructType{Fields: []Field{
+		{Sel: "val", Type: AtomType{AtomInt}},
+		{Sel: "next", Type: Ref("list-node"), Optional: true},
+	}})
+	gr := NewGraph("ring")
+	a := gr.Add("a")
+	b := gr.Add("b")
+	a.Arc("val", gr.AddAtom("av", Int(1)))
+	b.Arc("val", gr.AddAtom("bv", Int(2)))
+	a.Arc("next", b)
+	b.Arc("next", a)
+	if errs := g.Validate(gr); len(errs) > 0 {
+		t.Errorf("cyclic list rejected: %v", errs)
+	}
+}
+
+func TestEmptyUnionMatchesNothing(t *testing.T) {
+	g := NewGrammar("g", "s")
+	g.Define("s", UnionType{})
+	gr := NewGraph("x")
+	gr.Add("root")
+	if errs := g.Validate(gr); len(errs) == 0 {
+		t.Error("empty union accepted a node")
+	}
+}
+
+func TestGrammarStringListsProductions(t *testing.T) {
+	s := SPVMMessageGrammar().String()
+	for _, want := range []string{"<message>", "<initiate>", "<load-code>", "::="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("grammar String missing %q", want)
+		}
+	}
+}
+
+func TestTypeExprStrings(t *testing.T) {
+	cases := []struct {
+		e    TypeExpr
+		want string
+	}{
+		{AtomType{AtomInt}, "INT"},
+		{AtomType{AtomFloat}, "FLOAT"},
+		{AtomType{AtomString}, "STRING"},
+		{AtomType{AtomBool}, "BOOL"},
+		{LitString{"x"}, `"x"`},
+		{Ref("foo"), "<foo>"},
+		{AnyType{}, "ANY"},
+		{ListType{Elem: AtomType{AtomInt}}, "LIST(INT)"},
+		{SubgraphType{"g"}, "GRAPH<g>"},
+		{UnionType{Alts: []TypeExpr{LitString{"a"}, LitString{"b"}}}, `"a" | "b"`},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	st := StructType{Fields: []Field{{Sel: "a", Type: AtomType{AtomInt}}, {Sel: "b", Type: AnyType{}, Optional: true}}, Closed: true}
+	if got := st.String(); got != "{a: INT, b?: ANY}" {
+		t.Errorf("StructType.String() = %q", got)
+	}
+	open := StructType{Fields: []Field{{Sel: "a", Type: AtomType{AtomInt}}}}
+	if got := open.String(); got != "{a: INT, ...}" {
+		t.Errorf("open StructType.String() = %q", got)
+	}
+}
+
+func TestValidateNodeDirectly(t *testing.T) {
+	g := SPVMMessageGrammar()
+	m := buildPauseMessage()
+	if errs := g.ValidateNode(m.Entry(), "pause"); len(errs) > 0 {
+		t.Errorf("ValidateNode pause failed: %v", errs)
+	}
+	if errs := g.ValidateNode(m.Entry(), "resume"); len(errs) == 0 {
+		t.Error("pause node validated as resume")
+	}
+}
+
+func TestValidateManyMessages(t *testing.T) {
+	// Throughput-style correctness check over many instances — the same
+	// loop E11 benchmarks.
+	g := SPVMMessageGrammar()
+	for i := 0; i < 200; i++ {
+		m := buildInitiateMessage(int64(i))
+		if errs := g.Validate(m); len(errs) > 0 {
+			t.Fatalf("message %d rejected: %v", i, errs)
+		}
+	}
+}
+
+func ExampleGrammar_Validate() {
+	g := WindowGrammar()
+	gr := NewGraph("w")
+	root := gr.Add("window")
+	root.Arc("array", gr.AddAtom("a", Str("stiffness")))
+	root.Arc("kind", gr.AddAtom("k", Str("row")))
+	root.Arc("owner", gr.AddAtom("o", Int(3)))
+	root.Arc("row0", gr.AddAtom("r0", Int(8)))
+	root.Arc("rows", gr.AddAtom("r", Int(1)))
+	root.Arc("col0", gr.AddAtom("c0", Int(0)))
+	root.Arc("cols", gr.AddAtom("c", Int(64)))
+	fmt.Println(len(g.Validate(gr)))
+	// Output: 0
+}

@@ -1,0 +1,296 @@
+// Package hgraph implements H-graph semantics, the formal specification
+// method the FEM-2 design uses to define each layer of virtual machine.
+//
+// Following Pratt's H-graph semantics (ICASE/UVa report 83-2, cited as [7]
+// in the paper):
+//
+//   - data objects are modeled as hierarchies of directed graphs
+//     (H-graphs) in which the nodes represent abstract storage locations
+//     and the arcs represent access paths;
+//   - data types are modeled using formal "H-graph grammars", a type of
+//     BNF grammar in which the "language" defined is a set of H-graphs
+//     representing a class of data objects;
+//   - operations are modeled as "H-graph transforms", functions defining
+//     transformations on the H-graph models of data objects, which may
+//     invoke each other in the usual manner of subprogram calling
+//     hierarchies.
+//
+// The reproduction uses this package two ways: the spec.go file carries the
+// formal definitions of the FEM-2 virtual machine levels (message formats,
+// task states, window descriptors, model objects), and the runtime layers
+// validate their live data structures against those grammars in tests.
+package hgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Atom is a primitive value stored in a node: one of int64, float64,
+// string, or bool.  An Atom distinguishes leaf storage locations from
+// locations whose value is a nested graph.
+type Atom struct {
+	Kind AtomKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// AtomKind enumerates the primitive kinds.
+type AtomKind int
+
+// Primitive kinds of atoms.
+const (
+	AtomInt AtomKind = iota
+	AtomFloat
+	AtomString
+	AtomBool
+)
+
+// String renders the atom as a literal.
+func (a Atom) String() string {
+	switch a.Kind {
+	case AtomInt:
+		return fmt.Sprintf("%d", a.I)
+	case AtomFloat:
+		return fmt.Sprintf("%g", a.F)
+	case AtomString:
+		return fmt.Sprintf("%q", a.S)
+	case AtomBool:
+		return fmt.Sprintf("%t", a.B)
+	default:
+		return fmt.Sprintf("atom(%d)", int(a.Kind))
+	}
+}
+
+// Int returns an integer atom.
+func Int(v int64) Atom { return Atom{Kind: AtomInt, I: v} }
+
+// Float returns a floating point atom.
+func Float(v float64) Atom { return Atom{Kind: AtomFloat, F: v} }
+
+// Str returns a string atom.
+func Str(v string) Atom { return Atom{Kind: AtomString, S: v} }
+
+// Bool returns a boolean atom.
+func Bool(v bool) Atom { return Atom{Kind: AtomBool, B: v} }
+
+// Node is an abstract storage location.  Its value is either an Atom
+// (leaf) or a nested *Graph (hierarchy), or empty.  Arcs to other nodes
+// are labeled with selectors and represent access paths.
+type Node struct {
+	// Label is a diagnostic name; it has no semantic weight.
+	Label string
+	// Atom holds the leaf value when HasAtom is true.
+	Atom    Atom
+	HasAtom bool
+	// Sub holds a nested graph when non-nil (the "hierarchy" in
+	// H-graph).  A node may not have both an atom and a subgraph.
+	Sub *Graph
+	// arcs maps selector → target node.
+	arcs map[string]*Node
+}
+
+// NewNode returns an empty node with the given diagnostic label.
+func NewNode(label string) *Node { return &Node{Label: label} }
+
+// NewAtomNode returns a leaf node holding the atom.
+func NewAtomNode(label string, a Atom) *Node {
+	return &Node{Label: label, Atom: a, HasAtom: true}
+}
+
+// SetAtom stores a leaf value in the node, clearing any subgraph.
+func (n *Node) SetAtom(a Atom) {
+	n.Atom, n.HasAtom, n.Sub = a, true, nil
+}
+
+// SetSub stores a nested graph in the node, clearing any atom.
+func (n *Node) SetSub(g *Graph) {
+	n.Sub, n.HasAtom = g, false
+}
+
+// Arc creates (or replaces) the access path named sel from n to target.
+func (n *Node) Arc(sel string, target *Node) *Node {
+	if n.arcs == nil {
+		n.arcs = make(map[string]*Node)
+	}
+	n.arcs[sel] = target
+	return n
+}
+
+// Follow returns the node reached by the access path sel, or nil.
+func (n *Node) Follow(sel string) *Node {
+	return n.arcs[sel]
+}
+
+// Selectors returns the sorted selectors of the arcs leaving n.
+func (n *Node) Selectors() []string {
+	out := make([]string, 0, len(n.arcs))
+	for s := range n.arcs {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RemoveArc deletes the access path named sel, reporting whether it
+// existed.
+func (n *Node) RemoveArc(sel string) bool {
+	if _, ok := n.arcs[sel]; !ok {
+		return false
+	}
+	delete(n.arcs, sel)
+	return true
+}
+
+// Graph is a directed graph of nodes with one distinguished entry node.
+// The entry plays the role of BNF's start symbol when a grammar describes
+// the graph.
+type Graph struct {
+	// Name is a diagnostic label for the graph.
+	Name  string
+	entry *Node
+	nodes []*Node
+}
+
+// NewGraph returns an empty graph.
+func NewGraph(name string) *Graph { return &Graph{Name: name} }
+
+// AddNode inserts a node into the graph and returns it.  The first node
+// added becomes the entry unless SetEntry overrides it.
+func (g *Graph) AddNode(n *Node) *Node {
+	g.nodes = append(g.nodes, n)
+	if g.entry == nil {
+		g.entry = n
+	}
+	return n
+}
+
+// Add is shorthand for AddNode(NewNode(label)).
+func (g *Graph) Add(label string) *Node { return g.AddNode(NewNode(label)) }
+
+// AddAtom is shorthand for AddNode(NewAtomNode(label, a)).
+func (g *Graph) AddAtom(label string, a Atom) *Node {
+	return g.AddNode(NewAtomNode(label, a))
+}
+
+// SetEntry designates n as the entry node; n must already be in the graph.
+func (g *Graph) SetEntry(n *Node) {
+	for _, m := range g.nodes {
+		if m == n {
+			g.entry = n
+			return
+		}
+	}
+	panic(fmt.Sprintf("hgraph: SetEntry node %q not in graph %q", n.Label, g.Name))
+}
+
+// Entry returns the distinguished entry node (nil for an empty graph).
+func (g *Graph) Entry() *Node { return g.entry }
+
+// Nodes returns the graph's nodes in insertion order (shared storage).
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Walk visits every node reachable from the entry (following arcs and
+// descending into subgraphs), in deterministic order, calling visit once
+// per node.  Cycles are handled.
+func (g *Graph) Walk(visit func(depth int, sel string, n *Node)) {
+	if g == nil || g.entry == nil {
+		return
+	}
+	seen := map[*Node]bool{}
+	var rec func(depth int, sel string, n *Node)
+	rec = func(depth int, sel string, n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		visit(depth, sel, n)
+		for _, s := range n.Selectors() {
+			rec(depth+1, s, n.Follow(s))
+		}
+		if n.Sub != nil {
+			rec(depth+1, "↓", n.Sub.entry)
+		}
+	}
+	rec(0, "", g.entry)
+}
+
+// String renders the graph as an indented access-path listing, giving a
+// readable form of the formal model.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q:\n", g.Name)
+	g.Walk(func(depth int, sel string, n *Node) {
+		b.WriteString(strings.Repeat("  ", depth+1))
+		if sel != "" {
+			fmt.Fprintf(&b, "%s -> ", sel)
+		}
+		b.WriteString(n.Label)
+		if n.HasAtom {
+			fmt.Fprintf(&b, " = %s", n.Atom)
+		}
+		if n.Sub != nil {
+			fmt.Fprintf(&b, " [subgraph %q]", n.Sub.Name)
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// Clone returns a deep copy of the graph: fresh nodes, arcs, and nested
+// subgraphs.  Transforms operate on clones so formal pre-states survive
+// for comparison.
+func (g *Graph) Clone() *Graph {
+	if g == nil {
+		return nil
+	}
+	mapping := map[*Node]*Node{}
+	out := NewGraph(g.Name)
+	var cloneNode func(n *Node) *Node
+	cloneNode = func(n *Node) *Node {
+		if n == nil {
+			return nil
+		}
+		if c, ok := mapping[n]; ok {
+			return c
+		}
+		c := &Node{Label: n.Label, Atom: n.Atom, HasAtom: n.HasAtom}
+		mapping[n] = c
+		if n.Sub != nil {
+			c.Sub = n.Sub.Clone()
+		}
+		for _, s := range n.Selectors() {
+			c.Arc(s, cloneNode(n.Follow(s)))
+		}
+		return c
+	}
+	for _, n := range g.nodes {
+		out.nodes = append(out.nodes, cloneNode(n))
+	}
+	if g.entry != nil {
+		out.entry = mapping[g.entry]
+	}
+	return out
+}
+
+// Path follows a dotted access path ("header.type") from the entry node
+// and returns the node reached, or nil if any step is missing.
+func (g *Graph) Path(path string) *Node {
+	n := g.entry
+	if path == "" {
+		return n
+	}
+	for _, sel := range strings.Split(path, ".") {
+		if n == nil {
+			return nil
+		}
+		n = n.Follow(sel)
+	}
+	return n
+}

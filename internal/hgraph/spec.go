@@ -1,0 +1,170 @@
+package hgraph
+
+// This file carries the formal H-graph grammar definitions of the FEM-2
+// virtual machine levels — the artifact the paper's design process
+// produces ("H-graph semantics definitions of the various levels are being
+// constructed").  The runtime packages build H-graph models of their live
+// data structures and tests validate them against these grammars, so the
+// formal specification actually constrains the implementation.
+
+// SPVMMessageGrammar returns the grammar of the system programmer's VM
+// message formats.  The paper lists exactly seven messages from tasks:
+//
+//	initiate K replications of a task of type T
+//	pause and notify parent task
+//	resume a child task
+//	terminate and notify parent
+//	remote procedure call
+//	remote procedure return
+//	load code/constants
+func SPVMMessageGrammar() *Grammar {
+	g := NewGrammar("spvm-message", "message")
+	g.Define("message", UnionType{Alts: []TypeExpr{
+		Ref("initiate"), Ref("pause"), Ref("resume"), Ref("terminate"),
+		Ref("remote-call"), Ref("remote-return"), Ref("load-code"),
+	}})
+	g.Define("initiate", StructType{Closed: true, Fields: []Field{
+		{Sel: "type", Type: LitString{"initiate"}},
+		{Sel: "task-type", Type: AtomType{AtomString}},
+		{Sel: "replications", Type: AtomType{AtomInt}},
+		{Sel: "parent", Type: AtomType{AtomInt}},
+		{Sel: "params", Type: ListType{Elem: AnyType{}}},
+	}})
+	g.Define("pause", StructType{Closed: true, Fields: []Field{
+		{Sel: "type", Type: LitString{"pause"}},
+		{Sel: "task", Type: AtomType{AtomInt}},
+		{Sel: "parent", Type: AtomType{AtomInt}},
+	}})
+	g.Define("resume", StructType{Closed: true, Fields: []Field{
+		{Sel: "type", Type: LitString{"resume"}},
+		{Sel: "child", Type: AtomType{AtomInt}},
+	}})
+	g.Define("terminate", StructType{Closed: true, Fields: []Field{
+		{Sel: "type", Type: LitString{"terminate"}},
+		{Sel: "task", Type: AtomType{AtomInt}},
+		{Sel: "parent", Type: AtomType{AtomInt}},
+	}})
+	g.Define("remote-call", StructType{Closed: true, Fields: []Field{
+		{Sel: "type", Type: LitString{"remote-call"}},
+		{Sel: "procedure", Type: AtomType{AtomString}},
+		{Sel: "caller", Type: AtomType{AtomInt}},
+		{Sel: "window", Type: Ref("window"), Optional: true},
+		{Sel: "args", Type: ListType{Elem: AnyType{}}},
+	}})
+	g.Define("remote-return", StructType{Closed: true, Fields: []Field{
+		{Sel: "type", Type: LitString{"remote-return"}},
+		{Sel: "caller", Type: AtomType{AtomInt}},
+		{Sel: "results", Type: ListType{Elem: AnyType{}}},
+	}})
+	g.Define("load-code", StructType{Closed: true, Fields: []Field{
+		{Sel: "type", Type: LitString{"load-code"}},
+		{Sel: "block", Type: AtomType{AtomString}},
+		{Sel: "words", Type: AtomType{AtomInt}},
+		{Sel: "local-words", Type: AtomType{AtomInt}},
+	}})
+	g.Define("window", windowStruct())
+	return g
+}
+
+func windowStruct() TypeExpr {
+	return StructType{Closed: true, Fields: []Field{
+		{Sel: "array", Type: AtomType{AtomString}},
+		{Sel: "kind", Type: UnionType{Alts: []TypeExpr{
+			LitString{"row"}, LitString{"col"}, LitString{"block"},
+		}}},
+		{Sel: "owner", Type: AtomType{AtomInt}},
+		{Sel: "row0", Type: AtomType{AtomInt}},
+		{Sel: "rows", Type: AtomType{AtomInt}},
+		{Sel: "col0", Type: AtomType{AtomInt}},
+		{Sel: "cols", Type: AtomType{AtomInt}},
+	}}
+}
+
+// WindowGrammar returns the grammar of NAVM window descriptors ("windows
+// on arrays (e.g., row, column, block descriptors, for remote access to
+// non-local data)").
+func WindowGrammar() *Grammar {
+	g := NewGrammar("navm-window", "window")
+	g.Define("window", windowStruct())
+	return g
+}
+
+// TaskStateGrammar returns the grammar of NAVM task states.  A task owns
+// local data (a nested graph of named objects), has a parent, and is in
+// one of the four life-cycle states implied by the paper's task control
+// operations (initiate, pause, resume, terminate).
+func TaskStateGrammar() *Grammar {
+	g := NewGrammar("navm-task", "task")
+	g.Define("task", StructType{Fields: []Field{
+		{Sel: "id", Type: AtomType{AtomInt}},
+		{Sel: "type", Type: AtomType{AtomString}},
+		{Sel: "parent", Type: AtomType{AtomInt}},
+		{Sel: "state", Type: UnionType{Alts: []TypeExpr{
+			LitString{"ready"}, LitString{"running"},
+			LitString{"paused"}, LitString{"terminated"},
+		}}},
+		{Sel: "locals", Type: SubgraphType{Prod: "locals"}, Optional: true},
+	}})
+	g.Define("locals", StructType{Fields: nil}) // any named set of objects
+	return g
+}
+
+// ActivationRecordGrammar returns the grammar of SPVM task/procedure
+// activation records (code block reference, local storage size, parameter
+// list, saved state for pause/resume).
+func ActivationRecordGrammar() *Grammar {
+	g := NewGrammar("spvm-activation", "activation")
+	g.Define("activation", StructType{Fields: []Field{
+		{Sel: "task", Type: AtomType{AtomInt}},
+		{Sel: "code-block", Type: AtomType{AtomString}},
+		{Sel: "local-words", Type: AtomType{AtomInt}},
+		{Sel: "params", Type: ListType{Elem: AnyType{}}},
+		{Sel: "saved", Type: AtomType{AtomBool}},
+	}})
+	return g
+}
+
+// StructureModelGrammar returns the grammar of the application user's VM
+// central data object: the structure/substructure model with its grid
+// description, node/element descriptions, and load sets.
+func StructureModelGrammar() *Grammar {
+	g := NewGrammar("auvm-model", "model")
+	g.Define("model", StructType{Fields: []Field{
+		{Sel: "name", Type: AtomType{AtomString}},
+		{Sel: "grid", Type: SubgraphType{Prod: "grid"}},
+		{Sel: "elements", Type: ListType{Elem: Ref("element")}},
+		{Sel: "loads", Type: ListType{Elem: Ref("loadset")}},
+		{Sel: "substructures", Type: ListType{Elem: AtomType{AtomString}}, Optional: true},
+	}})
+	g.Define("grid", StructType{Fields: []Field{
+		{Sel: "nodes", Type: AtomType{AtomInt}},
+		{Sel: "dof-per-node", Type: AtomType{AtomInt}},
+	}})
+	g.Define("element", StructType{Fields: []Field{
+		{Sel: "kind", Type: UnionType{Alts: []TypeExpr{
+			LitString{"bar"}, LitString{"cst"}, LitString{"frame"},
+		}}},
+		{Sel: "nodes", Type: ListType{Elem: AtomType{AtomInt}, MinLen: 2}},
+	}})
+	g.Define("loadset", StructType{Fields: []Field{
+		{Sel: "name", Type: AtomType{AtomString}},
+		{Sel: "entries", Type: ListType{Elem: Ref("load-entry")}},
+	}})
+	g.Define("load-entry", StructType{Fields: []Field{
+		{Sel: "dof", Type: AtomType{AtomInt}},
+		{Sel: "value", Type: AtomType{AtomFloat}},
+	}})
+	return g
+}
+
+// AllLevelGrammars returns the formal grammar of every specified VM level,
+// keyed by a stable name; cmd/hgraph and the E11 experiment iterate it.
+func AllLevelGrammars() map[string]*Grammar {
+	return map[string]*Grammar{
+		"spvm-message":    SPVMMessageGrammar(),
+		"navm-window":     WindowGrammar(),
+		"navm-task":       TaskStateGrammar(),
+		"spvm-activation": ActivationRecordGrammar(),
+		"auvm-model":      StructureModelGrammar(),
+	}
+}

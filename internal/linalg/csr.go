@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet is one (row, col, value) contribution to a sparse matrix under
+// assembly.  Finite element assembly produces duplicate (row, col) entries
+// that sum.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed-sparse-row matrix, the structure-preserving storage
+// for the irregular meshes the FEM-2 hardware requirements call
+// "irregular communication patterns".  Row i's entries occupy
+// ColIdx[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]], columns
+// sorted ascending within each row.
+type CSR struct {
+	N      int // square order
+	RowPtr []int
+	ColIdx []int
+	Val    []float64
+}
+
+// NewCSRFromTriplets builds an n×n CSR matrix from assembly triplets,
+// summing duplicates.  Row/col indices must lie in [0,n).
+func NewCSRFromTriplets(n int, ts []Triplet) (*CSR, error) {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= n || t.Col < 0 || t.Col >= n {
+			return nil, fmt.Errorf("linalg: triplet (%d,%d) outside order %d", t.Row, t.Col, n)
+		}
+	}
+	sorted := make([]Triplet, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		if v != 0 {
+			m.ColIdx = append(m.ColIdx, sorted[i].Col)
+			m.Val = append(m.Val, v)
+			m.RowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m, nil
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns element (i,j) by binary search within row i.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	cols := m.ColIdx[lo:hi]
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return m.Val[lo+k]
+	}
+	return 0
+}
+
+// RowNNZ returns the number of non-zeros in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// MulVec computes out = M*x, allocating out when nil.  This is the SpMV
+// kernel at the heart of the iterative FEM solvers.
+func (m *CSR) MulVec(x, out Vector, st *Stats) Vector {
+	if len(x) != m.N {
+		panic(fmt.Errorf("%w: CSR.MulVec order %d by %d", ErrDimension, m.N, len(x)))
+	}
+	if out == nil {
+		out = NewVector(m.N)
+	}
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		out[i] = s
+	}
+	st.addFlops(int64(2 * m.NNZ()))
+	return out
+}
+
+// MulVecRows computes out[i] = (M*x)[i] for i in [rowLo,rowHi) only.  The
+// parallel NAVM solvers partition rows across tasks and call this kernel on
+// each partition; x is the task's window onto the full iterate.
+func (m *CSR) MulVecRows(x, out Vector, rowLo, rowHi int, st *Stats) {
+	if len(x) != m.N || len(out) != m.N {
+		panic(fmt.Errorf("%w: CSR.MulVecRows", ErrDimension))
+	}
+	if rowLo < 0 || rowHi > m.N || rowLo > rowHi {
+		panic(fmt.Errorf("linalg: MulVecRows range [%d,%d) outside order %d", rowLo, rowHi, m.N))
+	}
+	var nnz int
+	for i := rowLo; i < rowHi; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		out[i] = s
+		nnz += m.RowPtr[i+1] - m.RowPtr[i]
+	}
+	st.addFlops(int64(2 * nnz))
+}
+
+// Diagonal returns the main diagonal as a vector (Jacobi preconditioning
+// and the Jacobi solver itself need it).
+func (m *CSR) Diagonal() Vector {
+	d := NewVector(m.N)
+	for i := 0; i < m.N; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// IsSymmetric reports whether the matrix equals its transpose within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			d := m.Val[k] - m.At(j, i)
+			if d < -tol || d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Bandwidth returns the maximum |i-j| over stored non-zeros.
+func (m *CSR) Bandwidth() int {
+	var w int
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d := i - m.ColIdx[k]
+			if d < 0 {
+				d = -d
+			}
+			if d > w {
+				w = d
+			}
+		}
+	}
+	return w
+}
+
+// ToBanded converts to symmetric banded storage using the matrix's own
+// bandwidth, for handing to the sequential Cholesky baseline.
+func (m *CSR) ToBanded() *Banded {
+	b := NewBanded(m.N, m.Bandwidth())
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			if j <= i {
+				b.Set(i, j, m.Val[k])
+			}
+		}
+	}
+	return b
+}
+
+// ToDense expands to dense form (tests only).
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.N, m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Set(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return d
+}
+
+// RowColumns returns the column indices of row i (shared storage; callers
+// must not modify).  The NAVM layer uses this to discover which remote
+// windows a row's update touches — the "irregular communication pattern".
+func (m *CSR) RowColumns(i int) []int {
+	return m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]]
+}

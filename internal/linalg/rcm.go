@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RCM computes the reverse Cuthill–McKee ordering of a structurally
+// symmetric sparse matrix: perm[newIndex] = oldIndex.  RCM was the
+// standard bandwidth-reducing preprocessing of 1980s finite element
+// codes — banded Cholesky cost grows with the square of the bandwidth,
+// so a good numbering decides whether the direct baseline is viable.
+func RCM(a *CSR) []int {
+	n := a.N
+	perm := make([]int, 0, n)
+	visited := make([]bool, n)
+	deg := func(i int) int { return a.RowNNZ(i) }
+
+	// Process each connected component from a minimum-degree start.
+	for len(perm) < n {
+		start := -1
+		for i := 0; i < n; i++ {
+			if !visited[i] && (start == -1 || deg(i) < deg(start)) {
+				start = i
+			}
+		}
+		// BFS in degree order (Cuthill–McKee).
+		queue := []int{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			perm = append(perm, v)
+			var nbrs []int
+			for _, j := range a.RowColumns(v) {
+				if j != v && !visited[j] {
+					visited[j] = true
+					nbrs = append(nbrs, j)
+				}
+			}
+			sort.Slice(nbrs, func(x, y int) bool {
+				dx, dy := deg(nbrs[x]), deg(nbrs[y])
+				if dx != dy {
+					return dx < dy
+				}
+				return nbrs[x] < nbrs[y]
+			})
+			queue = append(queue, nbrs...)
+		}
+	}
+	// Reverse (the "R" in RCM).
+	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Permute applies a symmetric permutation to the matrix: result[i][j] =
+// a[perm[i]][perm[j]].  perm[newIndex] = oldIndex, as produced by RCM.
+func (a *CSR) Permute(perm []int) (*CSR, error) {
+	if len(perm) != a.N {
+		return nil, fmt.Errorf("%w: permutation of %d for order %d", ErrDimension, len(perm), a.N)
+	}
+	inv := make([]int, a.N)
+	seen := make([]bool, a.N)
+	for newI, oldI := range perm {
+		if oldI < 0 || oldI >= a.N || seen[oldI] {
+			return nil, fmt.Errorf("linalg: not a permutation at %d", newI)
+		}
+		seen[oldI] = true
+		inv[oldI] = newI
+	}
+	ts := make([]Triplet, 0, a.NNZ())
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			ts = append(ts, Triplet{Row: inv[i], Col: inv[a.ColIdx[k]], Val: a.Val[k]})
+		}
+	}
+	return NewCSRFromTriplets(a.N, ts)
+}
+
+// PermuteVector gathers v into the new ordering: out[i] = v[perm[i]].
+func PermuteVector(v Vector, perm []int) Vector {
+	out := NewVector(len(perm))
+	for i, oldI := range perm {
+		out[i] = v[oldI]
+	}
+	return out
+}
+
+// UnpermuteVector scatters a solution back to the original ordering:
+// out[perm[i]] = v[i].
+func UnpermuteVector(v Vector, perm []int) Vector {
+	out := NewVector(len(perm))
+	for i, oldI := range perm {
+		out[oldI] = v[i]
+	}
+	return out
+}
+
+// SolveCholeskyRCM solves A*x = b by banded Cholesky after RCM
+// reordering, returning the solution in the original ordering — the full
+// 1980s production direct-solve pipeline.
+func SolveCholeskyRCM(a *CSR, b Vector, st *Stats) (Vector, error) {
+	perm := RCM(a)
+	pa, err := a.Permute(perm)
+	if err != nil {
+		return nil, err
+	}
+	pb := PermuteVector(b, perm)
+	px, err := pa.ToBanded().SolveCholesky(pb, st)
+	if err != nil {
+		return nil, err
+	}
+	return UnpermuteVector(px, perm), nil
+}

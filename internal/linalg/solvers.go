@@ -1,0 +1,217 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// IterOpts configures the iterative solvers.
+type IterOpts struct {
+	// Tol is the relative residual tolerance ‖r‖/‖b‖ at which to stop.
+	Tol float64
+	// MaxIter bounds the iteration count.
+	MaxIter int
+	// Omega is the SOR relaxation factor (ignored by CG/Jacobi).
+	Omega float64
+	// OnIteration, when non-nil, is invoked after each iteration with
+	// the iteration index and current residual norm.  The experiment
+	// harness uses it to trace convergence histories.
+	OnIteration func(iter int, resid float64)
+}
+
+// DefaultIterOpts returns the options used throughout the experiments:
+// 1e-8 relative tolerance, an n-proportional iteration cap and the
+// classical ω=1.5 for SOR.
+func DefaultIterOpts(n int) IterOpts {
+	max := 10 * n
+	if max < 200 {
+		max = 200
+	}
+	return IterOpts{Tol: 1e-8, MaxIter: max, Omega: 1.5}
+}
+
+// Operator is anything that can apply itself to a vector: the iterative
+// solvers work on CSR, Banded or Dense operands alike.
+type Operator interface {
+	MulVec(x, out Vector, st *Stats) Vector
+}
+
+// CG solves A*x = b for symmetric positive definite A by the conjugate
+// gradient method, the "solution of a particular system of simultaneous
+// equations" workload at the bottom of the paper's parallelism hierarchy.
+// It returns the solution and the iteration count.
+func CG(a Operator, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
+	n := len(b)
+	x := NewVector(n)
+	r := b.Clone()
+	p := r.Clone()
+	ap := NewVector(n)
+
+	bnorm := Norm2(b, st)
+	if bnorm == 0 {
+		return x, 0, nil
+	}
+	rr := Dot(r, r, st)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		a.MulVec(p, ap, st)
+		pap := Dot(p, ap, st)
+		if pap <= 0 {
+			return nil, iter, fmt.Errorf("linalg: CG breakdown, pᵀAp = %g (matrix not SPD?)", pap)
+		}
+		alpha := rr / pap
+		Axpy(alpha, p, x, st)
+		Axpy(-alpha, ap, r, st)
+		rrNew := Dot(r, r, st)
+		resid := math.Sqrt(rrNew) / bnorm
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, resid)
+		}
+		if st != nil {
+			st.Iterations++
+		}
+		if resid <= opts.Tol {
+			return x, iter, nil
+		}
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		st.addFlops(int64(2 * n))
+		rr = rrNew
+	}
+	return x, opts.MaxIter, fmt.Errorf("%w: CG after %d iterations", ErrNoConvergence, opts.MaxIter)
+}
+
+// Jacobi solves A*x = b by Jacobi iteration.  A must have non-zero
+// diagonal; convergence requires A (after constraint application) to be
+// diagonally dominant enough, which the FEM systems here are for modest
+// meshes.  Jacobi is the most naturally parallel method — every component
+// update is independent — which is why the FEM-1/FEM-2 literature leaned
+// on it.
+func Jacobi(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
+	n := a.N
+	if len(b) != n {
+		panic(fmt.Errorf("%w: Jacobi order %d with rhs %d", ErrDimension, n, len(b)))
+	}
+	d := a.Diagonal()
+	for i, v := range d {
+		if v == 0 {
+			return nil, 0, fmt.Errorf("linalg: Jacobi zero diagonal at %d", i)
+		}
+	}
+	x := NewVector(n)
+	xNew := NewVector(n)
+	bnorm := Norm2(b, st)
+	if bnorm == 0 {
+		return x, 0, nil
+	}
+	r := NewVector(n)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// xNew_i = (b_i - sum_{j≠i} a_ij x_j) / a_ii
+		var flops int64
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.ColIdx[k]
+				if j != i {
+					s -= a.Val[k] * x[j]
+				}
+			}
+			xNew[i] = s / d[i]
+			flops += int64(2*a.RowNNZ(i) + 1)
+		}
+		st.addFlops(flops)
+		x, xNew = xNew, x
+		// Residual check.
+		a.MulVec(x, r, st)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		st.addFlops(int64(n))
+		resid := Norm2(r, st) / bnorm
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, resid)
+		}
+		if st != nil {
+			st.Iterations++
+		}
+		if resid <= opts.Tol {
+			return x, iter, nil
+		}
+	}
+	return x, opts.MaxIter, fmt.Errorf("%w: Jacobi after %d iterations", ErrNoConvergence, opts.MaxIter)
+}
+
+// SOR solves A*x = b by successive over-relaxation with factor opts.Omega
+// (ω=1 gives Gauss-Seidel).  Adams' contemporaneous ICASE work analysed
+// multi-colour SOR for the Finite Element Machine; the sequential kernel
+// here is the building block, and the NAVM layer runs it red/black in
+// parallel.
+func SOR(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
+	n := a.N
+	if len(b) != n {
+		panic(fmt.Errorf("%w: SOR order %d with rhs %d", ErrDimension, n, len(b)))
+	}
+	w := opts.Omega
+	if w <= 0 || w >= 2 {
+		return nil, 0, fmt.Errorf("linalg: SOR relaxation factor %g outside (0,2)", w)
+	}
+	d := a.Diagonal()
+	for i, v := range d {
+		if v == 0 {
+			return nil, 0, fmt.Errorf("linalg: SOR zero diagonal at %d", i)
+		}
+	}
+	x := NewVector(n)
+	bnorm := Norm2(b, st)
+	if bnorm == 0 {
+		return x, 0, nil
+	}
+	r := NewVector(n)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		var flops int64
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.ColIdx[k]
+				if j != i {
+					s -= a.Val[k] * x[j]
+				}
+			}
+			x[i] = (1-w)*x[i] + w*s/d[i]
+			flops += int64(2*a.RowNNZ(i) + 4)
+		}
+		st.addFlops(flops)
+		a.MulVec(x, r, st)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		st.addFlops(int64(n))
+		resid := Norm2(r, st) / bnorm
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, resid)
+		}
+		if st != nil {
+			st.Iterations++
+		}
+		if resid <= opts.Tol {
+			return x, iter, nil
+		}
+	}
+	return x, opts.MaxIter, fmt.Errorf("%w: SOR after %d iterations", ErrNoConvergence, opts.MaxIter)
+}
+
+// Residual computes ‖b - A*x‖₂ for verification.
+func Residual(a Operator, x, b Vector, st *Stats) float64 {
+	r := a.MulVec(x, nil, st)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	st.addFlops(int64(len(r)))
+	return Norm2(r, st)
+}

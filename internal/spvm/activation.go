@@ -1,0 +1,161 @@
+package spvm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CodeBlock is an SPVM code/constants block, registered with a kernel via
+// a load-code message.  Words is the block's size for storage accounting;
+// LocalWords is the local-data size an activation of this code requires.
+type CodeBlock struct {
+	Name       string
+	Words      int64
+	LocalWords int64
+}
+
+// TaskState is the SPVM view of a task's life cycle, driven by the
+// initiate / pause / resume / terminate messages.
+type TaskState int
+
+// Task states.
+const (
+	TaskReady TaskState = iota
+	TaskRunning
+	TaskPaused
+	TaskTerminated
+)
+
+// String names the state using the grammar's vocabulary.
+func (s TaskState) String() string {
+	switch s {
+	case TaskReady:
+		return "ready"
+	case TaskRunning:
+		return "running"
+	case TaskPaused:
+		return "paused"
+	case TaskTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("TaskState(%d)", int(s))
+	}
+}
+
+// ActivationRecord is the run-time representation of one task: its code
+// block, parameters copied from the initiating message, heap-allocated
+// local storage, and life-cycle state.  "Local data of a task retained
+// over pause/resume" — the record persists until terminate.
+type ActivationRecord struct {
+	Task      TaskID
+	Parent    TaskID
+	CodeBlock string
+	// Params are copied out of the initiate message's queue entry.
+	Params []float64
+	// LocalAddr/LocalWords locate the task's local data in the kernel
+	// heap.
+	LocalAddr  int64
+	LocalWords int64
+	State      TaskState
+	// Results holds remote-return payloads delivered to this task.
+	Results []float64
+}
+
+// CodeStore holds the code blocks a kernel has loaded.
+type CodeStore struct {
+	mu sync.Mutex
+	m  map[string]*CodeBlock
+}
+
+// NewCodeStore returns an empty store.
+func NewCodeStore() *CodeStore {
+	return &CodeStore{m: map[string]*CodeBlock{}}
+}
+
+// Load registers a code block (idempotent; later loads replace).
+func (s *CodeStore) Load(b *CodeBlock) {
+	s.mu.Lock()
+	s.m[b.Name] = b
+	s.mu.Unlock()
+}
+
+// Find returns the named code block, or nil ("find code for task").
+func (s *CodeStore) Find(name string) *CodeBlock {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name]
+}
+
+// Names returns the sorted loaded block names.
+func (s *CodeStore) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalWords returns the storage held by loaded code blocks.
+func (s *CodeStore) TotalWords() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, b := range s.m {
+		t += b.Words
+	}
+	return t
+}
+
+// ReadyQueue is the kernel's FIFO of tasks awaiting a PE ("enter task in
+// ready queue").
+type ReadyQueue struct {
+	mu sync.Mutex
+	q  []TaskID
+}
+
+// NewReadyQueue returns an empty queue.
+func NewReadyQueue() *ReadyQueue { return &ReadyQueue{} }
+
+// Push appends a task.
+func (r *ReadyQueue) Push(id TaskID) {
+	r.mu.Lock()
+	r.q = append(r.q, id)
+	r.mu.Unlock()
+}
+
+// Pop removes and returns the oldest task; ok is false when empty.
+func (r *ReadyQueue) Pop() (TaskID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.q) == 0 {
+		return NoTask, false
+	}
+	id := r.q[0]
+	r.q = r.q[1:]
+	return id, true
+}
+
+// Len returns the queue length.
+func (r *ReadyQueue) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.q)
+}
+
+// Remove deletes the first occurrence of id, reporting whether it was
+// present (used when a paused task is cancelled).
+func (r *ReadyQueue) Remove(id TaskID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, t := range r.q {
+		if t == id {
+			r.q = append(r.q[:i], r.q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

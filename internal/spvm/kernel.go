@@ -1,0 +1,309 @@
+package spvm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ErrNoSuchTask is returned for control messages naming unknown tasks.
+var ErrNoSuchTask = errors.New("spvm: no such task")
+
+// ErrNoSuchCode is returned when an initiate or remote call names a code
+// block the kernel has not loaded.
+var ErrNoSuchCode = errors.New("spvm: no such code block")
+
+// ErrBadTransition is returned for life-cycle violations (resuming a task
+// that is not paused, terminating twice, ...).
+var ErrBadTransition = errors.New("spvm: invalid task state transition")
+
+// IDSource hands out machine-unique task IDs to all kernels.
+type IDSource struct{ next int64 }
+
+// NewIDSource returns a source starting at 1 (0 is reserved for root
+// drivers, NoTask is -1).
+func NewIDSource() *IDSource { return &IDSource{next: 0} }
+
+// Next returns a fresh TaskID.
+func (s *IDSource) Next() TaskID { return TaskID(atomic.AddInt64(&s.next, 1)) }
+
+// Kernel is the operating system kernel run by one PE in each cluster: it
+// fields incoming messages, decodes and executes them, and maintains the
+// cluster's task table, code store, ready queue, and heap.
+type Kernel struct {
+	// ClusterID is the cluster this kernel serves.
+	ClusterID int
+	// Codes holds loaded code/constants blocks.
+	Codes *CodeStore
+	// Heap is the cluster's variable-size-block storage manager.
+	Heap *Heap
+	// Ready is the cluster's ready queue.
+	Ready *ReadyQueue
+
+	ids     *IDSource
+	Metrics *metrics.Collector
+	Trace   *trace.Trace
+
+	mu       sync.Mutex
+	tasks    map[TaskID]*ActivationRecord
+	decoded  int64
+	handled  map[MsgType]int64
+	rejected int64
+}
+
+// NewKernel builds a kernel for a cluster with the given heap size.
+func NewKernel(clusterID int, heapWords int64, ids *IDSource) *Kernel {
+	return &Kernel{
+		ClusterID: clusterID,
+		Codes:     NewCodeStore(),
+		Heap:      NewHeap(heapWords),
+		Ready:     NewReadyQueue(),
+		ids:       ids,
+		tasks:     map[TaskID]*ActivationRecord{},
+		handled:   map[MsgType]int64{},
+	}
+}
+
+// Task returns the activation record for id, or nil.
+func (k *Kernel) Task(id TaskID) *ActivationRecord {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.tasks[id]
+}
+
+// TaskIDs returns the IDs of all live (non-terminated) tasks, sorted.
+func (k *Kernel) TaskIDs() []TaskID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]TaskID, 0, len(k.tasks))
+	for id, rec := range k.tasks {
+		if rec.State != TaskTerminated {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Decoded returns how many messages the kernel has decoded.
+func (k *Kernel) Decoded() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.decoded
+}
+
+// Handled returns the per-type count of successfully executed messages.
+func (k *Kernel) Handled(t MsgType) int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.handled[t]
+}
+
+// Rejected returns how many messages failed to execute.
+func (k *Kernel) Rejected() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.rejected
+}
+
+// HandleEncoded decodes a wire-format message and executes it — the full
+// "decode and execute message" kernel operation.
+func (k *Kernel) HandleEncoded(b []byte) ([]TaskID, error) {
+	m, err := Decode(b)
+	if err != nil {
+		k.mu.Lock()
+		k.rejected++
+		k.mu.Unlock()
+		return nil, err
+	}
+	return k.Handle(m)
+}
+
+// Handle executes one message.  For initiate and remote-call messages it
+// returns the IDs of the tasks created.  Errors leave kernel state
+// unchanged except for the rejection counter.
+func (k *Kernel) Handle(m *Message) (created []TaskID, err error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.decoded++
+	defer func() {
+		if err != nil {
+			k.rejected++
+		} else {
+			k.handled[m.Type]++
+		}
+	}()
+	k.Metrics.Add(metrics.LevelSPVM, metrics.CtrOps, 1)
+	k.Trace.Recordf(metrics.LevelSPVM, "kernel."+m.Type.String(), int(m.Parent), k.ClusterID, int(m.Words()), "%s", m)
+
+	switch m.Type {
+	case MsgInitiate:
+		if m.Replications < 1 {
+			return nil, fmt.Errorf("spvm: initiate with %d replications", m.Replications)
+		}
+		code := k.Codes.Find(m.TaskType)
+		if code == nil {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchCode, m.TaskType)
+		}
+		// "find code for task, allocate an activation record, copy
+		// parameters from the message queue into the activation
+		// record, enter task in ready queue" — once per replication.
+		for i := int64(0); i < m.Replications; i++ {
+			words := code.LocalWords + int64(len(m.Params))
+			addr, aerr := k.Heap.Alloc(words)
+			if aerr != nil {
+				// Roll back the records created so far.
+				for _, id := range created {
+					rec := k.tasks[id]
+					k.Heap.Free(rec.LocalAddr)
+					delete(k.tasks, id)
+					k.Ready.Remove(id)
+				}
+				return nil, fmt.Errorf("spvm: initiate replication %d: %w", i, aerr)
+			}
+			params := make([]float64, len(m.Params))
+			copy(params, m.Params)
+			id := k.ids.Next()
+			rec := &ActivationRecord{
+				Task: id, Parent: m.Parent, CodeBlock: code.Name,
+				Params: params, LocalAddr: addr, LocalWords: words,
+				State: TaskReady,
+			}
+			k.tasks[id] = rec
+			k.Ready.Push(id)
+			created = append(created, id)
+			k.Metrics.Add(metrics.LevelSPVM, metrics.CtrTasksInitiated, 1)
+			k.Metrics.Add(metrics.LevelSPVM, metrics.CtrWordsAlloc, words)
+		}
+		return created, nil
+
+	case MsgPause:
+		rec := k.tasks[m.Task]
+		if rec == nil {
+			return nil, fmt.Errorf("%w: pause %d", ErrNoSuchTask, m.Task)
+		}
+		if rec.State != TaskRunning && rec.State != TaskReady {
+			return nil, fmt.Errorf("%w: pause from %s", ErrBadTransition, rec.State)
+		}
+		if rec.State == TaskReady {
+			k.Ready.Remove(m.Task)
+		}
+		rec.State = TaskPaused
+		return nil, nil
+
+	case MsgResume:
+		rec := k.tasks[m.Child]
+		if rec == nil {
+			return nil, fmt.Errorf("%w: resume %d", ErrNoSuchTask, m.Child)
+		}
+		if rec.State != TaskPaused {
+			return nil, fmt.Errorf("%w: resume from %s", ErrBadTransition, rec.State)
+		}
+		// "Local data of a task retained over pause/resume": the
+		// activation record and its heap block are untouched.
+		rec.State = TaskReady
+		k.Ready.Push(m.Child)
+		return nil, nil
+
+	case MsgTerminate:
+		rec := k.tasks[m.Task]
+		if rec == nil {
+			return nil, fmt.Errorf("%w: terminate %d", ErrNoSuchTask, m.Task)
+		}
+		if rec.State == TaskTerminated {
+			return nil, fmt.Errorf("%w: double terminate", ErrBadTransition)
+		}
+		if rec.State == TaskReady {
+			k.Ready.Remove(m.Task)
+		}
+		if rec.LocalAddr >= 0 {
+			if err := k.Heap.Free(rec.LocalAddr); err != nil {
+				return nil, err
+			}
+			k.Metrics.Add(metrics.LevelSPVM, metrics.CtrWordsFreed, rec.LocalWords)
+		}
+		rec.State = TaskTerminated
+		delete(k.tasks, m.Task)
+		return nil, nil
+
+	case MsgRemoteCall:
+		code := k.Codes.Find(m.Procedure)
+		if code == nil {
+			return nil, fmt.Errorf("%w: procedure %q", ErrNoSuchCode, m.Procedure)
+		}
+		words := code.LocalWords + int64(len(m.Params))
+		addr, aerr := k.Heap.Alloc(words)
+		if aerr != nil {
+			return nil, aerr
+		}
+		params := make([]float64, len(m.Params))
+		copy(params, m.Params)
+		id := k.ids.Next()
+		rec := &ActivationRecord{
+			Task: id, Parent: m.Caller, CodeBlock: code.Name,
+			Params: params, LocalAddr: addr, LocalWords: words,
+			State: TaskReady,
+		}
+		k.tasks[id] = rec
+		k.Ready.Push(id)
+		k.Metrics.Add(metrics.LevelSPVM, metrics.CtrWordsAlloc, words)
+		return []TaskID{id}, nil
+
+	case MsgRemoteReturn:
+		rec := k.tasks[m.Caller]
+		if rec == nil {
+			return nil, fmt.Errorf("%w: remote return to %d", ErrNoSuchTask, m.Caller)
+		}
+		rec.Results = append(rec.Results, m.Params...)
+		if rec.State == TaskPaused {
+			rec.State = TaskReady
+			k.Ready.Push(m.Caller)
+		}
+		return nil, nil
+
+	case MsgLoadCode:
+		if m.CodeWords < 0 || m.LocalWords < 0 {
+			return nil, fmt.Errorf("spvm: load-code with negative sizes")
+		}
+		k.Codes.Load(&CodeBlock{Name: m.CodeName, Words: m.CodeWords, LocalWords: m.LocalWords})
+		k.Metrics.Add(metrics.LevelSPVM, metrics.CtrWordsAlloc, m.CodeWords)
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrBadMessage, m.Type)
+	}
+}
+
+// StartNext pops the ready queue and marks the task running, returning its
+// activation record; ok is false when the queue is empty.  The NAVM
+// runtime calls this when a PE becomes available.
+func (k *Kernel) StartNext() (*ActivationRecord, bool) {
+	id, ok := k.Ready.Pop()
+	if !ok {
+		return nil, false
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	rec := k.tasks[id]
+	if rec == nil || rec.State != TaskReady {
+		return nil, false
+	}
+	rec.State = TaskRunning
+	return rec, true
+}
+
+// RegisterRoot installs an externally-managed task (an AUVM/NAVM driver
+// that was not created through an initiate message) so that control
+// messages can reference it.  The root owns no kernel heap storage.
+func (k *Kernel) RegisterRoot(id TaskID) *ActivationRecord {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	rec := &ActivationRecord{Task: id, Parent: NoTask, CodeBlock: "<root>", State: TaskRunning, LocalAddr: -1}
+	k.tasks[id] = rec
+	return rec
+}

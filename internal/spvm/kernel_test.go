@@ -1,0 +1,347 @@
+package spvm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func newTestKernel() *Kernel {
+	k := NewKernel(0, 1<<16, NewIDSource())
+	k.Metrics = metrics.NewCollector()
+	k.Codes.Load(&CodeBlock{Name: "worker", Words: 256, LocalWords: 32})
+	return k
+}
+
+func TestInitiateCreatesReplications(t *testing.T) {
+	k := newTestKernel()
+	ids, err := k.Handle(&Message{Type: MsgInitiate, TaskType: "worker", Replications: 4, Parent: 0, Params: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("created %d tasks, want 4", len(ids))
+	}
+	if k.Ready.Len() != 4 {
+		t.Errorf("ready queue has %d, want 4", k.Ready.Len())
+	}
+	for _, id := range ids {
+		rec := k.Task(id)
+		if rec == nil {
+			t.Fatalf("no record for %d", id)
+		}
+		if rec.State != TaskReady || rec.CodeBlock != "worker" || rec.Parent != 0 {
+			t.Errorf("record %+v", rec)
+		}
+		if len(rec.Params) != 2 || rec.Params[0] != 1 {
+			t.Errorf("params not copied: %v", rec.Params)
+		}
+		if rec.LocalWords != 34 { // 32 local + 2 params
+			t.Errorf("LocalWords = %d, want 34", rec.LocalWords)
+		}
+	}
+	if got := k.Metrics.Get(metrics.LevelSPVM, metrics.CtrTasksInitiated); got != 4 {
+		t.Errorf("tasks_initiated = %d", got)
+	}
+	if got := k.Heap.Allocated(); got != 4*34 {
+		t.Errorf("heap allocated = %d, want %d", got, 4*34)
+	}
+}
+
+func TestInitiateParamsAreCopies(t *testing.T) {
+	k := newTestKernel()
+	params := []float64{7}
+	ids, err := k.Handle(&Message{Type: MsgInitiate, TaskType: "worker", Replications: 1, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params[0] = 99
+	if k.Task(ids[0]).Params[0] != 7 {
+		t.Error("activation record shares the message's parameter storage")
+	}
+}
+
+func TestInitiateUnknownCode(t *testing.T) {
+	k := newTestKernel()
+	_, err := k.Handle(&Message{Type: MsgInitiate, TaskType: "nope", Replications: 1})
+	if !errors.Is(err, ErrNoSuchCode) {
+		t.Errorf("want ErrNoSuchCode, got %v", err)
+	}
+	if k.Rejected() != 1 {
+		t.Errorf("Rejected = %d", k.Rejected())
+	}
+}
+
+func TestInitiateZeroReplications(t *testing.T) {
+	k := newTestKernel()
+	if _, err := k.Handle(&Message{Type: MsgInitiate, TaskType: "worker", Replications: 0}); err == nil {
+		t.Error("zero replications accepted")
+	}
+}
+
+func TestInitiateHeapExhaustionRollsBack(t *testing.T) {
+	k := NewKernel(0, 100, NewIDSource())
+	k.Codes.Load(&CodeBlock{Name: "big", LocalWords: 40})
+	_, err := k.Handle(&Message{Type: MsgInitiate, TaskType: "big", Replications: 3})
+	if !errors.Is(err, ErrHeapFull) {
+		t.Fatalf("want ErrHeapFull, got %v", err)
+	}
+	if k.Heap.Allocated() != 0 {
+		t.Errorf("rollback left %d words allocated", k.Heap.Allocated())
+	}
+	if k.Ready.Len() != 0 {
+		t.Errorf("rollback left %d ready tasks", k.Ready.Len())
+	}
+	if len(k.TaskIDs()) != 0 {
+		t.Errorf("rollback left task records: %v", k.TaskIDs())
+	}
+}
+
+func TestPauseResumeLifecycle(t *testing.T) {
+	k := newTestKernel()
+	ids, _ := k.Handle(&Message{Type: MsgInitiate, TaskType: "worker", Replications: 1, Parent: 0})
+	id := ids[0]
+
+	// Start it (ready -> running).
+	rec, ok := k.StartNext()
+	if !ok || rec.Task != id {
+		t.Fatalf("StartNext = %v, %v", rec, ok)
+	}
+	if rec.State != TaskRunning {
+		t.Errorf("state = %v", rec.State)
+	}
+
+	// Pause and notify parent.
+	if _, err := k.Handle(&Message{Type: MsgPause, Task: id, Parent: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Task(id).State != TaskPaused {
+		t.Errorf("state after pause = %v", k.Task(id).State)
+	}
+	// Local data must survive pause ("retained over pause/resume").
+	if k.Heap.Allocated() == 0 {
+		t.Error("pause released the activation record")
+	}
+
+	// Double pause is invalid.
+	if _, err := k.Handle(&Message{Type: MsgPause, Task: id, Parent: 0}); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("double pause: %v", err)
+	}
+
+	// Resume re-enters the ready queue.
+	if _, err := k.Handle(&Message{Type: MsgResume, Child: id}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Task(id).State != TaskReady || k.Ready.Len() != 1 {
+		t.Error("resume did not re-queue task")
+	}
+	// Resume of a non-paused task is invalid.
+	if _, err := k.Handle(&Message{Type: MsgResume, Child: id}); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("resume of ready task: %v", err)
+	}
+}
+
+func TestPauseOfReadyTaskLeavesQueue(t *testing.T) {
+	k := newTestKernel()
+	ids, _ := k.Handle(&Message{Type: MsgInitiate, TaskType: "worker", Replications: 1})
+	if _, err := k.Handle(&Message{Type: MsgPause, Task: ids[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Ready.Len() != 0 {
+		t.Error("paused task still in ready queue")
+	}
+	if _, ok := k.StartNext(); ok {
+		t.Error("StartNext returned a paused task")
+	}
+}
+
+func TestTerminateFreesStorage(t *testing.T) {
+	k := newTestKernel()
+	ids, _ := k.Handle(&Message{Type: MsgInitiate, TaskType: "worker", Replications: 2})
+	before := k.Heap.Allocated()
+	if _, err := k.Handle(&Message{Type: MsgTerminate, Task: ids[0], Parent: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Heap.Allocated() >= before {
+		t.Error("terminate did not free the activation record")
+	}
+	if k.Task(ids[0]) != nil {
+		t.Error("terminated task still in table")
+	}
+	// Double terminate reports unknown task (record was removed).
+	if _, err := k.Handle(&Message{Type: MsgTerminate, Task: ids[0]}); !errors.Is(err, ErrNoSuchTask) {
+		t.Errorf("double terminate: %v", err)
+	}
+	// The other task survives.
+	if k.Task(ids[1]) == nil {
+		t.Error("sibling task lost")
+	}
+}
+
+func TestControlMessagesOnUnknownTask(t *testing.T) {
+	k := newTestKernel()
+	for _, m := range []*Message{
+		{Type: MsgPause, Task: 77},
+		{Type: MsgResume, Child: 77},
+		{Type: MsgTerminate, Task: 77},
+		{Type: MsgRemoteReturn, Caller: 77},
+	} {
+		if _, err := k.Handle(m); !errors.Is(err, ErrNoSuchTask) {
+			t.Errorf("%s on unknown task: %v", m.Type, err)
+		}
+	}
+}
+
+func TestRemoteCallCreatesActivation(t *testing.T) {
+	k := newTestKernel()
+	k.Codes.Load(&CodeBlock{Name: "dot", Words: 64, LocalWords: 8})
+	root := k.RegisterRoot(0)
+	if root.State != TaskRunning {
+		t.Fatalf("root state = %v", root.State)
+	}
+	ids, err := k.Handle(&Message{Type: MsgRemoteCall, Procedure: "dot", Caller: 0, Params: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("remote call created %d tasks", len(ids))
+	}
+	rec := k.Task(ids[0])
+	if rec.Parent != 0 || rec.CodeBlock != "dot" {
+		t.Errorf("callee record %+v", rec)
+	}
+	// Return results to the caller.
+	if _, err := k.Handle(&Message{Type: MsgRemoteReturn, Caller: 0, Params: []float64{3.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Task(TaskID(0)).Results; len(got) != 1 || got[0] != 3.5 {
+		t.Errorf("caller results = %v", got)
+	}
+}
+
+func TestRemoteCallUnknownProcedure(t *testing.T) {
+	k := newTestKernel()
+	if _, err := k.Handle(&Message{Type: MsgRemoteCall, Procedure: "nope", Caller: 0}); !errors.Is(err, ErrNoSuchCode) {
+		t.Errorf("want ErrNoSuchCode, got %v", err)
+	}
+}
+
+func TestRemoteReturnWakesPausedCaller(t *testing.T) {
+	k := newTestKernel()
+	ids, _ := k.Handle(&Message{Type: MsgInitiate, TaskType: "worker", Replications: 1})
+	id := ids[0]
+	k.StartNext()
+	k.Handle(&Message{Type: MsgPause, Task: id})
+	if _, err := k.Handle(&Message{Type: MsgRemoteReturn, Caller: id, Params: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Task(id).State != TaskReady {
+		t.Errorf("paused caller not woken: %v", k.Task(id).State)
+	}
+}
+
+func TestLoadCodeRegistersBlock(t *testing.T) {
+	k := newTestKernel()
+	if _, err := k.Handle(&Message{Type: MsgLoadCode, CodeName: "solve", CodeWords: 1024, LocalWords: 64}); err != nil {
+		t.Fatal(err)
+	}
+	cb := k.Codes.Find("solve")
+	if cb == nil || cb.Words != 1024 || cb.LocalWords != 64 {
+		t.Errorf("loaded block %+v", cb)
+	}
+	if _, err := k.Handle(&Message{Type: MsgLoadCode, CodeName: "bad", CodeWords: -1}); err == nil {
+		t.Error("negative code size accepted")
+	}
+}
+
+func TestHandleEncodedFullPath(t *testing.T) {
+	k := newTestKernel()
+	b, _ := (&Message{Type: MsgInitiate, TaskType: "worker", Replications: 2}).Encode()
+	ids, err := k.HandleEncoded(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Errorf("created %d", len(ids))
+	}
+	if _, err := k.HandleEncoded([]byte{1, 2, 3}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("garbage accepted: %v", err)
+	}
+	if k.Rejected() != 1 {
+		t.Errorf("Rejected = %d", k.Rejected())
+	}
+	if k.Decoded() != 1 {
+		t.Errorf("Decoded = %d", k.Decoded())
+	}
+	if k.Handled(MsgInitiate) != 1 {
+		t.Errorf("Handled(initiate) = %d", k.Handled(MsgInitiate))
+	}
+}
+
+func TestTaskIDsSortedAndLive(t *testing.T) {
+	k := newTestKernel()
+	ids, _ := k.Handle(&Message{Type: MsgInitiate, TaskType: "worker", Replications: 3})
+	k.Handle(&Message{Type: MsgTerminate, Task: ids[1]})
+	live := k.TaskIDs()
+	if len(live) != 2 {
+		t.Fatalf("live = %v", live)
+	}
+	if live[0] > live[1] {
+		t.Error("TaskIDs not sorted")
+	}
+}
+
+func TestStartNextEmptyQueue(t *testing.T) {
+	k := newTestKernel()
+	if _, ok := k.StartNext(); ok {
+		t.Error("StartNext on empty kernel succeeded")
+	}
+}
+
+func TestIDSourceUniqueAcrossKernelsConcurrently(t *testing.T) {
+	ids := NewIDSource()
+	k1 := NewKernel(0, 1<<16, ids)
+	k2 := NewKernel(1, 1<<16, ids)
+	for _, k := range []*Kernel{k1, k2} {
+		k.Codes.Load(&CodeBlock{Name: "w", LocalWords: 1})
+	}
+	var wg sync.WaitGroup
+	results := make([][]TaskID, 2)
+	for i, k := range []*Kernel{k1, k2} {
+		wg.Add(1)
+		go func(i int, k *Kernel) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				got, err := k.Handle(&Message{Type: MsgInitiate, TaskType: "w", Replications: 1})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[i] = append(results[i], got...)
+			}
+		}(i, k)
+	}
+	wg.Wait()
+	seen := map[TaskID]bool{}
+	for _, r := range results {
+		for _, id := range r {
+			if seen[id] {
+				t.Fatalf("duplicate task id %d across kernels", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Errorf("total ids = %d", len(seen))
+	}
+}
+
+func TestRootTerminateWithoutHeapStorage(t *testing.T) {
+	k := newTestKernel()
+	k.RegisterRoot(0)
+	if _, err := k.Handle(&Message{Type: MsgTerminate, Task: 0}); err != nil {
+		t.Fatalf("root terminate failed: %v", err)
+	}
+}

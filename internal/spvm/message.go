@@ -1,0 +1,429 @@
+// Package spvm implements the FEM-2 system programmer's virtual machine:
+// the run-time representation of tasks, their scheduling, the
+// communication between them, and the storage representation of data, used
+// to implement the numerical analyst's virtual machine one level up.
+//
+// The paper enumerates the SPVM data objects — code blocks/constant
+// blocks, task/procedure activation records, window descriptors, storage
+// representations — and exactly seven message types from tasks:
+//
+//	initiate K replications of a task of type T
+//	pause and notify parent task
+//	resume a child task
+//	terminate and notify parent
+//	remote procedure call
+//	remote procedure return
+//	load code/constants
+//
+// plus the kernel operations "format and send message" and "decode and
+// execute message", and a general heap with variable size blocks for
+// storage management.  All of those are implemented here.
+package spvm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/hgraph"
+)
+
+// MsgType enumerates the seven SPVM message types.
+type MsgType uint8
+
+// The seven message types, in the paper's order.
+const (
+	MsgInitiate MsgType = iota + 1
+	MsgPause
+	MsgResume
+	MsgTerminate
+	MsgRemoteCall
+	MsgRemoteReturn
+	MsgLoadCode
+)
+
+// String returns the paper's name for the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgInitiate:
+		return "initiate"
+	case MsgPause:
+		return "pause"
+	case MsgResume:
+		return "resume"
+	case MsgTerminate:
+		return "terminate"
+	case MsgRemoteCall:
+		return "remote-call"
+	case MsgRemoteReturn:
+		return "remote-return"
+	case MsgLoadCode:
+		return "load-code"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// TaskID identifies a task machine-wide.
+type TaskID int64
+
+// NoTask is the nil TaskID (e.g. the parent of the root task).
+const NoTask TaskID = -1
+
+// Message is one SPVM message.  Field use depends on Type:
+//
+//	Initiate:     TaskType, Replications, Parent, Params
+//	Pause:        Task, Parent
+//	Resume:       Child
+//	Terminate:    Task, Parent
+//	RemoteCall:   Procedure, Caller, Window (optional), Params
+//	RemoteReturn: Caller, Params (the results)
+//	LoadCode:     CodeName, CodeWords
+type Message struct {
+	Type         MsgType
+	TaskType     string
+	Procedure    string
+	CodeName     string
+	Replications int64
+	CodeWords    int64
+	LocalWords   int64
+	Task         TaskID
+	Parent       TaskID
+	Child        TaskID
+	Caller       TaskID
+	Window       *WindowDesc
+	Params       []float64
+}
+
+// WindowDesc is the SPVM storage representation of a NAVM window on an
+// array: which array, which owner task, and the row/column extent.  Kind
+// is one of "row", "col", "block".
+type WindowDesc struct {
+	Array string
+	Kind  string
+	Owner TaskID
+	Row0  int64
+	Rows  int64
+	Col0  int64
+	Cols  int64
+}
+
+// Words returns the message size in words (8-byte units) for communication
+// accounting: the encoded byte length rounded up.
+func (m *Message) Words() int64 {
+	b, err := m.Encode()
+	if err != nil {
+		return 0
+	}
+	return int64((len(b) + 7) / 8)
+}
+
+// magic guards decoding against stray bytes.
+const magic = 0xFE02
+
+var (
+	// ErrBadMessage is returned when decoding fails structurally.
+	ErrBadMessage = errors.New("spvm: malformed message")
+)
+
+func writeString(buf *bytes.Buffer, s string) {
+	binary.Write(buf, binary.LittleEndian, uint32(len(s)))
+	buf.WriteString(s)
+}
+
+func readString(buf *bytes.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(buf, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("%w: string length: %v", ErrBadMessage, err)
+	}
+	if int(n) > buf.Len() {
+		return "", fmt.Errorf("%w: string length %d exceeds remaining %d", ErrBadMessage, n, buf.Len())
+	}
+	b := make([]byte, n)
+	if _, err := buf.Read(b); err != nil {
+		return "", fmt.Errorf("%w: string body: %v", ErrBadMessage, err)
+	}
+	return string(b), nil
+}
+
+// Encode serializes the message to the SPVM wire format ("format and send
+// message").
+func (m *Message) Encode() ([]byte, error) {
+	if m.Type < MsgInitiate || m.Type > MsgLoadCode {
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, m.Type)
+	}
+	buf := &bytes.Buffer{}
+	binary.Write(buf, binary.LittleEndian, uint16(magic))
+	buf.WriteByte(byte(m.Type))
+	switch m.Type {
+	case MsgInitiate:
+		writeString(buf, m.TaskType)
+		binary.Write(buf, binary.LittleEndian, m.Replications)
+		binary.Write(buf, binary.LittleEndian, int64(m.Parent))
+		writeParams(buf, m.Params)
+	case MsgPause:
+		binary.Write(buf, binary.LittleEndian, int64(m.Task))
+		binary.Write(buf, binary.LittleEndian, int64(m.Parent))
+	case MsgResume:
+		binary.Write(buf, binary.LittleEndian, int64(m.Child))
+	case MsgTerminate:
+		binary.Write(buf, binary.LittleEndian, int64(m.Task))
+		binary.Write(buf, binary.LittleEndian, int64(m.Parent))
+	case MsgRemoteCall:
+		writeString(buf, m.Procedure)
+		binary.Write(buf, binary.LittleEndian, int64(m.Caller))
+		if m.Window != nil {
+			buf.WriteByte(1)
+			writeString(buf, m.Window.Array)
+			writeString(buf, m.Window.Kind)
+			binary.Write(buf, binary.LittleEndian, int64(m.Window.Owner))
+			binary.Write(buf, binary.LittleEndian, m.Window.Row0)
+			binary.Write(buf, binary.LittleEndian, m.Window.Rows)
+			binary.Write(buf, binary.LittleEndian, m.Window.Col0)
+			binary.Write(buf, binary.LittleEndian, m.Window.Cols)
+		} else {
+			buf.WriteByte(0)
+		}
+		writeParams(buf, m.Params)
+	case MsgRemoteReturn:
+		binary.Write(buf, binary.LittleEndian, int64(m.Caller))
+		writeParams(buf, m.Params)
+	case MsgLoadCode:
+		writeString(buf, m.CodeName)
+		binary.Write(buf, binary.LittleEndian, m.CodeWords)
+		binary.Write(buf, binary.LittleEndian, m.LocalWords)
+	}
+	return buf.Bytes(), nil
+}
+
+func writeParams(buf *bytes.Buffer, ps []float64) {
+	binary.Write(buf, binary.LittleEndian, uint32(len(ps)))
+	for _, p := range ps {
+		binary.Write(buf, binary.LittleEndian, math.Float64bits(p))
+	}
+}
+
+func readParams(buf *bytes.Reader) ([]float64, error) {
+	var n uint32
+	if err := binary.Read(buf, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: param count: %v", ErrBadMessage, err)
+	}
+	if int(n)*8 > buf.Len() {
+		return nil, fmt.Errorf("%w: %d params exceed remaining %d bytes", ErrBadMessage, n, buf.Len())
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		var u uint64
+		if err := binary.Read(buf, binary.LittleEndian, &u); err != nil {
+			return nil, fmt.Errorf("%w: param %d: %v", ErrBadMessage, i, err)
+		}
+		out[i] = math.Float64frombits(u)
+	}
+	return out, nil
+}
+
+// Decode parses the SPVM wire format back into a Message ("decode and
+// execute message" — the decode half).
+func Decode(b []byte) (*Message, error) {
+	buf := bytes.NewReader(b)
+	var mg uint16
+	if err := binary.Read(buf, binary.LittleEndian, &mg); err != nil || mg != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	tb, err := buf.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing type", ErrBadMessage)
+	}
+	m := &Message{Type: MsgType(tb)}
+	readI64 := func(dst *int64) error {
+		return binary.Read(buf, binary.LittleEndian, dst)
+	}
+	readTask := func(dst *TaskID) error {
+		var v int64
+		if err := readI64(&v); err != nil {
+			return err
+		}
+		*dst = TaskID(v)
+		return nil
+	}
+	switch m.Type {
+	case MsgInitiate:
+		if m.TaskType, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if err = readI64(&m.Replications); err != nil {
+			return nil, fmt.Errorf("%w: replications", ErrBadMessage)
+		}
+		if err = readTask(&m.Parent); err != nil {
+			return nil, fmt.Errorf("%w: parent", ErrBadMessage)
+		}
+		if m.Params, err = readParams(buf); err != nil {
+			return nil, err
+		}
+	case MsgPause:
+		if err = readTask(&m.Task); err != nil {
+			return nil, fmt.Errorf("%w: task", ErrBadMessage)
+		}
+		if err = readTask(&m.Parent); err != nil {
+			return nil, fmt.Errorf("%w: parent", ErrBadMessage)
+		}
+	case MsgResume:
+		if err = readTask(&m.Child); err != nil {
+			return nil, fmt.Errorf("%w: child", ErrBadMessage)
+		}
+	case MsgTerminate:
+		if err = readTask(&m.Task); err != nil {
+			return nil, fmt.Errorf("%w: task", ErrBadMessage)
+		}
+		if err = readTask(&m.Parent); err != nil {
+			return nil, fmt.Errorf("%w: parent", ErrBadMessage)
+		}
+	case MsgRemoteCall:
+		if m.Procedure, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if err = readTask(&m.Caller); err != nil {
+			return nil, fmt.Errorf("%w: caller", ErrBadMessage)
+		}
+		flag, err := buf.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: window flag", ErrBadMessage)
+		}
+		if flag == 1 {
+			w := &WindowDesc{}
+			if w.Array, err = readString(buf); err != nil {
+				return nil, err
+			}
+			if w.Kind, err = readString(buf); err != nil {
+				return nil, err
+			}
+			if err = readTask(&w.Owner); err != nil {
+				return nil, fmt.Errorf("%w: window owner", ErrBadMessage)
+			}
+			for _, dst := range []*int64{&w.Row0, &w.Rows, &w.Col0, &w.Cols} {
+				if err = readI64(dst); err != nil {
+					return nil, fmt.Errorf("%w: window extent", ErrBadMessage)
+				}
+			}
+			m.Window = w
+		}
+		if m.Params, err = readParams(buf); err != nil {
+			return nil, err
+		}
+	case MsgRemoteReturn:
+		if err = readTask(&m.Caller); err != nil {
+			return nil, fmt.Errorf("%w: caller", ErrBadMessage)
+		}
+		if m.Params, err = readParams(buf); err != nil {
+			return nil, err
+		}
+	case MsgLoadCode:
+		if m.CodeName, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if err = readI64(&m.CodeWords); err != nil {
+			return nil, fmt.Errorf("%w: code words", ErrBadMessage)
+		}
+		if err = readI64(&m.LocalWords); err != nil {
+			return nil, fmt.Errorf("%w: local words", ErrBadMessage)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, tb)
+	}
+	if buf.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, buf.Len())
+	}
+	return m, nil
+}
+
+// ToHGraph builds the formal H-graph model of the message, in the language
+// of hgraph.SPVMMessageGrammar.  Tests validate every live message against
+// the grammar, closing the loop between the formal specification and the
+// implementation.
+func (m *Message) ToHGraph() *hgraph.Graph {
+	g := hgraph.NewGraph("message")
+	root := g.Add("message")
+	root.Arc("type", g.AddAtom("t", hgraph.Str(m.Type.String())))
+	addParams := func() {
+		params := g.Add("params")
+		for i, p := range m.Params {
+			params.Arc(fmt.Sprintf("%d", i), g.AddAtom(fmt.Sprintf("p%d", i), hgraph.Float(p)))
+		}
+		root.Arc("params", params)
+	}
+	switch m.Type {
+	case MsgInitiate:
+		root.Arc("task-type", g.AddAtom("tt", hgraph.Str(m.TaskType)))
+		root.Arc("replications", g.AddAtom("k", hgraph.Int(m.Replications)))
+		root.Arc("parent", g.AddAtom("p", hgraph.Int(int64(m.Parent))))
+		addParams()
+	case MsgPause:
+		root.Arc("task", g.AddAtom("id", hgraph.Int(int64(m.Task))))
+		root.Arc("parent", g.AddAtom("p", hgraph.Int(int64(m.Parent))))
+	case MsgResume:
+		root.Arc("child", g.AddAtom("c", hgraph.Int(int64(m.Child))))
+	case MsgTerminate:
+		root.Arc("task", g.AddAtom("id", hgraph.Int(int64(m.Task))))
+		root.Arc("parent", g.AddAtom("p", hgraph.Int(int64(m.Parent))))
+	case MsgRemoteCall:
+		root.Arc("procedure", g.AddAtom("pr", hgraph.Str(m.Procedure)))
+		root.Arc("caller", g.AddAtom("c", hgraph.Int(int64(m.Caller))))
+		if m.Window != nil {
+			w := g.Add("window")
+			w.Arc("array", g.AddAtom("a", hgraph.Str(m.Window.Array)))
+			w.Arc("kind", g.AddAtom("k", hgraph.Str(m.Window.Kind)))
+			w.Arc("owner", g.AddAtom("o", hgraph.Int(int64(m.Window.Owner))))
+			w.Arc("row0", g.AddAtom("r0", hgraph.Int(m.Window.Row0)))
+			w.Arc("rows", g.AddAtom("r", hgraph.Int(m.Window.Rows)))
+			w.Arc("col0", g.AddAtom("c0", hgraph.Int(m.Window.Col0)))
+			w.Arc("cols", g.AddAtom("cs", hgraph.Int(m.Window.Cols)))
+			root.Arc("window", w)
+		}
+		root.Arc("args", func() *hgraph.Node {
+			args := g.Add("args")
+			for i, p := range m.Params {
+				args.Arc(fmt.Sprintf("%d", i), g.AddAtom(fmt.Sprintf("a%d", i), hgraph.Float(p)))
+			}
+			return args
+		}())
+	case MsgRemoteReturn:
+		root.Arc("caller", g.AddAtom("c", hgraph.Int(int64(m.Caller))))
+		results := g.Add("results")
+		for i, p := range m.Params {
+			results.Arc(fmt.Sprintf("%d", i), g.AddAtom(fmt.Sprintf("r%d", i), hgraph.Float(p)))
+		}
+		root.Arc("results", results)
+	case MsgLoadCode:
+		root.Arc("block", g.AddAtom("b", hgraph.Str(m.CodeName)))
+		root.Arc("words", g.AddAtom("w", hgraph.Int(m.CodeWords)))
+		root.Arc("local-words", g.AddAtom("lw", hgraph.Int(m.LocalWords)))
+	}
+	return g
+}
+
+// String renders the message for logs.
+func (m *Message) String() string {
+	switch m.Type {
+	case MsgInitiate:
+		return fmt.Sprintf("initiate %d×%q parent=%d params=%d", m.Replications, m.TaskType, m.Parent, len(m.Params))
+	case MsgPause:
+		return fmt.Sprintf("pause task=%d parent=%d", m.Task, m.Parent)
+	case MsgResume:
+		return fmt.Sprintf("resume child=%d", m.Child)
+	case MsgTerminate:
+		return fmt.Sprintf("terminate task=%d parent=%d", m.Task, m.Parent)
+	case MsgRemoteCall:
+		return fmt.Sprintf("remote-call %q caller=%d args=%d", m.Procedure, m.Caller, len(m.Params))
+	case MsgRemoteReturn:
+		return fmt.Sprintf("remote-return caller=%d results=%d", m.Caller, len(m.Params))
+	case MsgLoadCode:
+		return fmt.Sprintf("load-code %q words=%d", m.CodeName, m.CodeWords)
+	default:
+		return fmt.Sprintf("message type %d", m.Type)
+	}
+}
