@@ -6,6 +6,7 @@
 package fem2_test
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -417,6 +418,61 @@ func BenchmarkTaskInitiation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParseDispatch measures the command layer itself on a cheap
+// verb, so parsing and dispatch dominate: the full Execute adapter
+// (parse + interpret + render), the typed path with a per-call Parse,
+// and the typed path with a pre-built command — the overhead a server
+// skips by holding the AST.
+func BenchmarkParseDispatch(b *testing.B) {
+	newBenchSession := func(b *testing.B) *fem2.Session {
+		b.Helper()
+		sys, err := fem2.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := sys.Session("bench")
+		if _, err := s.Execute("generate grid g 4 4 4 4 clamp-left"); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	const line = "display model g"
+	b.Run("execute", func(b *testing.B) {
+		s := newBenchSession(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Execute(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse+do", func(b *testing.B) {
+		s := newBenchSession(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cmd, err := fem2.Parse(line)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Do(ctx, cmd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("do", func(b *testing.B) {
+		s := newBenchSession(b)
+		ctx := context.Background()
+		cmd := fem2.Display{What: "model", Model: "g"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Do(ctx, cmd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAUVMCommand measures command interpretation end to end.

@@ -28,10 +28,7 @@ func main() {
 	report := flag.Bool("report", false, "print the machine report on exit")
 	flag.Parse()
 
-	cfg := fem2.DefaultConfig()
-	cfg.Clusters = *clusters
-	cfg.PEsPerCluster = *pes
-	sys, err := fem2.NewSystem(cfg)
+	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fem2:", err)
 		os.Exit(1)
@@ -49,7 +46,7 @@ func main() {
 		in = f
 	} else {
 		fmt.Printf("FEM-2 workstation (%d clusters × %d PEs). Type help for commands.\n",
-			cfg.Clusters, cfg.PEsPerCluster)
+			*clusters, *pes)
 	}
 	if err := sess.Run(in, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fem2:", err)

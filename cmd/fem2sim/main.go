@@ -14,14 +14,14 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/exp"
+	fem2 "repro"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (E1..E11, DM)")
 	flag.Parse()
 
-	tables, err := exp.RunAll()
+	tables, err := fem2.RunAllExperiments()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fem2sim:", err)
 		if len(tables) == 0 {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,12 +36,12 @@ func main() {
 	// layers' requirement: an engineer's parallel plate solve.
 	workload := func(sys *fem2.System) error {
 		s := sys.Session("engineer")
-		for _, c := range []string{
-			"generate grid plate 16 8 16 8 clamp-left",
-			"load plate tip endload 0 -1000",
-			"solve plate tip parallel 8",
+		for _, c := range []fem2.Command{
+			fem2.GenerateGrid{Name: "plate", NX: 16, NY: 8, W: 16, H: 8, ClampLeft: true},
+			fem2.EndLoad{Model: "plate", Set: "tip", FY: -1000},
+			fem2.SolveCommand{Model: "plate", Set: "tip", Parallel: 8},
 		} {
-			if _, err := s.Execute(c); err != nil {
+			if _, err := s.Do(context.Background(), c); err != nil {
 				return err
 			}
 		}

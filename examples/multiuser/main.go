@@ -3,10 +3,13 @@
 // independent problems" — plus the "provide multi-user access" hardware
 // requirement.  Several engineers share one FEM-2 machine and one model
 // database; their independent solves overlap across the machine's
-// clusters, and models flow between users through the database.
+// clusters, and models flow between users through the database.  Each
+// user drives the typed command API, the request surface a multi-user
+// front end would serve.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,25 +17,25 @@ import (
 )
 
 func main() {
-	cfg := fem2.DefaultConfig() // 4 clusters × 8 PEs
-	sys, err := fem2.NewSystem(cfg)
+	sys, err := fem2.New() // 4 clusters × 8 PEs, the baseline machine
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// Four engineers, four independent problems on one machine.
 	users := []string{"alice", "bob", "chen", "dana"}
 	for i, u := range users {
 		s := sys.Session(u)
 		model := fmt.Sprintf("panel-%s", u)
-		cmds := []string{
-			fmt.Sprintf("generate grid %s 12 8 1200 800 clamp-left", model),
-			fmt.Sprintf("load %s op endload 0 -%d", model, 1000*(i+1)),
-			fmt.Sprintf("solve %s op parallel 4", model),
-			fmt.Sprintf("store %s", model),
+		cmds := []fem2.Command{
+			fem2.GenerateGrid{Name: model, NX: 12, NY: 8, W: 1200, H: 800, ClampLeft: true},
+			fem2.EndLoad{Model: model, Set: "op", FY: float64(-1000 * (i + 1))},
+			fem2.SolveCommand{Model: model, Set: "op", Parallel: 4},
+			fem2.StoreCommand{Model: model},
 		}
 		for _, c := range cmds {
-			if _, err := s.Execute(c); err != nil {
+			if _, err := s.Do(ctx, c); err != nil {
 				log.Fatalf("%s: %s: %v", u, c, err)
 			}
 		}
@@ -46,14 +49,14 @@ func main() {
 
 	// The database is the shared data path: dana reviews alice's model.
 	dana := sys.Session("dana")
-	out, err := dana.Execute("retrieve panel-alice")
+	res, err := dana.Do(ctx, fem2.RetrieveCommand{Name: "panel-alice"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(out)
-	out, err = dana.Execute("solve panel-alice op method cholesky")
+	fmt.Println(res)
+	res, err = dana.Do(ctx, fem2.SolveCommand{Model: "panel-alice", Set: "op", Method: "cholesky"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("dana re-checked alice's panel sequentially:", out)
+	fmt.Println("dana re-checked alice's panel sequentially:", res)
 }

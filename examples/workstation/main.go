@@ -1,13 +1,18 @@
-// Workstation scripting: drives the AUVM command interpreter through an
-// embedded script, exactly as cmd/fem2 -script would — including building
-// a truss by hand (define structure / node / element / fix), the workflow
-// the paper's application user's VM enumerates operation by operation.
+// Workstation scripting: drives the AUVM command language through an
+// embedded script — including building a truss by hand (define structure
+// / node / element / fix), the workflow the paper's application user's
+// VM enumerates operation by operation.  Instead of handing the script
+// to Session.Run, this example walks the adapter the REPL itself is
+// built from: Parse each line into its typed Command, interpret it with
+// Do, and render the typed Result — showing the shell is nothing but a
+// thin text layer over the typed API.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 
 	fem2 "repro"
@@ -42,15 +47,32 @@ quit
 `
 
 func main() {
-	sys, err := fem2.NewSystem(fem2.DefaultConfig())
+	sys, err := fem2.New()
 	if err != nil {
 		log.Fatal(err)
 	}
 	s := sys.Session("drafter")
+	ctx := context.Background()
 	fmt.Println("FEM-2 scripted workstation session:")
 	fmt.Println(strings.Repeat("-", 50))
-	if err := s.Run(strings.NewReader(script), os.Stdout); err != nil {
-		log.Fatal(err)
+	for _, line := range strings.Split(script, "\n") {
+		cmd, err := fem2.Parse(line)
+		if err != nil {
+			log.Fatalf("%q: %v", line, err)
+		}
+		if cmd == nil { // blank line or comment
+			continue
+		}
+		res, err := s.Do(ctx, cmd)
+		if res != nil {
+			fmt.Println(res)
+		}
+		if errors.Is(err, fem2.ErrQuit) {
+			break
+		}
+		if err != nil {
+			log.Fatalf("%s: %v", cmd, err)
+		}
 	}
 	fmt.Println(strings.Repeat("-", 50))
 	fmt.Printf("session issued %d AUVM operations\n",

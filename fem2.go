@@ -23,7 +23,18 @@
 // experiment runners regenerate the paper's evaluation (see DESIGN.md and
 // EXPERIMENTS.md).
 //
-// Quick start:
+// Quick start, typed API:
+//
+//	sys, _ := fem2.New(fem2.WithClusters(4), fem2.WithPEsPerCluster(8))
+//	s := sys.Session("engineer")
+//	ctx := context.Background()
+//	s.Do(ctx, fem2.GenerateGrid{Name: "wing", NX: 16, NY: 8, W: 16, H: 8, ClampLeft: true})
+//	s.Do(ctx, fem2.EndLoad{Model: "wing", Set: "cruise", FY: -1000})
+//	res, _ := s.Do(ctx, fem2.SolveCommand{Model: "wing", Set: "cruise", Parallel: 8})
+//	sr := res.(*fem2.SolveResult) // typed fields: Iterations, Makespan, MaxDisp ...
+//
+// Quick start, command language (the same layer through the Parse
+// adapter):
 //
 //	sys, _ := fem2.NewSystem(fem2.DefaultConfig())
 //	s := sys.Session("engineer")
@@ -36,7 +47,9 @@ package fem2
 import (
 	"repro/internal/arch"
 	"repro/internal/auvm"
+	"repro/internal/command"
 	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/exp"
 	"repro/internal/fem"
 	"repro/internal/hgraph"
@@ -57,9 +70,48 @@ func DefaultConfig() Config { return arch.DefaultConfig() }
 // and machine-wide instrumentation.
 type System = core.System
 
-// NewSystem builds the full four-layer stack over a hardware
-// configuration.
-func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+// Option adjusts one dimension of the machine configuration New builds.
+type Option func(*Config)
+
+// WithClusters sets the number of PE clusters.
+func WithClusters(n int) Option { return func(c *Config) { c.Clusters = n } }
+
+// WithPEsPerCluster sets the PEs in each cluster (including the kernel
+// PE, so each cluster has n-1 workers).
+func WithPEsPerCluster(n int) Option { return func(c *Config) { c.PEsPerCluster = n } }
+
+// WithSharedMemoryWords sets each cluster's shared-memory capacity.
+func WithSharedMemoryWords(w int64) Option { return func(c *Config) { c.SharedMemoryWords = w } }
+
+// WithCostModel sets the simulator's cost parameters: the fixed network
+// message latency, the per-word network transfer cost, the per-word
+// shared-memory cost, and the kernel PE's message decode cost.
+func WithCostModel(netLatency, netCyclesPerWord, memCyclesPerWord, kernelDecodeCycles int64) Option {
+	return func(c *Config) {
+		c.NetLatency = netLatency
+		c.NetCyclesPerWord = netCyclesPerWord
+		c.MemCyclesPerWord = memCyclesPerWord
+		c.KernelDecodeCycles = kernelDecodeCycles
+	}
+}
+
+// WithConfig replaces the whole configuration; later options adjust it
+// further.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// New builds the full four-layer stack over the default configuration
+// adjusted by the given options.
+func New(opts ...Option) (*System, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.NewSystem(cfg)
+}
+
+// NewSystem builds the full four-layer stack over an explicit hardware
+// configuration.  It is New(WithConfig(cfg)).
+func NewSystem(cfg Config) (*System, error) { return New(WithConfig(cfg)) }
 
 // Session is one interactive workstation user: a workspace, the shared
 // database, and the command interpreter.
@@ -71,6 +123,162 @@ type Workspace = auvm.Workspace
 
 // Database is the long-term shared model store.
 type Database = auvm.Database
+
+// Command is one typed AUVM request; Session.Do interprets it.  Build
+// commands as struct literals or Parse them from command lines.
+type Command = command.Command
+
+// Result is one typed AUVM reply; its String rendering is the REPL
+// display line.
+type Result = command.Result
+
+// Parse lexes and parses one command line into its typed Command.  Blank
+// lines and # comments parse to (nil, nil); syntax errors wrap ErrUsage.
+func Parse(line string) (Command, error) { return command.Parse(line) }
+
+// The command AST, one struct per verb of the workstation language.
+type (
+	// HelpCommand requests the command-language summary.
+	HelpCommand = command.Help
+	// QuitCommand ends a session (Do answers with auvm.ErrQuit).
+	QuitCommand = command.Quit
+	// Define creates an empty structure model in the workspace.
+	Define = command.Define
+	// SetMaterial sets the session's current material.
+	SetMaterial = command.SetMaterial
+	// GenerateGrid generates a rectangular plane-stress grid.
+	GenerateGrid = command.GenerateGrid
+	// GenerateTruss generates a triangulated cantilever truss.
+	GenerateTruss = command.GenerateTruss
+	// GenerateBar generates a uniaxial bar chain.
+	GenerateBar = command.GenerateBar
+	// AddNode appends a node to a model.
+	AddNode = command.AddNode
+	// AddBar appends a bar element to a model.
+	AddBar = command.AddBar
+	// AddCST appends a constant-strain triangle to a model.
+	AddCST = command.AddCST
+	// FixNode fixes both dofs of a node.
+	FixNode = command.FixNode
+	// FixDOF fixes a single dof.
+	FixDOF = command.FixDOF
+	// DefineLoadSet creates an empty named load set on a model.
+	DefineLoadSet = command.DefineLoadSet
+	// AddLoad appends one nodal load to a load set.
+	AddLoad = command.AddLoad
+	// EndLoad spreads a force over a generated grid's right edge.
+	EndLoad = command.EndLoad
+	// SolveCommand solves a model/load-set pair for displacements.
+	SolveCommand = command.Solve
+	// StressesCommand recovers element stresses from the last solution.
+	StressesCommand = command.Stresses
+	// Display summarises a model, its displacements, or its stresses.
+	Display = command.Display
+	// StoreCommand files a workspace model in the shared database.
+	StoreCommand = command.Store
+	// RetrieveCommand copies a database model into the workspace.
+	RetrieveCommand = command.Retrieve
+	// DeleteCommand removes a model from the shared database.
+	DeleteCommand = command.Delete
+	// ListCommand enumerates the database or the workspace.
+	ListCommand = command.List
+)
+
+// SolveMethod names a sequential solution algorithm in a SolveCommand;
+// the zero value selects the Cholesky baseline.
+type SolveMethod = command.Method
+
+// The solve methods by name.
+const (
+	SolveCholesky = command.MethodCholesky
+	SolveCG       = command.MethodCG
+	SolveSOR      = command.MethodSOR
+	SolveJacobi   = command.MethodJacobi
+)
+
+// DisplayKind selects what a Display command shows.
+type DisplayKind = command.DisplayKind
+
+// The display targets.
+const (
+	DisplayModel         = command.DisplayModel
+	DisplayDisplacements = command.DisplayDisplacements
+	DisplayStresses      = command.DisplayStresses
+)
+
+// ListKind selects what a ListCommand enumerates.
+type ListKind = command.ListKind
+
+// The list targets.
+const (
+	ListDB        = command.ListDB
+	ListWorkspace = command.ListWorkspace
+)
+
+// The typed results, one per verb family; each String() renders the
+// exact REPL display line.
+type (
+	// HelpResult is the command-language summary.
+	HelpResult = command.HelpResult
+	// QuitResult accompanies ErrQuit on a clean shutdown.
+	QuitResult = command.QuitResult
+	// DefineResult reports a newly defined model.
+	DefineResult = command.DefineResult
+	// MaterialResult echoes the material now in effect.
+	MaterialResult = command.MaterialResult
+	// GenerateResult counts a generated mesh.
+	GenerateResult = command.GenerateResult
+	// NodeResult reports a new node's index and coordinates.
+	NodeResult = command.NodeResult
+	// ElementResult reports a new element's connectivity.
+	ElementResult = command.ElementResult
+	// FixResult reports a fixed node or dof.
+	FixResult = command.FixResult
+	// LoadSetResult reports a created load set.
+	LoadSetResult = command.LoadSetResult
+	// LoadResult reports an appended nodal load.
+	LoadResult = command.LoadResult
+	// EndLoadResult reports an applied grid edge load.
+	EndLoadResult = command.EndLoadResult
+	// SolveResult carries a solve's statistics and headline numbers.
+	SolveResult = command.SolveResult
+	// StressesResult carries the worst element stress.
+	StressesResult = command.StressesResult
+	// ModelInfoResult summarises a model's mesh.
+	ModelInfoResult = command.ModelInfoResult
+	// DisplacementsResult carries the displacement summary.
+	DisplacementsResult = command.DisplacementsResult
+	// StressSummaryResult summarises recovered stresses.
+	StressSummaryResult = command.StressSummaryResult
+	// StoreResult reports a completed database store.
+	StoreResult = command.StoreResult
+	// RetrieveResult reports a completed database retrieve.
+	RetrieveResult = command.RetrieveResult
+	// DeleteResult reports a completed database delete.
+	DeleteResult = command.DeleteResult
+	// ListResult enumerates a store's model names.
+	ListResult = command.ListResult
+)
+
+// The shared error taxonomy.  Missing objects, malformed or ineligible
+// requests, and cancelled contexts wrap these sentinels across auvm,
+// fem, and core, so errors.Is classifies them uniformly (system-side
+// failures — a session with no parallel machine attached, a solver
+// breakdown — deliberately match none of them).
+var (
+	// ErrNotFound reports a named object that does not exist where the
+	// operation looked for it.
+	ErrNotFound = errs.ErrNotFound
+	// ErrUsage reports a malformed request (unknown verb, bad
+	// arguments, unknown option).
+	ErrUsage = errs.ErrUsage
+	// ErrCancelled reports a context cancelled or past its deadline
+	// before the operation completed.
+	ErrCancelled = errs.ErrCancelled
+	// ErrQuit is the quit verb's sentinel; a REPL treats it as a clean
+	// shutdown.
+	ErrQuit = auvm.ErrQuit
+)
 
 // LayerSpec is the design-time description of one virtual machine layer.
 type LayerSpec = core.LayerSpec

@@ -1,6 +1,8 @@
 package fem2_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -166,6 +168,119 @@ func TestPartitionExportedAndShaped(t *testing.T) {
 	}
 	if d.P != 4 || d.TotalHaloWords() == 0 {
 		t.Errorf("partition P=%d halo=%d", d.P, d.TotalHaloWords())
+	}
+}
+
+func TestFunctionalOptions(t *testing.T) {
+	sys, err := fem2.New(
+		fem2.WithClusters(2),
+		fem2.WithPEsPerCluster(4),
+		fem2.WithSharedMemoryWords(1<<16),
+		fem2.WithCostModel(100, 2, 1, 25),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Machine.Clusters()); got != 2 {
+		t.Errorf("clusters = %d, want 2", got)
+	}
+	// WithConfig replaces wholesale; later options still apply.
+	cfg := fem2.DefaultConfig()
+	cfg.Clusters = 8
+	sys2, err := fem2.New(fem2.WithConfig(cfg), fem2.WithPEsPerCluster(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys2.Machine.Clusters()); got != 8 {
+		t.Errorf("clusters = %d, want 8", got)
+	}
+	// Invalid options surface the arch validation error.
+	if _, err := fem2.New(fem2.WithClusters(0)); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	// The compat constructor is New(WithConfig(cfg)).
+	if _, err := fem2.NewSystem(fem2.DefaultConfig()); err != nil {
+		t.Errorf("NewSystem compat: %v", err)
+	}
+}
+
+func TestTypedCommandFacade(t *testing.T) {
+	sys, err := fem2.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Session("typed")
+	ctx := context.Background()
+
+	// Parse produces the re-exported command types.
+	cmd, err := fem2.Parse("solve g l parallel 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc, ok := cmd.(fem2.SolveCommand); !ok || sc.Parallel != 2 {
+		t.Fatalf("Parse returned %#v", cmd)
+	}
+
+	// The enum kinds and constants are usable without string literals.
+	var _ fem2.SolveMethod = fem2.SolveCG
+	var _ fem2.DisplayKind = fem2.DisplayStresses
+	if cmd := (fem2.ListCommand{What: fem2.ListWorkspace}); cmd.String() != "list workspace" {
+		t.Errorf("list command renders %q", cmd.String())
+	}
+
+	// The typed flow end to end, with typed result access.
+	for _, c := range []fem2.Command{
+		fem2.GenerateGrid{Name: "g", NX: 6, NY: 4, W: 6, H: 4, ClampLeft: true},
+		fem2.EndLoad{Model: "g", Set: "l", FY: -100},
+	} {
+		if _, err := s.Do(ctx, c); err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+	}
+	res, err := s.Do(ctx, fem2.SolveCommand{Model: "g", Set: "l", Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := res.(*fem2.SolveResult)
+	if !ok {
+		t.Fatalf("solve returned %T", res)
+	}
+	if sr.Parallel != 4 || sr.Iterations == 0 || sr.Makespan == 0 || sr.MaxDisp <= 0 {
+		t.Errorf("solve result = %+v", sr)
+	}
+
+	// Every verb's reply is assertable through the facade aliases — the
+	// reason the result types are re-exported (e.g. a new node's index
+	// feeds the next AddBar without parsing text).
+	res, err = s.Do(ctx, fem2.Define{Name: "hand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.(*fem2.DefineResult); !ok {
+		t.Errorf("define returned %T", res)
+	}
+	res, err = s.Do(ctx, fem2.AddNode{Model: "hand", X: 1, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr, ok := res.(*fem2.NodeResult); !ok || nr.ID != 0 {
+		t.Errorf("node returned %#v", res)
+	}
+
+	// The error taxonomy is visible through the facade.
+	if _, err := s.Do(ctx, fem2.RetrieveCommand{Name: "ghost"}); !errors.Is(err, fem2.ErrNotFound) {
+		t.Errorf("retrieve ghost: %v", err)
+	}
+	if _, err := fem2.Parse("solve"); !errors.Is(err, fem2.ErrUsage) {
+		t.Errorf("bad parse: %v", err)
+	}
+	cancelledCtx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.Do(cancelledCtx, fem2.ListCommand{What: "db"}); !errors.Is(err, fem2.ErrCancelled) {
+		t.Errorf("cancelled Do: %v", err)
+	}
+	if _, err := s.Do(ctx, fem2.QuitCommand{}); !errors.Is(err, fem2.ErrQuit) {
+		t.Errorf("quit: %v", err)
 	}
 }
 

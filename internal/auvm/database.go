@@ -3,17 +3,18 @@ package auvm
 import (
 	"bytes"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/errs"
 	"repro/internal/fem"
 )
 
 // ErrNotFound is returned when retrieving a model the database does not
-// hold.
-var ErrNotFound = errors.New("auvm: model not in database")
+// hold.  It aliases the shared errs.ErrNotFound sentinel so errors.Is
+// classifies missing objects uniformly across layers.
+var ErrNotFound = errs.ErrNotFound
 
 // Database is the AUVM long-term shared store ("data base (long-term
 // storage; shared data)").  Models are serialized on store and
@@ -143,7 +144,7 @@ func (db *Database) Retrieve(name string) (*fem.Model, []*fem.LoadSet, error) {
 	raw, ok := db.m[name]
 	db.mu.RUnlock()
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		return nil, nil, fmt.Errorf("auvm: model %q not in database: %w", name, ErrNotFound)
 	}
 	var dto modelDTO
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&dto); err != nil {

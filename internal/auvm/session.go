@@ -2,29 +2,43 @@ package auvm
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"sort"
-	"strconv"
-	"strings"
+	"reflect"
 
+	"repro/internal/command"
+	"repro/internal/errs"
 	"repro/internal/fem"
 	"repro/internal/metrics"
 	"repro/internal/navm"
 )
 
-// ErrQuit is returned by Execute when the user issues the quit command;
-// the REPL loop treats it as a clean shutdown.
+// ErrQuit is returned by Do and Execute when the user issues the quit
+// command; the REPL loop treats it as a clean shutdown.
 var ErrQuit = errors.New("auvm: quit")
 
-// ErrUsage is the base error for command syntax problems.
-var ErrUsage = errors.New("auvm: usage")
+// ErrUsage aliases the shared errs.ErrUsage sentinel; every malformed
+// command, whether rejected by the parser or by the interpreter, wraps
+// it.
+var ErrUsage = errs.ErrUsage
+
+// ErrCancelled aliases the shared errs.ErrCancelled sentinel; Do wraps
+// it (together with the context's own error) when its context is
+// cancelled or past its deadline.
+var ErrCancelled = errs.ErrCancelled
 
 // Session is one interactive user of the FEM-2 workstation: a workspace
 // of local data, a shared database, and (optionally) a NAVM runtime for
-// parallel solution.  The command interpreter is the AUVM sequence
-// control: "direct interpretation of user commands".
+// parallel solution.  The session is an interpreter over the typed
+// command AST — the AUVM sequence control, "direct interpretation of
+// user commands" — with Do as the programmatic entry point and Execute
+// as the command-line adapter over it.
+//
+// A Session is confined to one goroutine; multi-user serving runs one
+// Session per user (they share the Database and Runtime, which are
+// concurrency-safe).
 type Session struct {
 	// User names the session for multi-user experiments.
 	User string
@@ -32,15 +46,18 @@ type Session struct {
 	WS *Workspace
 	// DB is the shared long-term database.
 	DB *Database
-	// RT, when non-nil, enables `solve ... parallel <p>`.
+	// RT, when non-nil, enables Solve{Parallel: p}.
 	RT *navm.Runtime
-	// Metrics receives AUVM operation counts when non-nil.
+	// Metrics receives AUVM operation counts when non-nil.  A nil
+	// collector is a valid no-op sink (Collector methods are
+	// nil-receiver safe), so a metrics-less session interprets commands
+	// without instrumentation.
 	Metrics *metrics.Collector
 
 	// mat is the current material, applied by generate/element
 	// commands.
 	mat fem.Material
-	// grids remembers grid generation parameters per model so endload
+	// grids remembers grid generation parameters per model so EndLoad
 	// can find the right edge.
 	grids map[string]fem.RectGridOpts
 }
@@ -53,189 +70,166 @@ func NewSession(user string, db *Database) *Session {
 	}
 }
 
-// usage returns a command-specific usage error.
-func usage(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, args...))
+// usage is the shared syntax-error constructor.
+var usage = errs.Usage
+
+// cancelled converts a context cancellation into the shared taxonomy,
+// keeping the context's own error in the chain for errors.Is.
+func cancelled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	return nil
 }
 
 // Execute interprets one command line and returns its display output.
+// It is a thin adapter over the typed API: parse the line, Do the
+// command, render the result.
 func (s *Session) Execute(line string) (string, error) {
-	fields := strings.Fields(line)
-	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
-		return "", nil
-	}
-	s.Metrics.Add(metrics.LevelAUVM, metrics.CtrOps, 1)
-	cmd := strings.ToLower(fields[0])
-	args := fields[1:]
-	switch cmd {
-	case "help":
-		return helpText, nil
-	case "quit", "exit":
-		return "bye", ErrQuit
-	case "define":
-		return s.cmdDefine(args)
-	case "material":
-		return s.cmdMaterial(args)
-	case "generate":
-		return s.cmdGenerate(args)
-	case "node":
-		return s.cmdNode(args)
-	case "element":
-		return s.cmdElement(args)
-	case "fix":
-		return s.cmdFix(args)
-	case "loadset":
-		return s.cmdLoadSet(args)
-	case "load":
-		return s.cmdLoad(args)
-	case "solve":
-		return s.cmdSolve(args)
-	case "stresses":
-		return s.cmdStresses(args)
-	case "display":
-		return s.cmdDisplay(args)
-	case "store":
-		return s.cmdStore(args)
-	case "retrieve":
-		return s.cmdRetrieve(args)
-	case "delete":
-		return s.cmdDelete(args)
-	case "list":
-		return s.cmdList(args)
-	default:
-		return "", usage("unknown command %q (try help)", cmd)
-	}
-}
-
-const helpText = `FEM-2 workstation commands:
-  define structure <name>
-  material <E> <nu> <thickness> <area>
-  generate grid <name> <nx> <ny> <w> <h> [clamp-left] [jitter <frac> <seed>]
-  generate truss <name> <bays> <baylen> <height>
-  generate bar <name> <segments> <length>
-  node <model> <x> <y>
-  element bar <model> <n1> <n2>
-  element cst <model> <n1> <n2> <n3>
-  fix node <model> <n> | fix dof <model> <d>
-  loadset <model> <name>
-  load <model> <set> <dof> <value>
-  load <model> <set> endload <fx> <fy>   (grid models)
-  solve <model> <set> [method cholesky|cg|sor|jacobi] [parallel <p>] [substructures <k>]
-  stresses <model>
-  display model|displacements|stresses <model>
-  store <model> | retrieve <name> | delete <name>
-  list db | list workspace
-  help | quit`
-
-func (s *Session) cmdDefine(args []string) (string, error) {
-	if len(args) != 2 || args[0] != "structure" {
-		return "", usage("define structure <name>")
-	}
-	name := args[1]
-	if s.WS.Model(name) != nil {
-		return "", fmt.Errorf("auvm: model %q already in workspace", name)
-	}
-	s.WS.PutModel(fem.NewModel(name))
-	return fmt.Sprintf("defined structure %q", name), nil
-}
-
-func (s *Session) cmdMaterial(args []string) (string, error) {
-	if len(args) != 4 {
-		return "", usage("material <E> <nu> <thickness> <area>")
-	}
-	vals, err := floats(args)
+	cmd, err := command.Parse(line)
 	if err != nil {
+		// A malformed line still counts as an AUVM operation, exactly
+		// as the pre-AST interpreter charged it.
+		s.Metrics.Add(metrics.LevelAUVM, metrics.CtrOps, 1)
 		return "", err
 	}
-	if vals[0] <= 0 {
-		return "", fmt.Errorf("auvm: modulus must be positive")
+	if cmd == nil { // blank line or comment
+		return "", nil
 	}
-	s.mat = fem.Material{E: vals[0], Nu: vals[1], T: vals[2], A: vals[3]}
-	return fmt.Sprintf("material E=%g nu=%g t=%g A=%g", vals[0], vals[1], vals[2], vals[3]), nil
+	res, err := s.Do(context.Background(), cmd)
+	if res == nil {
+		return "", err
+	}
+	return res.String(), err
 }
 
-func (s *Session) cmdGenerate(args []string) (string, error) {
-	if len(args) < 2 {
-		return "", usage("generate grid|truss|bar <name> ...")
+// Do interprets one typed command and returns its typed result.  It
+// checks ctx before starting and again before each long-running solve
+// phase, returning an error wrapping ErrCancelled (and the context's own
+// error) once ctx is done — so a server can impose per-request deadlines
+// on one-goroutine-per-session traffic.  Quit returns QuitResult
+// alongside ErrQuit.
+func (s *Session) Do(ctx context.Context, cmd command.Command) (command.Result, error) {
+	if cmd == nil {
+		return nil, nil
 	}
-	kind, name := args[0], args[1]
-	rest := args[2:]
-	switch kind {
-	case "grid":
-		if len(rest) < 4 {
-			return "", usage("generate grid <name> <nx> <ny> <w> <h> [clamp-left] [jitter <frac> <seed>]")
+	// Pointer commands satisfy the interface too (value-receiver method
+	// sets), and callers naturally write &fem2.SolveCommand{...} since
+	// every result comes back as a pointer — deref so both spellings
+	// dispatch.
+	if v := reflect.ValueOf(cmd); v.Kind() == reflect.Pointer && !v.IsNil() {
+		if c, ok := v.Elem().Interface().(command.Command); ok {
+			cmd = c
 		}
-		nx, err1 := strconv.Atoi(rest[0])
-		ny, err2 := strconv.Atoi(rest[1])
-		w, err3 := strconv.ParseFloat(rest[2], 64)
-		h, err4 := strconv.ParseFloat(rest[3], 64)
-		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-			return "", usage("generate grid: numeric arguments required")
-		}
-		o := fem.RectGridOpts{NX: nx, NY: ny, W: w, H: h, Mat: s.mat}
-		for i := 4; i < len(rest); i++ {
-			switch rest[i] {
-			case "clamp-left":
-				o.ClampLeft = true
-			case "jitter":
-				if i+2 >= len(rest) {
-					return "", usage("jitter <frac> <seed>")
-				}
-				f, err := strconv.ParseFloat(rest[i+1], 64)
-				if err != nil {
-					return "", usage("jitter fraction %q", rest[i+1])
-				}
-				seed, err := strconv.ParseInt(rest[i+2], 10, 64)
-				if err != nil {
-					return "", usage("jitter seed %q", rest[i+2])
-				}
-				o.Jitter, o.Seed = f, seed
-				i += 2
-			default:
-				return "", usage("unknown grid option %q", rest[i])
-			}
-		}
-		m, err := fem.RectGrid(name, o)
-		if err != nil {
-			return "", err
-		}
-		s.WS.PutModel(m)
-		s.gridOpts(name, o)
-		return fmt.Sprintf("generated grid %q: %d nodes, %d elements", name, len(m.Nodes), len(m.Elements)), nil
-	case "truss":
-		if len(rest) != 3 {
-			return "", usage("generate truss <name> <bays> <baylen> <height>")
-		}
-		bays, err1 := strconv.Atoi(rest[0])
-		bl, err2 := strconv.ParseFloat(rest[1], 64)
-		ht, err3 := strconv.ParseFloat(rest[2], 64)
-		if err1 != nil || err2 != nil || err3 != nil {
-			return "", usage("generate truss: numeric arguments required")
-		}
-		m, err := fem.CantileverTruss(name, bays, bl, ht, s.mat)
-		if err != nil {
-			return "", err
-		}
-		s.WS.PutModel(m)
-		return fmt.Sprintf("generated truss %q: %d nodes, %d members", name, len(m.Nodes), len(m.Elements)), nil
-	case "bar":
-		if len(rest) != 2 {
-			return "", usage("generate bar <name> <segments> <length>")
-		}
-		n, err1 := strconv.Atoi(rest[0])
-		l, err2 := strconv.ParseFloat(rest[1], 64)
-		if err1 != nil || err2 != nil {
-			return "", usage("generate bar: numeric arguments required")
-		}
-		m, err := fem.UniaxialBar(name, n, l, s.mat)
-		if err != nil {
-			return "", err
-		}
-		s.WS.PutModel(m)
-		return fmt.Sprintf("generated bar %q: %d segments", name, n), nil
+	}
+	// Charge the op before the cancellation check so request accounting
+	// sees every command, shed or served — matching Execute, which
+	// charges even malformed lines.
+	s.Metrics.Add(metrics.LevelAUVM, metrics.CtrOps, 1)
+	if err := cancelled(ctx); err != nil {
+		return nil, err
+	}
+	switch c := cmd.(type) {
+	case command.Help:
+		return &command.HelpResult{}, nil
+	case command.Quit:
+		return &command.QuitResult{}, ErrQuit
+	case command.Define:
+		return s.doDefine(c)
+	case command.SetMaterial:
+		return s.doMaterial(c)
+	case command.GenerateGrid:
+		return s.doGenerateGrid(c)
+	case command.GenerateTruss:
+		return s.doGenerateTruss(c)
+	case command.GenerateBar:
+		return s.doGenerateBar(c)
+	case command.AddNode:
+		return s.doNode(c)
+	case command.AddBar:
+		return s.doAddBar(c)
+	case command.AddCST:
+		return s.doAddCST(c)
+	case command.FixNode:
+		return s.doFixNode(c)
+	case command.FixDOF:
+		return s.doFixDOF(c)
+	case command.DefineLoadSet:
+		return s.doLoadSet(c)
+	case command.AddLoad:
+		return s.doAddLoad(c)
+	case command.EndLoad:
+		return s.doEndLoad(c)
+	case command.Solve:
+		return s.doSolve(ctx, c)
+	case command.Stresses:
+		return s.doStresses(c)
+	case command.Display:
+		return s.doDisplay(c)
+	case command.Store:
+		return s.doStore(c)
+	case command.Retrieve:
+		return s.doRetrieve(c)
+	case command.Delete:
+		return s.doDelete(c)
+	case command.List:
+		return s.doList(c)
 	default:
-		return "", usage("generate grid|truss|bar")
+		return nil, usage("unknown command type %T", cmd)
 	}
+}
+
+func (s *Session) doDefine(c command.Define) (command.Result, error) {
+	if s.WS.Model(c.Name) != nil {
+		// A name collision is a state conflict, not a usage or
+		// not-found condition — deliberately outside the taxonomy.
+		return nil, fmt.Errorf("auvm: model %q already in workspace", c.Name)
+	}
+	s.WS.PutModel(fem.NewModel(c.Name))
+	return &command.DefineResult{Name: c.Name}, nil
+}
+
+func (s *Session) doMaterial(c command.SetMaterial) (command.Result, error) {
+	if c.E <= 0 {
+		return nil, usage("modulus must be positive")
+	}
+	s.mat = fem.Material{E: c.E, Nu: c.Nu, T: c.T, A: c.A}
+	return &command.MaterialResult{E: c.E, Nu: c.Nu, T: c.T, A: c.A}, nil
+}
+
+func (s *Session) doGenerateGrid(c command.GenerateGrid) (command.Result, error) {
+	o := fem.RectGridOpts{
+		NX: c.NX, NY: c.NY, W: c.W, H: c.H, Mat: s.mat,
+		ClampLeft: c.ClampLeft, Jitter: c.Jitter, Seed: c.Seed,
+	}
+	m, err := fem.RectGrid(c.Name, o)
+	if err != nil {
+		return nil, err
+	}
+	s.WS.PutModel(m)
+	s.gridOpts(c.Name, o)
+	return &command.GenerateResult{Kind: "grid", Name: c.Name,
+		Nodes: len(m.Nodes), Elements: len(m.Elements)}, nil
+}
+
+func (s *Session) doGenerateTruss(c command.GenerateTruss) (command.Result, error) {
+	m, err := fem.CantileverTruss(c.Name, c.Bays, c.BayLen, c.Height, s.mat)
+	if err != nil {
+		return nil, err
+	}
+	s.WS.PutModel(m)
+	return &command.GenerateResult{Kind: "truss", Name: c.Name,
+		Nodes: len(m.Nodes), Elements: len(m.Elements)}, nil
+}
+
+func (s *Session) doGenerateBar(c command.GenerateBar) (command.Result, error) {
+	m, err := fem.UniaxialBar(c.Name, c.Segments, c.Length, s.mat)
+	if err != nil {
+		return nil, err
+	}
+	s.WS.PutModel(m)
+	return &command.GenerateResult{Kind: "bar", Name: c.Name,
+		Nodes: len(m.Nodes), Elements: c.Segments}, nil
 }
 
 func (s *Session) gridOpts(name string, o fem.RectGridOpts) {
@@ -250,359 +244,274 @@ func (s *Session) lookupGridOpts(name string) (fem.RectGridOpts, bool) {
 func (s *Session) model(name string) (*fem.Model, error) {
 	m := s.WS.Model(name)
 	if m == nil {
-		return nil, fmt.Errorf("auvm: no model %q in workspace (retrieve it first?)", name)
+		return nil, fmt.Errorf("auvm: no model %q in workspace (retrieve it first?): %w",
+			name, errs.ErrNotFound)
 	}
 	return m, nil
 }
 
-func (s *Session) cmdNode(args []string) (string, error) {
-	if len(args) != 3 {
-		return "", usage("node <model> <x> <y>")
-	}
-	m, err := s.model(args[0])
+func (s *Session) doNode(c command.AddNode) (command.Result, error) {
+	m, err := s.model(c.Model)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	x, err1 := strconv.ParseFloat(args[1], 64)
-	y, err2 := strconv.ParseFloat(args[2], 64)
-	if err1 != nil || err2 != nil {
-		return "", usage("node coordinates must be numeric")
-	}
-	id := m.AddNode(x, y)
-	return fmt.Sprintf("node %d at (%g, %g)", id, x, y), nil
+	id := m.AddNode(c.X, c.Y)
+	return &command.NodeResult{ID: id, X: c.X, Y: c.Y}, nil
 }
 
-func (s *Session) cmdElement(args []string) (string, error) {
-	if len(args) < 3 {
-		return "", usage("element bar|cst <model> <nodes...>")
-	}
-	m, err := s.model(args[1])
+func (s *Session) doAddBar(c command.AddBar) (command.Result, error) {
+	m, err := s.model(c.Model)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	switch args[0] {
-	case "bar":
-		if len(args) != 4 {
-			return "", usage("element bar <model> <n1> <n2>")
-		}
-		ns, err := ints(args[2:])
-		if err != nil {
-			return "", err
-		}
-		if err := m.AddElement(&fem.Bar{N1: ns[0], N2: ns[1], Mat: s.mat}); err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("bar %d-%d added to %q", ns[0], ns[1], m.Name), nil
-	case "cst":
-		if len(args) != 5 {
-			return "", usage("element cst <model> <n1> <n2> <n3>")
-		}
-		ns, err := ints(args[2:])
-		if err != nil {
-			return "", err
-		}
-		if err := m.AddElement(&fem.CST{N1: ns[0], N2: ns[1], N3: ns[2], Mat: s.mat}); err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("cst %d-%d-%d added to %q", ns[0], ns[1], ns[2], m.Name), nil
-	default:
-		return "", usage("element bar|cst")
+	if err := m.AddElement(&fem.Bar{N1: c.N1, N2: c.N2, Mat: s.mat}); err != nil {
+		return nil, err
 	}
+	return &command.ElementResult{Kind: "bar", Model: m.Name, Nodes: []int{c.N1, c.N2}}, nil
 }
 
-func (s *Session) cmdFix(args []string) (string, error) {
-	if len(args) != 3 {
-		return "", usage("fix node|dof <model> <index>")
-	}
-	m, err := s.model(args[1])
+func (s *Session) doAddCST(c command.AddCST) (command.Result, error) {
+	m, err := s.model(c.Model)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	idx, err := strconv.Atoi(args[2])
-	if err != nil {
-		return "", usage("fix index %q", args[2])
+	if err := m.AddElement(&fem.CST{N1: c.N1, N2: c.N2, N3: c.N3, Mat: s.mat}); err != nil {
+		return nil, err
 	}
-	switch args[0] {
-	case "node":
-		if err := m.FixNode(idx); err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("node %d fixed", idx), nil
-	case "dof":
-		if err := m.FixDOF(idx); err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("dof %d fixed", idx), nil
-	default:
-		return "", usage("fix node|dof")
-	}
+	return &command.ElementResult{Kind: "cst", Model: m.Name, Nodes: []int{c.N1, c.N2, c.N3}}, nil
 }
 
-func (s *Session) cmdLoadSet(args []string) (string, error) {
-	if len(args) != 2 {
-		return "", usage("loadset <model> <name>")
+func (s *Session) doFixNode(c command.FixNode) (command.Result, error) {
+	m, err := s.model(c.Model)
+	if err != nil {
+		return nil, err
 	}
-	if err := s.WS.PutLoadSet(args[0], &fem.LoadSet{Name: args[1]}); err != nil {
-		return "", err
+	if err := m.FixNode(c.Node); err != nil {
+		return nil, err
 	}
-	return fmt.Sprintf("load set %q on %q", args[1], args[0]), nil
+	return &command.FixResult{What: "node", Index: c.Node}, nil
 }
 
-func (s *Session) cmdLoad(args []string) (string, error) {
-	if len(args) == 5 && args[2] == "endload" {
-		// load <model> <set> endload <fx> <fy> — spread over a grid's
-		// right edge.
-		o, ok := s.lookupGridOpts(args[0])
-		if !ok {
-			return "", fmt.Errorf("auvm: endload requires a generated grid model")
-		}
-		fx, err1 := strconv.ParseFloat(args[3], 64)
-		fy, err2 := strconv.ParseFloat(args[4], 64)
-		if err1 != nil || err2 != nil {
-			return "", usage("endload forces must be numeric")
-		}
-		ls := fem.EndLoad(args[1], o, fx, fy)
-		if err := s.WS.PutLoadSet(args[0], ls); err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("end load %q: %d entries", args[1], len(ls.Entries)), nil
+func (s *Session) doFixDOF(c command.FixDOF) (command.Result, error) {
+	m, err := s.model(c.Model)
+	if err != nil {
+		return nil, err
 	}
-	if len(args) != 4 {
-		return "", usage("load <model> <set> <dof> <value>")
+	if err := m.FixDOF(c.DOF); err != nil {
+		return nil, err
 	}
-	ls := s.WS.LoadSet(args[0], args[1])
+	return &command.FixResult{What: "dof", Index: c.DOF}, nil
+}
+
+func (s *Session) doLoadSet(c command.DefineLoadSet) (command.Result, error) {
+	if err := s.WS.PutLoadSet(c.Model, &fem.LoadSet{Name: c.Set}); err != nil {
+		return nil, err
+	}
+	return &command.LoadSetResult{Model: c.Model, Set: c.Set}, nil
+}
+
+func (s *Session) doAddLoad(c command.AddLoad) (command.Result, error) {
+	ls := s.WS.LoadSet(c.Model, c.Set)
 	if ls == nil {
-		ls = &fem.LoadSet{Name: args[1]}
-		if err := s.WS.PutLoadSet(args[0], ls); err != nil {
-			return "", err
+		ls = &fem.LoadSet{Name: c.Set}
+		if err := s.WS.PutLoadSet(c.Model, ls); err != nil {
+			return nil, err
 		}
 	}
-	dof, err1 := strconv.Atoi(args[2])
-	val, err2 := strconv.ParseFloat(args[3], 64)
-	if err1 != nil || err2 != nil {
-		return "", usage("load dof/value must be numeric")
-	}
-	ls.Entries = append(ls.Entries, fem.LoadEntry{DOF: dof, Value: val})
-	return fmt.Sprintf("load %g on dof %d (%d entries)", val, dof, len(ls.Entries)), nil
+	ls.Entries = append(ls.Entries, fem.LoadEntry{DOF: c.DOF, Value: c.Value})
+	return &command.LoadResult{DOF: c.DOF, Value: c.Value, Entries: len(ls.Entries)}, nil
 }
 
-func (s *Session) cmdSolve(args []string) (string, error) {
-	if len(args) < 2 {
-		return "", usage("solve <model> <set> [method <m>] [parallel <p>] [substructures <k>]")
+func (s *Session) doEndLoad(c command.EndLoad) (command.Result, error) {
+	o, ok := s.lookupGridOpts(c.Model)
+	if !ok {
+		return nil, usage("endload requires a generated grid model")
 	}
-	m, err := s.model(args[0])
+	ls := fem.EndLoad(c.Set, o, c.FX, c.FY)
+	if err := s.WS.PutLoadSet(c.Model, ls); err != nil {
+		return nil, err
+	}
+	return &command.EndLoadResult{Set: c.Set, Entries: len(ls.Entries)}, nil
+}
+
+// femMethod maps a command method name to the fem solver enum; the zero
+// value selects the Cholesky baseline.
+func femMethod(m command.Method) (fem.Method, error) {
+	switch m {
+	case "", command.MethodCholesky:
+		return fem.MethodCholesky, nil
+	case command.MethodCG:
+		return fem.MethodCG, nil
+	case command.MethodSOR:
+		return fem.MethodSOR, nil
+	case command.MethodJacobi:
+		return fem.MethodJacobi, nil
+	default:
+		return 0, usage("unknown method %q", string(m))
+	}
+}
+
+func (s *Session) doSolve(ctx context.Context, c command.Solve) (command.Result, error) {
+	m, err := s.model(c.Model)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	ls := s.WS.LoadSet(args[0], args[1])
+	ls := s.WS.LoadSet(c.Model, c.Set)
 	if ls == nil {
-		return "", fmt.Errorf("auvm: no load set %q on model %q", args[1], args[0])
+		return nil, fmt.Errorf("auvm: no load set %q on model %q: %w",
+			c.Set, c.Model, errs.ErrNotFound)
 	}
-	method := fem.MethodCholesky
-	parallel := 0
-	substructures := 0
-	for i := 2; i < len(args); i++ {
-		switch args[i] {
-		case "method":
-			if i+1 >= len(args) {
-				return "", usage("method cholesky|cg|sor|jacobi")
-			}
-			switch args[i+1] {
-			case "cholesky":
-				method = fem.MethodCholesky
-			case "cg":
-				method = fem.MethodCG
-			case "sor":
-				method = fem.MethodSOR
-			case "jacobi":
-				method = fem.MethodJacobi
-			default:
-				return "", usage("unknown method %q", args[i+1])
-			}
-			i++
-		case "parallel":
-			if i+1 >= len(args) {
-				return "", usage("parallel <p>")
-			}
-			p, err := strconv.Atoi(args[i+1])
-			if err != nil || p < 1 {
-				return "", usage("parallel worker count %q", args[i+1])
-			}
-			parallel = p
-			i++
-		case "substructures":
-			if i+1 >= len(args) {
-				return "", usage("substructures <k>")
-			}
-			k, err := strconv.Atoi(args[i+1])
-			if err != nil || k < 1 {
-				return "", usage("substructure count %q", args[i+1])
-			}
-			substructures = k
-			i++
-		default:
-			return "", usage("unknown solve option %q", args[i])
-		}
+	method, err := femMethod(c.Method)
+	if err != nil {
+		return nil, err
 	}
+	res := &command.SolveResult{Model: c.Model, Set: c.Set, Substructures: c.Substructures}
 	var sol *fem.Solution
 	switch {
-	case substructures > 0:
-		sub, err := fem.PartitionByX(m, substructures)
+	case c.Substructures > 0:
+		sub, err := fem.PartitionByX(m, c.Substructures)
 		if err != nil {
-			return "", err
+			return nil, err
+		}
+		if err := cancelled(ctx); err != nil {
+			return nil, err
 		}
 		sol, err = fem.SolveSubstructured(m, sub, ls, s.RT)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-	case parallel > 0:
+		res.Method = method.String()
+	case c.Parallel > 0:
 		if s.RT == nil {
-			return "", fmt.Errorf("auvm: this session has no parallel machine attached")
+			return nil, fmt.Errorf("auvm: this session has no parallel machine attached")
+		}
+		if err := cancelled(ctx); err != nil {
+			return nil, err
 		}
 		var stats navm.SolveStats
-		sol, stats, err = fem.SolveParallel(s.RT, m, ls, parallel)
+		sol, stats, err = fem.SolveParallel(s.RT, m, ls, c.Parallel)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		s.WS.PutSolution(args[0], sol)
-		dof, v := MaxDisplacement(sol)
-		return fmt.Sprintf("solved %q/%q in parallel on %d workers: %d iterations, %d halo words, makespan %d cycles; max |u| = %g at dof %d",
-			args[0], args[1], parallel, stats.Iterations, stats.HaloWords, stats.Makespan, v, dof), nil
+		res.Parallel = c.Parallel
+		res.Iterations = stats.Iterations
+		res.HaloWords = stats.HaloWords
+		res.Makespan = stats.Makespan
 	default:
+		if err := cancelled(ctx); err != nil {
+			return nil, err
+		}
 		sol, err = fem.Solve(m, ls, method)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
+		res.Method = method.String()
 	}
-	s.WS.PutSolution(args[0], sol)
-	dof, v := MaxDisplacement(sol)
-	return fmt.Sprintf("solved %q/%q (%s): max |u| = %g at dof %d", args[0], args[1], method, v, dof), nil
+	s.WS.PutSolution(c.Model, sol)
+	res.MaxDOF, res.MaxDisp = MaxDisplacement(sol)
+	return res, nil
 }
 
-func (s *Session) cmdStresses(args []string) (string, error) {
-	if len(args) != 1 {
-		return "", usage("stresses <model>")
-	}
-	m, err := s.model(args[0])
+func (s *Session) doStresses(c command.Stresses) (command.Result, error) {
+	m, err := s.model(c.Model)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	sol := s.WS.Solution(args[0])
+	sol := s.WS.Solution(c.Model)
 	if sol == nil {
-		return "", fmt.Errorf("auvm: model %q has no solution (solve first)", args[0])
+		return nil, fmt.Errorf("auvm: model %q has no solution (solve first): %w",
+			c.Model, errs.ErrNotFound)
 	}
 	st, err := fem.Stresses(m, sol)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	s.WS.PutStresses(args[0], st)
+	s.WS.PutStresses(c.Model, st)
 	elem, vm := MaxVonMises(st)
-	return fmt.Sprintf("stresses for %q: %d elements, max von Mises %g in element %d", args[0], len(st), vm, elem), nil
+	return &command.StressesResult{Model: c.Model, Elements: len(st),
+		MaxVonMises: vm, MaxElem: elem}, nil
 }
 
-func (s *Session) cmdDisplay(args []string) (string, error) {
-	if len(args) != 2 {
-		return "", usage("display model|displacements|stresses <model>")
-	}
-	name := args[1]
-	switch args[0] {
-	case "model":
-		m, err := s.model(name)
+func (s *Session) doDisplay(c command.Display) (command.Result, error) {
+	switch c.What {
+	case command.DisplayModel:
+		m, err := s.model(c.Model)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		kinds := map[string]int{}
 		for _, e := range m.Elements {
 			kinds[e.Kind()]++
 		}
-		var ks []string
-		for k, c := range kinds {
-			ks = append(ks, fmt.Sprintf("%d %s", c, k))
-		}
-		sort.Strings(ks)
-		return fmt.Sprintf("model %q: %d nodes, %d dofs (%d fixed), elements: %s",
-			name, len(m.Nodes), m.NumDOF(), m.NumFixed(), strings.Join(ks, ", ")), nil
-	case "displacements":
-		sol := s.WS.Solution(name)
+		return &command.ModelInfoResult{Name: c.Model, Nodes: len(m.Nodes),
+			DOFs: m.NumDOF(), Fixed: m.NumFixed(), ElementCounts: kinds}, nil
+	case command.DisplayDisplacements:
+		sol := s.WS.Solution(c.Model)
 		if sol == nil {
-			return "", fmt.Errorf("auvm: model %q has no solution", name)
+			return nil, fmt.Errorf("auvm: model %q has no solution: %w",
+				c.Model, errs.ErrNotFound)
 		}
 		dof, v := MaxDisplacement(sol)
-		return fmt.Sprintf("displacements of %q: |u|∞ = %g (dof %d), norm %g",
-			name, v, dof, displacementNorm(sol)), nil
-	case "stresses":
-		st := s.WS.Stresses(name)
+		return &command.DisplacementsResult{Model: c.Model, MaxDisp: v, MaxDOF: dof,
+			Norm: displacementNorm(sol)}, nil
+	case command.DisplayStresses:
+		st := s.WS.Stresses(c.Model)
 		if st == nil {
-			return "", fmt.Errorf("auvm: model %q has no stresses", name)
+			return nil, fmt.Errorf("auvm: model %q has no stresses: %w",
+				c.Model, errs.ErrNotFound)
 		}
 		elem, vm := MaxVonMises(st)
-		return fmt.Sprintf("stresses of %q: max von Mises %g in element %d of %d",
-			name, vm, elem, len(st)), nil
+		return &command.StressSummaryResult{Model: c.Model, MaxVonMises: vm,
+			MaxElem: elem, Elements: len(st)}, nil
 	default:
-		return "", usage("display model|displacements|stresses")
+		return nil, usage("display model|displacements|stresses")
 	}
 }
 
-func (s *Session) cmdStore(args []string) (string, error) {
-	if len(args) != 1 {
-		return "", usage("store <model>")
-	}
-	m, err := s.model(args[0])
+func (s *Session) doStore(c command.Store) (command.Result, error) {
+	m, err := s.model(c.Model)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	var loads []*fem.LoadSet
-	for _, n := range s.WS.LoadSetNames(args[0]) {
-		loads = append(loads, s.WS.LoadSet(args[0], n))
+	for _, n := range s.WS.LoadSetNames(c.Model) {
+		loads = append(loads, s.WS.LoadSet(c.Model, n))
 	}
 	if err := s.DB.Store(m, loads); err != nil {
-		return "", err
+		return nil, err
 	}
-	return fmt.Sprintf("stored %q (%d load sets) in data base", args[0], len(loads)), nil
+	return &command.StoreResult{Name: c.Model, LoadSets: len(loads)}, nil
 }
 
-func (s *Session) cmdRetrieve(args []string) (string, error) {
-	if len(args) != 1 {
-		return "", usage("retrieve <name>")
-	}
-	m, loads, err := s.DB.Retrieve(args[0])
+func (s *Session) doRetrieve(c command.Retrieve) (command.Result, error) {
+	m, loads, err := s.DB.Retrieve(c.Name)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	s.WS.PutModel(m)
 	for _, ls := range loads {
 		if err := s.WS.PutLoadSet(m.Name, ls); err != nil {
-			return "", err
+			return nil, err
 		}
 	}
-	return fmt.Sprintf("retrieved %q (%d load sets) into workspace", args[0], len(loads)), nil
+	return &command.RetrieveResult{Name: c.Name, LoadSets: len(loads)}, nil
 }
 
-func (s *Session) cmdDelete(args []string) (string, error) {
-	if len(args) != 1 {
-		return "", usage("delete <name>")
+func (s *Session) doDelete(c command.Delete) (command.Result, error) {
+	if !s.DB.Delete(c.Name) {
+		return nil, fmt.Errorf("auvm: model %q not in database: %w", c.Name, ErrNotFound)
 	}
-	if !s.DB.Delete(args[0]) {
-		return "", fmt.Errorf("%w: %q", ErrNotFound, args[0])
-	}
-	return fmt.Sprintf("deleted %q from data base", args[0]), nil
+	return &command.DeleteResult{Name: c.Name}, nil
 }
 
-func (s *Session) cmdList(args []string) (string, error) {
-	if len(args) != 1 {
-		return "", usage("list db|workspace")
-	}
-	switch args[0] {
-	case "db":
-		names := s.DB.Names()
-		return fmt.Sprintf("data base (%d models, %d bytes): %s",
-			len(names), s.DB.Bytes(), strings.Join(names, " ")), nil
-	case "workspace":
-		names := s.WS.ModelNames()
-		return fmt.Sprintf("workspace (%d models, %d words): %s",
-			len(names), s.WS.Words(), strings.Join(names, " ")), nil
+func (s *Session) doList(c command.List) (command.Result, error) {
+	switch c.What {
+	case command.ListDB:
+		return &command.ListResult{What: c.What, Names: s.DB.Names(), Bytes: s.DB.Bytes()}, nil
+	case command.ListWorkspace:
+		return &command.ListResult{What: c.What, Names: s.WS.ModelNames(), Words: s.WS.Words()}, nil
 	default:
-		return "", usage("list db|workspace")
+		return nil, usage("list db|workspace")
 	}
 }
 
@@ -624,28 +533,4 @@ func (s *Session) Run(r io.Reader, w io.Writer) error {
 		}
 	}
 	return sc.Err()
-}
-
-func floats(ss []string) ([]float64, error) {
-	out := make([]float64, len(ss))
-	for i, s := range ss {
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return nil, usage("numeric argument expected, got %q", s)
-		}
-		out[i] = v
-	}
-	return out, nil
-}
-
-func ints(ss []string) ([]int, error) {
-	out := make([]int, len(ss))
-	for i, s := range ss {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return nil, usage("integer argument expected, got %q", s)
-		}
-		out[i] = v
-	}
-	return out, nil
 }

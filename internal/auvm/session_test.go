@@ -1,0 +1,173 @@
+package auvm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/command"
+	"repro/internal/errs"
+)
+
+// TestMetricsLessSession is the regression test for sessions with no
+// collector attached: every command class, including malformed lines,
+// must work with s.Metrics == nil.
+func TestMetricsLessSession(t *testing.T) {
+	s := NewSession("bare", NewDatabase())
+	if s.Metrics != nil {
+		t.Fatal("NewSession attached a collector")
+	}
+	for _, line := range []string{
+		"generate grid g 3 3 3 3 clamp-left",
+		"load g l endload 0 -10",
+		"solve g l",
+		"stresses g",
+		"store g",
+		"list db",
+		"list workspace",
+	} {
+		if _, err := s.Execute(line); err != nil {
+			t.Fatalf("metrics-less %q: %v", line, err)
+		}
+	}
+	// Malformed lines charge the (absent) collector too.
+	if _, err := s.Execute("frobnicate"); !errors.Is(err, ErrUsage) {
+		t.Errorf("metrics-less parse error: %v", err)
+	}
+}
+
+// TestDoTypedCommands drives Do with struct-literal commands and reads
+// the typed result fields — the programmatic path with no text round
+// trip.
+func TestDoTypedCommands(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+
+	res, err := s.Do(ctx, command.GenerateGrid{Name: "g", NX: 4, NY: 3, W: 4, H: 3, ClampLeft: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := res.(*command.GenerateResult)
+	if gr.Nodes != 20 || gr.Elements != 24 {
+		t.Errorf("generate result = %+v", gr)
+	}
+
+	if _, err := s.Do(ctx, command.EndLoad{Model: "g", Set: "tip", FY: -100}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Do(ctx, command.Solve{Model: "g", Set: "tip", Method: command.MethodCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.(*command.SolveResult)
+	if sr.Method != "cg" || sr.MaxDisp <= 0 || sr.MaxDOF < 0 {
+		t.Errorf("solve result = %+v", sr)
+	}
+
+	// Do's result String is exactly what Execute returns for the same
+	// command line: the REPL is a thin adapter.
+	s2 := newSession(t)
+	for _, line := range []string{
+		"generate grid g 4 3 4 3 clamp-left",
+		"load g tip endload 0 -100",
+	} {
+		if _, err := s2.Execute(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s2.Execute("solve g tip method cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != sr.String() {
+		t.Errorf("Execute output %q != Do result rendering %q", out, sr.String())
+	}
+}
+
+// TestDoCancelledContext checks Do refuses work once its context is
+// done, with an error classified by both the shared taxonomy and the
+// context package.
+func TestDoCancelledContext(t *testing.T) {
+	s := newSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Do(ctx, command.List{What: command.ListDB}); !errors.Is(err, ErrCancelled) {
+		t.Errorf("cancelled Do: %v", err)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Do lost the context error: %v", err)
+	}
+	// A live context works.
+	if _, err := s.Do(context.Background(), command.List{What: command.ListDB}); err != nil {
+		t.Errorf("live Do: %v", err)
+	}
+}
+
+// TestDoPointerCommand checks pointer-spelled commands dispatch the
+// same as value commands.
+func TestDoPointerCommand(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+	if _, err := s.Do(ctx, &command.GenerateGrid{Name: "g", NX: 2, NY: 2, W: 2, H: 2, ClampLeft: true}); err != nil {
+		t.Fatalf("pointer command: %v", err)
+	}
+	res, err := s.Do(ctx, &command.List{What: command.ListWorkspace})
+	if err != nil {
+		t.Fatalf("pointer list: %v", err)
+	}
+	if lr := res.(*command.ListResult); len(lr.Names) != 1 || lr.Names[0] != "g" {
+		t.Errorf("pointer list result = %+v", lr)
+	}
+}
+
+// TestDoQuit checks the quit protocol: QuitResult plus ErrQuit.
+func TestDoQuit(t *testing.T) {
+	s := newSession(t)
+	res, err := s.Do(context.Background(), command.Quit{})
+	if !errors.Is(err, ErrQuit) {
+		t.Errorf("quit error = %v", err)
+	}
+	if res == nil || res.String() != "bye" {
+		t.Errorf("quit result = %v", res)
+	}
+}
+
+// TestErrorTaxonomy checks errors.Is classification across the layers:
+// missing objects, malformed requests, for both entry points.
+func TestErrorTaxonomy(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+
+	if _, err := s.Do(ctx, command.Solve{Model: "ghost", Set: "l"}); !errors.Is(err, errs.ErrNotFound) {
+		t.Errorf("solve on missing model: %v", err)
+	}
+	if _, err := s.Execute("retrieve ghost"); !errors.Is(err, errs.ErrNotFound) {
+		t.Errorf("retrieve missing model: %v", err)
+	}
+	if _, err := s.Execute("display displacements ghost"); !errors.Is(err, errs.ErrNotFound) {
+		t.Errorf("display without solution: %v", err)
+	}
+	if _, err := s.Execute("list wat"); !errors.Is(err, errs.ErrUsage) {
+		t.Errorf("bad list target: %v", err)
+	}
+	// A programmatically built command bypasses the parser; the
+	// interpreter still classifies the bad method as a usage error.
+	mustExec(t, s, "generate grid g 2 2 2 2 clamp-left")
+	mustExec(t, s, "load g l endload 1 0")
+	if _, err := s.Do(ctx, command.Solve{Model: "g", Set: "l", Method: "gauss"}); !errors.Is(err, errs.ErrUsage) {
+		t.Errorf("bad programmatic method: %v", err)
+	}
+	// Interpreter-level rejections of ineligible requests classify too.
+	if _, err := s.Execute("material -1 0 1 1"); !errors.Is(err, errs.ErrUsage) {
+		t.Errorf("negative modulus: %v", err)
+	}
+	mustExec(t, s, "define structure hand")
+	// A name collision is a state conflict, deliberately outside the
+	// taxonomy: it must error without classifying as usage/not-found.
+	if _, err := s.Execute("define structure hand"); err == nil ||
+		errors.Is(err, errs.ErrUsage) || errors.Is(err, errs.ErrNotFound) {
+		t.Errorf("duplicate define: %v", err)
+	}
+	if _, err := s.Execute("load hand ls endload 1 0"); !errors.Is(err, errs.ErrUsage) {
+		t.Errorf("endload on non-grid: %v", err)
+	}
+}

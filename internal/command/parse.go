@@ -1,0 +1,321 @@
+package command
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/errs"
+)
+
+// ErrUsage aliases the shared errs.ErrUsage sentinel: every syntax error
+// Parse returns wraps it, so errors.Is(err, command.ErrUsage) classifies
+// malformed command lines.
+var ErrUsage = errs.ErrUsage
+
+// usage is the shared syntax-error constructor.
+var usage = errs.Usage
+
+// Parse lexes and parses one command line into its typed Command.  A
+// blank line or a # comment parses to (nil, nil).  Syntax errors wrap
+// ErrUsage; all name/object resolution is deferred to the interpreter.
+func Parse(line string) (Command, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return nil, nil
+	}
+	verb := strings.ToLower(fields[0])
+	args := fields[1:]
+	switch verb {
+	case "help":
+		return Help{}, nil
+	case "quit", "exit":
+		return Quit{}, nil
+	case "define":
+		if len(args) != 2 || args[0] != "structure" {
+			return nil, usage("define structure <name>")
+		}
+		return Define{Name: args[1]}, nil
+	case "material":
+		if len(args) != 4 {
+			return nil, usage("material <E> <nu> <thickness> <area>")
+		}
+		vals, err := floats(args)
+		if err != nil {
+			return nil, err
+		}
+		return SetMaterial{E: vals[0], Nu: vals[1], T: vals[2], A: vals[3]}, nil
+	case "generate":
+		return parseGenerate(args)
+	case "node":
+		if len(args) != 3 {
+			return nil, usage("node <model> <x> <y>")
+		}
+		x, err1 := strconv.ParseFloat(args[1], 64)
+		y, err2 := strconv.ParseFloat(args[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, usage("node coordinates must be numeric")
+		}
+		return AddNode{Model: args[0], X: x, Y: y}, nil
+	case "element":
+		return parseElement(args)
+	case "fix":
+		if len(args) != 3 {
+			return nil, usage("fix node|dof <model> <index>")
+		}
+		idx, err := strconv.Atoi(args[2])
+		if err != nil {
+			return nil, usage("fix index %q", args[2])
+		}
+		switch args[0] {
+		case "node":
+			return FixNode{Model: args[1], Node: idx}, nil
+		case "dof":
+			return FixDOF{Model: args[1], DOF: idx}, nil
+		default:
+			return nil, usage("fix node|dof")
+		}
+	case "loadset":
+		if len(args) != 2 {
+			return nil, usage("loadset <model> <name>")
+		}
+		return DefineLoadSet{Model: args[0], Set: args[1]}, nil
+	case "load":
+		return parseLoad(args)
+	case "solve":
+		return parseSolve(args)
+	case "stresses":
+		if len(args) != 1 {
+			return nil, usage("stresses <model>")
+		}
+		return Stresses{Model: args[0]}, nil
+	case "display":
+		if len(args) != 2 {
+			return nil, usage("display model|displacements|stresses <model>")
+		}
+		switch DisplayKind(args[0]) {
+		case DisplayModel, DisplayDisplacements, DisplayStresses:
+			return Display{What: DisplayKind(args[0]), Model: args[1]}, nil
+		default:
+			return nil, usage("display model|displacements|stresses")
+		}
+	case "store":
+		if len(args) != 1 {
+			return nil, usage("store <model>")
+		}
+		return Store{Model: args[0]}, nil
+	case "retrieve":
+		if len(args) != 1 {
+			return nil, usage("retrieve <name>")
+		}
+		return Retrieve{Name: args[0]}, nil
+	case "delete":
+		if len(args) != 1 {
+			return nil, usage("delete <name>")
+		}
+		return Delete{Name: args[0]}, nil
+	case "list":
+		if len(args) != 1 {
+			return nil, usage("list db|workspace")
+		}
+		switch ListKind(args[0]) {
+		case ListDB, ListWorkspace:
+			return List{What: ListKind(args[0])}, nil
+		default:
+			return nil, usage("list db|workspace")
+		}
+	default:
+		return nil, usage("unknown command %q (try help)", verb)
+	}
+}
+
+// parseGenerate parses the three generate sub-verbs.
+func parseGenerate(args []string) (Command, error) {
+	if len(args) < 2 {
+		return nil, usage("generate grid|truss|bar <name> ...")
+	}
+	kind, name := args[0], args[1]
+	rest := args[2:]
+	switch kind {
+	case "grid":
+		if len(rest) < 4 {
+			return nil, usage("generate grid <name> <nx> <ny> <w> <h> [clamp-left] [jitter <frac> <seed>]")
+		}
+		nx, err1 := strconv.Atoi(rest[0])
+		ny, err2 := strconv.Atoi(rest[1])
+		w, err3 := strconv.ParseFloat(rest[2], 64)
+		h, err4 := strconv.ParseFloat(rest[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, usage("generate grid: numeric arguments required")
+		}
+		c := GenerateGrid{Name: name, NX: nx, NY: ny, W: w, H: h}
+		for i := 4; i < len(rest); i++ {
+			switch rest[i] {
+			case "clamp-left":
+				c.ClampLeft = true
+			case "jitter":
+				if i+2 >= len(rest) {
+					return nil, usage("jitter <frac> <seed>")
+				}
+				f, err := strconv.ParseFloat(rest[i+1], 64)
+				if err != nil {
+					return nil, usage("jitter fraction %q", rest[i+1])
+				}
+				seed, err := strconv.ParseInt(rest[i+2], 10, 64)
+				if err != nil {
+					return nil, usage("jitter seed %q", rest[i+2])
+				}
+				c.Jitter, c.Seed = f, seed
+				i += 2
+			default:
+				return nil, usage("unknown grid option %q", rest[i])
+			}
+		}
+		return c, nil
+	case "truss":
+		if len(rest) != 3 {
+			return nil, usage("generate truss <name> <bays> <baylen> <height>")
+		}
+		bays, err1 := strconv.Atoi(rest[0])
+		bl, err2 := strconv.ParseFloat(rest[1], 64)
+		ht, err3 := strconv.ParseFloat(rest[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, usage("generate truss: numeric arguments required")
+		}
+		return GenerateTruss{Name: name, Bays: bays, BayLen: bl, Height: ht}, nil
+	case "bar":
+		if len(rest) != 2 {
+			return nil, usage("generate bar <name> <segments> <length>")
+		}
+		n, err1 := strconv.Atoi(rest[0])
+		l, err2 := strconv.ParseFloat(rest[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, usage("generate bar: numeric arguments required")
+		}
+		return GenerateBar{Name: name, Segments: n, Length: l}, nil
+	default:
+		return nil, usage("generate grid|truss|bar")
+	}
+}
+
+// parseElement parses the two element sub-verbs.
+func parseElement(args []string) (Command, error) {
+	if len(args) < 3 {
+		return nil, usage("element bar|cst <model> <nodes...>")
+	}
+	switch args[0] {
+	case "bar":
+		if len(args) != 4 {
+			return nil, usage("element bar <model> <n1> <n2>")
+		}
+		ns, err := ints(args[2:])
+		if err != nil {
+			return nil, err
+		}
+		return AddBar{Model: args[1], N1: ns[0], N2: ns[1]}, nil
+	case "cst":
+		if len(args) != 5 {
+			return nil, usage("element cst <model> <n1> <n2> <n3>")
+		}
+		ns, err := ints(args[2:])
+		if err != nil {
+			return nil, err
+		}
+		return AddCST{Model: args[1], N1: ns[0], N2: ns[1], N3: ns[2]}, nil
+	default:
+		return nil, usage("element bar|cst")
+	}
+}
+
+// parseLoad parses both load forms: a single dof load and the grid edge
+// load.
+func parseLoad(args []string) (Command, error) {
+	if len(args) == 5 && args[2] == "endload" {
+		fx, err1 := strconv.ParseFloat(args[3], 64)
+		fy, err2 := strconv.ParseFloat(args[4], 64)
+		if err1 != nil || err2 != nil {
+			return nil, usage("endload forces must be numeric")
+		}
+		return EndLoad{Model: args[0], Set: args[1], FX: fx, FY: fy}, nil
+	}
+	if len(args) != 4 {
+		return nil, usage("load <model> <set> <dof> <value>")
+	}
+	dof, err1 := strconv.Atoi(args[2])
+	val, err2 := strconv.ParseFloat(args[3], 64)
+	if err1 != nil || err2 != nil {
+		return nil, usage("load dof/value must be numeric")
+	}
+	return AddLoad{Model: args[0], Set: args[1], DOF: dof, Value: val}, nil
+}
+
+// parseSolve parses the solve verb and its option list.
+func parseSolve(args []string) (Command, error) {
+	if len(args) < 2 {
+		return nil, usage("solve <model> <set> [method <m>] [parallel <p>] [substructures <k>]")
+	}
+	c := Solve{Model: args[0], Set: args[1]}
+	for i := 2; i < len(args); i++ {
+		switch args[i] {
+		case "method":
+			if i+1 >= len(args) {
+				return nil, usage("method cholesky|cg|sor|jacobi")
+			}
+			switch Method(args[i+1]) {
+			case MethodCholesky, MethodCG, MethodSOR, MethodJacobi:
+				c.Method = Method(args[i+1])
+			default:
+				return nil, usage("unknown method %q", args[i+1])
+			}
+			i++
+		case "parallel":
+			if i+1 >= len(args) {
+				return nil, usage("parallel <p>")
+			}
+			p, err := strconv.Atoi(args[i+1])
+			if err != nil || p < 1 {
+				return nil, usage("parallel worker count %q", args[i+1])
+			}
+			c.Parallel = p
+			i++
+		case "substructures":
+			if i+1 >= len(args) {
+				return nil, usage("substructures <k>")
+			}
+			k, err := strconv.Atoi(args[i+1])
+			if err != nil || k < 1 {
+				return nil, usage("substructure count %q", args[i+1])
+			}
+			c.Substructures = k
+			i++
+		default:
+			return nil, usage("unknown solve option %q", args[i])
+		}
+	}
+	return c, nil
+}
+
+// floats parses every field as a float64.
+func floats(ss []string) ([]float64, error) {
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, usage("numeric argument expected, got %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ints parses every field as an int.
+func ints(ss []string) ([]int, error) {
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, usage("integer argument expected, got %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,350 @@
+package command
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one typed AUVM reply.  String renders the exact display line
+// the REPL shows, so the interactive shell is result.String() and
+// nothing more; programmatic callers read the struct fields instead.
+type Result interface {
+	fmt.Stringer
+	// isResult restricts the interface to this package's result structs.
+	isResult()
+}
+
+// HelpText is the command-language summary the help verb displays.
+const HelpText = `FEM-2 workstation commands:
+  define structure <name>
+  material <E> <nu> <thickness> <area>
+  generate grid <name> <nx> <ny> <w> <h> [clamp-left] [jitter <frac> <seed>]
+  generate truss <name> <bays> <baylen> <height>
+  generate bar <name> <segments> <length>
+  node <model> <x> <y>
+  element bar <model> <n1> <n2>
+  element cst <model> <n1> <n2> <n3>
+  fix node <model> <n> | fix dof <model> <d>
+  loadset <model> <name>
+  load <model> <set> <dof> <value>
+  load <model> <set> endload <fx> <fy>   (grid models)
+  solve <model> <set> [method cholesky|cg|sor|jacobi] [parallel <p>] [substructures <k>]
+  stresses <model>
+  display model|displacements|stresses <model>
+  store <model> | retrieve <name> | delete <name>
+  list db | list workspace
+  help | quit`
+
+// HelpResult is the reply to Help.
+type HelpResult struct{}
+
+// QuitResult is the reply to Quit (delivered alongside ErrQuit).
+type QuitResult struct{}
+
+// DefineResult is the reply to Define.
+type DefineResult struct {
+	// Name is the new model's name.
+	Name string
+}
+
+// MaterialResult is the reply to SetMaterial: the material now in
+// effect.
+type MaterialResult struct {
+	// E, Nu, T, A echo the session's current material.
+	E, Nu, T, A float64
+}
+
+// GenerateResult is the reply to the generate verbs.
+type GenerateResult struct {
+	// Kind is "grid", "truss", or "bar"; Name is the model name.
+	Kind, Name string
+	// Nodes and Elements count the generated mesh (Elements counts
+	// members for a truss and segments for a bar).
+	Nodes, Elements int
+}
+
+// NodeResult is the reply to AddNode.
+type NodeResult struct {
+	// ID is the new node's index; X, Y its coordinates.
+	ID   int
+	X, Y float64
+}
+
+// ElementResult is the reply to AddBar and AddCST.
+type ElementResult struct {
+	// Kind is "bar" or "cst"; Model the owning model; Nodes the element
+	// connectivity.
+	Kind, Model string
+	Nodes       []int
+}
+
+// FixResult is the reply to FixNode and FixDOF.
+type FixResult struct {
+	// What is "node" or "dof"; Index the fixed index.
+	What  string
+	Index int
+}
+
+// LoadSetResult is the reply to DefineLoadSet.
+type LoadSetResult struct {
+	// Model and Set name the created load set.
+	Model, Set string
+}
+
+// LoadResult is the reply to AddLoad.
+type LoadResult struct {
+	// DOF and Value echo the applied load; Entries counts the set's
+	// loads after the append.
+	DOF     int
+	Value   float64
+	Entries int
+}
+
+// EndLoadResult is the reply to EndLoad.
+type EndLoadResult struct {
+	// Set names the load set; Entries counts the edge nodes loaded.
+	Set     string
+	Entries int
+}
+
+// SolveResult is the reply to Solve.
+type SolveResult struct {
+	// Model and Set name the solved system.
+	Model, Set string
+	// Method is the sequential method's name, rendered for
+	// non-parallel solves.  For a substructured solve it echoes the
+	// requested method while the condensation path performs its own
+	// direct solves — matching the REPL's historical display.
+	Method string
+	// Parallel is the worker count of a parallel solve, 0 otherwise.
+	Parallel int
+	// Substructures is the band count of a substructured solve, 0
+	// otherwise.
+	Substructures int
+	// Iterations, HaloWords, and Makespan are the simulated-machine
+	// statistics of a parallel solve.
+	Iterations int
+	HaloWords  int64
+	Makespan   int64
+	// MaxDisp is the largest displacement magnitude, at dof MaxDOF.
+	MaxDisp float64
+	MaxDOF  int
+}
+
+// StressesResult is the reply to Stresses.
+type StressesResult struct {
+	// Model names the model; Elements counts its elements.
+	Model    string
+	Elements int
+	// MaxVonMises is the worst element stress, in element MaxElem.
+	MaxVonMises float64
+	MaxElem     int
+}
+
+// ModelInfoResult is the reply to Display{What: DisplayModel}.
+type ModelInfoResult struct {
+	// Name is the model name.
+	Name string
+	// Nodes, DOFs, and Fixed count the mesh.
+	Nodes, DOFs, Fixed int
+	// ElementCounts maps element kind to count.
+	ElementCounts map[string]int
+}
+
+// DisplacementsResult is the reply to Display{What: DisplayDisplacements}.
+type DisplacementsResult struct {
+	// Model names the solved model.
+	Model string
+	// MaxDisp is the largest displacement magnitude, at dof MaxDOF;
+	// Norm is the displacement vector's infinity norm.
+	MaxDisp float64
+	MaxDOF  int
+	Norm    float64
+}
+
+// StressSummaryResult is the reply to Display{What: DisplayStresses}.
+type StressSummaryResult struct {
+	// Model names the stressed model; Elements counts its elements.
+	Model    string
+	Elements int
+	// MaxVonMises is the worst element stress, in element MaxElem.
+	MaxVonMises float64
+	MaxElem     int
+}
+
+// StoreResult is the reply to Store.
+type StoreResult struct {
+	// Name is the stored model; LoadSets counts the sets stored with it.
+	Name     string
+	LoadSets int
+}
+
+// RetrieveResult is the reply to Retrieve.
+type RetrieveResult struct {
+	// Name is the retrieved model; LoadSets counts the sets retrieved
+	// with it.
+	Name     string
+	LoadSets int
+}
+
+// DeleteResult is the reply to Delete.
+type DeleteResult struct {
+	// Name is the deleted model's name.
+	Name string
+}
+
+// ListResult is the reply to List.
+type ListResult struct {
+	// What is the enumerated store.
+	What ListKind
+	// Names are the model names, sorted.
+	Names []string
+	// Bytes is the database's serialized size (ListDB only).
+	Bytes int64
+	// Words is the workspace's word footprint (ListWorkspace only).
+	Words int64
+}
+
+func (HelpResult) isResult()          {}
+func (QuitResult) isResult()          {}
+func (DefineResult) isResult()        {}
+func (MaterialResult) isResult()      {}
+func (GenerateResult) isResult()      {}
+func (NodeResult) isResult()          {}
+func (ElementResult) isResult()       {}
+func (FixResult) isResult()           {}
+func (LoadSetResult) isResult()       {}
+func (LoadResult) isResult()          {}
+func (EndLoadResult) isResult()       {}
+func (SolveResult) isResult()         {}
+func (StressesResult) isResult()      {}
+func (ModelInfoResult) isResult()     {}
+func (DisplacementsResult) isResult() {}
+func (StressSummaryResult) isResult() {}
+func (StoreResult) isResult()         {}
+func (RetrieveResult) isResult()      {}
+func (DeleteResult) isResult()        {}
+func (ListResult) isResult()          {}
+
+// String renders the REPL display line.
+func (HelpResult) String() string { return HelpText }
+
+// String renders the REPL display line.
+func (QuitResult) String() string { return "bye" }
+
+// String renders the REPL display line.
+func (r DefineResult) String() string { return fmt.Sprintf("defined structure %q", r.Name) }
+
+// String renders the REPL display line.
+func (r MaterialResult) String() string {
+	return fmt.Sprintf("material E=%g nu=%g t=%g A=%g", r.E, r.Nu, r.T, r.A)
+}
+
+// String renders the REPL display line.
+func (r GenerateResult) String() string {
+	switch r.Kind {
+	case "truss":
+		return fmt.Sprintf("generated truss %q: %d nodes, %d members", r.Name, r.Nodes, r.Elements)
+	case "bar":
+		return fmt.Sprintf("generated bar %q: %d segments", r.Name, r.Elements)
+	default:
+		return fmt.Sprintf("generated grid %q: %d nodes, %d elements", r.Name, r.Nodes, r.Elements)
+	}
+}
+
+// String renders the REPL display line.
+func (r NodeResult) String() string {
+	return fmt.Sprintf("node %d at (%g, %g)", r.ID, r.X, r.Y)
+}
+
+// String renders the REPL display line.
+func (r ElementResult) String() string {
+	ns := make([]string, len(r.Nodes))
+	for i, n := range r.Nodes {
+		ns[i] = fmt.Sprint(n)
+	}
+	return fmt.Sprintf("%s %s added to %q", r.Kind, strings.Join(ns, "-"), r.Model)
+}
+
+// String renders the REPL display line.
+func (r FixResult) String() string { return fmt.Sprintf("%s %d fixed", r.What, r.Index) }
+
+// String renders the REPL display line.
+func (r LoadSetResult) String() string {
+	return fmt.Sprintf("load set %q on %q", r.Set, r.Model)
+}
+
+// String renders the REPL display line.
+func (r LoadResult) String() string {
+	return fmt.Sprintf("load %g on dof %d (%d entries)", r.Value, r.DOF, r.Entries)
+}
+
+// String renders the REPL display line.
+func (r EndLoadResult) String() string {
+	return fmt.Sprintf("end load %q: %d entries", r.Set, r.Entries)
+}
+
+// String renders the REPL display line.
+func (r SolveResult) String() string {
+	if r.Parallel > 0 {
+		return fmt.Sprintf("solved %q/%q in parallel on %d workers: %d iterations, %d halo words, makespan %d cycles; max |u| = %g at dof %d",
+			r.Model, r.Set, r.Parallel, r.Iterations, r.HaloWords, r.Makespan, r.MaxDisp, r.MaxDOF)
+	}
+	return fmt.Sprintf("solved %q/%q (%s): max |u| = %g at dof %d",
+		r.Model, r.Set, r.Method, r.MaxDisp, r.MaxDOF)
+}
+
+// String renders the REPL display line.
+func (r StressesResult) String() string {
+	return fmt.Sprintf("stresses for %q: %d elements, max von Mises %g in element %d",
+		r.Model, r.Elements, r.MaxVonMises, r.MaxElem)
+}
+
+// String renders the REPL display line.
+func (r ModelInfoResult) String() string {
+	ks := make([]string, 0, len(r.ElementCounts))
+	for k, c := range r.ElementCounts {
+		ks = append(ks, fmt.Sprintf("%d %s", c, k))
+	}
+	sort.Strings(ks)
+	return fmt.Sprintf("model %q: %d nodes, %d dofs (%d fixed), elements: %s",
+		r.Name, r.Nodes, r.DOFs, r.Fixed, strings.Join(ks, ", "))
+}
+
+// String renders the REPL display line.
+func (r DisplacementsResult) String() string {
+	return fmt.Sprintf("displacements of %q: |u|∞ = %g (dof %d), norm %g",
+		r.Model, r.MaxDisp, r.MaxDOF, r.Norm)
+}
+
+// String renders the REPL display line.
+func (r StressSummaryResult) String() string {
+	return fmt.Sprintf("stresses of %q: max von Mises %g in element %d of %d",
+		r.Model, r.MaxVonMises, r.MaxElem, r.Elements)
+}
+
+// String renders the REPL display line.
+func (r StoreResult) String() string {
+	return fmt.Sprintf("stored %q (%d load sets) in data base", r.Name, r.LoadSets)
+}
+
+// String renders the REPL display line.
+func (r RetrieveResult) String() string {
+	return fmt.Sprintf("retrieved %q (%d load sets) into workspace", r.Name, r.LoadSets)
+}
+
+// String renders the REPL display line.
+func (r DeleteResult) String() string {
+	return fmt.Sprintf("deleted %q from data base", r.Name)
+}
+
+// String renders the REPL display line.
+func (r ListResult) String() string {
+	if r.What == ListWorkspace {
+		return fmt.Sprintf("workspace (%d models, %d words): %s",
+			len(r.Names), r.Words, strings.Join(r.Names, " "))
+	}
+	return fmt.Sprintf("data base (%d models, %d bytes): %s",
+		len(r.Names), r.Bytes, strings.Join(r.Names, " "))
+}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/auvm"
+	"repro/internal/errs"
 	"repro/internal/hgraph"
 	"repro/internal/metrics"
 	"repro/internal/navm"
@@ -343,8 +345,15 @@ type DesignIterator struct {
 // Run evaluates every candidate and returns the winning requirements plus
 // the full iteration history.
 func (d *DesignIterator) Run() (*Requirements, []IterationRecord, error) {
+	return d.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: the sweep stops between candidates
+// once ctx is done, returning an error wrapping errs.ErrCancelled
+// together with the partial history.
+func (d *DesignIterator) RunContext(ctx context.Context) (*Requirements, []IterationRecord, error) {
 	if len(d.Candidates) == 0 {
-		return nil, nil, fmt.Errorf("core: design iterator has no candidates")
+		return nil, nil, fmt.Errorf("%w: core: design iterator has no candidates", errs.ErrUsage)
 	}
 	obj := d.Objective
 	if obj == nil {
@@ -354,6 +363,9 @@ func (d *DesignIterator) Run() (*Requirements, []IterationRecord, error) {
 	bestScore := 0.0
 	var history []IterationRecord
 	for i, cfg := range d.Candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, history, fmt.Errorf("%w: %w", errs.ErrCancelled, err)
+		}
 		req, err := Evaluate(cfg, d.Workload)
 		if err != nil {
 			// An infeasible configuration is part of the design

@@ -1,0 +1,37 @@
+// Package errs defines the FEM-2 reproduction's shared error taxonomy.
+// Every layer (auvm, fem, core, the command parser) wraps these
+// sentinels, so callers classify failures with errors.Is regardless of
+// which virtual machine level produced them:
+//
+//	ErrNotFound  — a named object (model, load set, solution) does not
+//	               exist where the operation looked for it,
+//	ErrUsage     — the request is malformed or ineligible (bad verb,
+//	               bad arguments, unknown option, an argument the
+//	               target cannot accept),
+//	ErrCancelled — the request's context was cancelled or its deadline
+//	               expired before the operation completed.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound reports a lookup of a named object that does not exist.
+var ErrNotFound = errors.New("not found")
+
+// ErrUsage reports a malformed or ineligible request: unknown verb,
+// wrong argument count or type, an unknown option, or an argument the
+// target cannot accept.
+var ErrUsage = errors.New("usage")
+
+// ErrCancelled reports that a context was cancelled or timed out before
+// the operation completed.
+var ErrCancelled = errors.New("cancelled")
+
+// Usage builds a request-specific error wrapping ErrUsage; the parser
+// and the interpreters share it so usage errors format identically at
+// every layer.
+func Usage(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, args...))
+}

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/command"
 	"repro/internal/core"
 	"repro/internal/fem"
 	"repro/internal/hgraph"
@@ -195,16 +197,17 @@ func E4MultiUser(userCounts []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx := context.Background()
 		for i := 0; i < u; i++ {
 			sess := sys.Session(fmt.Sprintf("user%d", i))
 			name := fmt.Sprintf("m%d", i)
-			cmds := []string{
-				fmt.Sprintf("generate grid %s 8 6 8 6 clamp-left", name),
-				fmt.Sprintf("load %s tip endload 0 -500", name),
-				fmt.Sprintf("solve %s tip parallel 4", name),
+			cmds := []command.Command{
+				command.GenerateGrid{Name: name, NX: 8, NY: 6, W: 8, H: 6, ClampLeft: true},
+				command.EndLoad{Model: name, Set: "tip", FY: -500},
+				command.Solve{Model: name, Set: "tip", Parallel: 4},
 			}
 			for _, c := range cmds {
-				if _, err := sess.Execute(c); err != nil {
+				if _, err := sess.Do(ctx, c); err != nil {
 					return nil, err
 				}
 			}
@@ -431,13 +434,13 @@ func E8Programmability() (*Table, error) {
 		return nil, err
 	}
 	sess := sys.Session("eng")
-	auvmCmds := []string{
-		"generate grid plate 16 16 16 16 clamp-left",
-		"load plate tip endload 0 -1000",
-		"solve plate tip parallel 4",
+	auvmCmds := []command.Command{
+		command.GenerateGrid{Name: "plate", NX: 16, NY: 16, W: 16, H: 16, ClampLeft: true},
+		command.EndLoad{Model: "plate", Set: "tip", FY: -1000},
+		command.Solve{Model: "plate", Set: "tip", Parallel: 4},
 	}
 	for _, c := range auvmCmds {
-		if _, err := sess.Execute(c); err != nil {
+		if _, err := sess.Do(context.Background(), c); err != nil {
 			return nil, err
 		}
 	}
@@ -856,12 +859,12 @@ func DesignIteration() (*Table, error) {
 		Candidates: candidates,
 		Workload: func(sys *core.System) error {
 			s := sys.Session("eng")
-			for _, c := range []string{
-				"generate grid plate 12 8 12 8 clamp-left",
-				"load plate tip endload 0 -1000",
-				"solve plate tip parallel 8",
+			for _, c := range []command.Command{
+				command.GenerateGrid{Name: "plate", NX: 12, NY: 8, W: 12, H: 8, ClampLeft: true},
+				command.EndLoad{Model: "plate", Set: "tip", FY: -1000},
+				command.Solve{Model: "plate", Set: "tip", Parallel: 8},
 			} {
-				if _, err := s.Execute(c); err != nil {
+				if _, err := s.Do(context.Background(), c); err != nil {
 					return err
 				}
 			}

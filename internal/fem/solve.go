@@ -3,6 +3,7 @@ package fem
 import (
 	"fmt"
 
+	"repro/internal/errs"
 	"repro/internal/linalg"
 	"repro/internal/navm"
 )
@@ -86,7 +87,7 @@ func SolveAssembled(m *Model, asm *Assembled, ls *LoadSet, method Method) (*Solu
 		opts.MaxIter = 100 * asm.K.N
 		x, iters, err = linalg.SOR(asm.K, b, opts, &sol.Stats)
 	default:
-		return nil, fmt.Errorf("fem: unknown method %d", method)
+		return nil, fmt.Errorf("%w: fem: unknown method %d", errs.ErrUsage, method)
 	}
 	if err != nil {
 		return nil, err
