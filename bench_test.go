@@ -7,6 +7,7 @@ package fem2_test
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"testing"
 
@@ -279,12 +280,58 @@ func benchSystem(b *testing.B, n int) (*linalg.CSR, linalg.Vector) {
 	return asm.K, rhs
 }
 
+// BenchmarkSolveBackends compares every backend in the solver registry
+// — plus CG under each registered preconditioner — on one fixed plate,
+// reporting iteration counts and flops per engine so the benchmark
+// history carries a solver-trajectory signal.  A newly registered
+// backend appears as a new sub-benchmark automatically.
+func BenchmarkSolveBackends(b *testing.B) {
+	k, rhs := benchSystem(b, 12)
+	type engine struct{ backend, precond string }
+	var cases []engine
+	for _, name := range fem2.Backends() {
+		cases = append(cases, engine{name, ""})
+		if name == fem2.BackendCG {
+			for _, p := range fem2.Preconds() {
+				cases = append(cases, engine{name, p})
+			}
+		}
+	}
+	for _, c := range cases {
+		label := c.backend
+		if c.precond != "" {
+			label += "+" + c.precond
+		}
+		b.Run(label, func(b *testing.B) {
+			solver, err := linalg.Backend(c.backend)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var info linalg.Info
+			for i := 0; i < b.N; i++ {
+				_, info, err = solver.Solve(context.Background(), k, rhs, linalg.IterOpts{Precond: c.precond})
+				// Plain Jacobi legitimately exhausts its budget on
+				// plates; the cost of trying is still the measurement.
+				if err != nil && !errors.Is(err, linalg.ErrNoConvergence) {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(info.Iterations), "iters")
+			b.ReportMetric(float64(info.Flops)/1e6, "Mflops")
+		})
+	}
+}
+
 // BenchmarkSequentialCG is the sequential baseline solver.
 func BenchmarkSequentialCG(b *testing.B) {
 	k, rhs := benchSystem(b, 16)
 	b.ResetTimer()
+	cgSolver, err := linalg.Backend(linalg.BackendCG)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		if _, _, err := linalg.CG(k, rhs, linalg.DefaultIterOpts(k.N), nil); err != nil {
+		if _, _, err := cgSolver.Solve(context.Background(), k, rhs, linalg.IterOpts{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -315,7 +362,7 @@ func BenchmarkParallelCG16(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rt := navm.NewRuntime(arch.MustNew(cfg))
 		rt.AttachInstrumentation(metrics.NewCollector(), nil)
-		if _, _, err := rt.ParallelCG(d, linalg.DefaultIterOpts(k.N)); err != nil {
+		if _, _, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(k.N)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	load := fem.EndLoad("gust", o, 0, -20000)
 
 	// Reference: the sequential banded Cholesky solve.
-	ref, err := fem.Solve(model, load, fem.MethodCholesky)
+	ref, err := fem.Solve(context.Background(), model, load, fem.SolveOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func main() {
 		cfg.PEsPerCluster = 4
 		rt := navm.NewRuntime(arch.MustNew(cfg))
 		rt.AttachInstrumentation(metrics.NewCollector(), trace.NewCapped(4096))
-		sol, err := fem.SolveSubstructured(model, sub, load, rt)
+		sol, err := fem.SolveSubstructured(context.Background(), model, sub, load, rt)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -45,6 +45,8 @@
 package fem2
 
 import (
+	"context"
+
 	"repro/internal/arch"
 	"repro/internal/auvm"
 	"repro/internal/command"
@@ -184,17 +186,22 @@ type (
 	ListCommand = command.List
 )
 
-// SolveMethod names a sequential solution algorithm in a SolveCommand;
-// the zero value selects the Cholesky baseline.
+// SolveMethod names a solver backend in a SolveCommand; the zero value
+// selects the Cholesky baseline.
 type SolveMethod = command.Method
 
 // The solve methods by name.
 const (
-	SolveCholesky = command.MethodCholesky
-	SolveCG       = command.MethodCG
-	SolveSOR      = command.MethodSOR
-	SolveJacobi   = command.MethodJacobi
+	SolveCholesky    = command.MethodCholesky
+	SolveCholeskyRCM = command.MethodCholeskyRCM
+	SolveCG          = command.MethodCG
+	SolveSOR         = command.MethodSOR
+	SolveJacobi      = command.MethodJacobi
 )
+
+// SolvePrecond names a preconditioner in a SolveCommand; the zero value
+// applies none.
+type SolvePrecond = command.Precond
 
 // DisplayKind selects what a Display command shows.
 type DisplayKind = command.DisplayKind
@@ -278,7 +285,14 @@ var (
 	// ErrQuit is the quit verb's sentinel; a REPL treats it as a clean
 	// shutdown.
 	ErrQuit = auvm.ErrQuit
+	// ErrNoConvergence reports an iterative backend that exhausted its
+	// budget; the concrete error is a *ConvergenceError.
+	ErrNoConvergence = linalg.ErrNoConvergence
 )
+
+// ConvergenceError carries the final residual and iteration count of a
+// solve that wrapped ErrNoConvergence.
+type ConvergenceError = linalg.ConvergenceError
 
 // LayerSpec is the design-time description of one virtual machine layer.
 type LayerSpec = core.LayerSpec
@@ -324,21 +338,53 @@ func CantileverTruss(name string, bays int, bayLen, height float64, mat Material
 	return fem.CantileverTruss(name, bays, bayLen, height, mat)
 }
 
-// Solve solves a model/load set with a sequential method.
-func Solve(m *Model, ls *LoadSet, method fem.Method) (*Solution, error) {
-	return fem.Solve(m, ls, method)
+// SolveOpts selects and tunes the solution strategy for Solve: a solver
+// Backend by registry name, an optional Precond for iterative backends,
+// a Parallel worker count or Substructured band count, and the iterative
+// Tol/MaxIter/Omega knobs.
+type SolveOpts = fem.SolveOpts
+
+// Solve assembles and solves a model/load set as SolveOpts directs —
+// sequential, NAVM-distributed, or substructured — through the solver
+// engine registry.  The zero SolveOpts runs the banded Cholesky
+// baseline.  All paths honour ctx: a cancelled solve returns an error
+// wrapping ErrCancelled.
+func Solve(ctx context.Context, m *Model, ls *LoadSet, opts SolveOpts) (*Solution, error) {
+	return fem.Solve(ctx, m, ls, opts)
 }
 
 // Stresses recovers element stresses from a solution.
 func Stresses(m *Model, sol *Solution) ([][]float64, error) { return fem.Stresses(m, sol) }
 
-// Solution methods re-exported from the fem package.
+// The solver backend registry names, usable as SolveOpts.Backend, as a
+// SolveCommand.Method, and in the REPL's `solve ... method <name>`.
 const (
-	MethodCholesky = fem.MethodCholesky
-	MethodCG       = fem.MethodCG
-	MethodJacobi   = fem.MethodJacobi
-	MethodSOR      = fem.MethodSOR
+	// BackendCholesky is sequential banded Cholesky — the baseline.
+	BackendCholesky = linalg.BackendCholesky
+	// BackendCholeskyRCM is banded Cholesky after RCM renumbering.
+	BackendCholeskyRCM = linalg.BackendCholeskyRCM
+	// BackendCG is (optionally preconditioned) conjugate gradients.
+	BackendCG = linalg.BackendCG
+	// BackendJacobi is Jacobi iteration.
+	BackendJacobi = linalg.BackendJacobi
+	// BackendSOR is successive over-relaxation.
+	BackendSOR = linalg.BackendSOR
 )
+
+// The preconditioner registry names, usable as SolveOpts.Precond and in
+// the REPL's `solve ... precond <name>`.
+const (
+	// PrecondJacobi is diagonal scaling.
+	PrecondJacobi = linalg.PrecondJacobi
+	// PrecondSSOR is the symmetric SOR preconditioner.
+	PrecondSSOR = linalg.PrecondSSOR
+)
+
+// Backends returns the registered solver backend names, sorted.
+func Backends() []string { return linalg.Backends() }
+
+// Preconds returns the registered preconditioner names, sorted.
+func Preconds() []string { return linalg.Preconds() }
 
 // Runtime is the NAVM parallel runtime bound to a simulated machine.
 type Runtime = navm.Runtime

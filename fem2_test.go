@@ -37,6 +37,88 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 }
 
+// TestREPLSolveBackendsAgree is the acceptance check for the unified
+// engine: every backend — and CG under each preconditioner — is
+// selectable by name through the REPL solve verb, and all produce the
+// same displacements on the shared fixture (a bar chain, diagonally
+// dominant enough that even Jacobi converges).
+func TestREPLSolveBackendsAgree(t *testing.T) {
+	sys, err := fem2.NewSystem(fem2.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Session("eng")
+	for _, cmd := range []string{
+		"generate bar chain 12 120",
+		"load chain tip 24 500", // x of the tip node
+		"solve chain tip",
+	} {
+		if _, err := s.Execute(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	ref := append([]float64(nil), s.WS.Solution("chain").U...)
+	var scale float64
+	for _, v := range ref {
+		if math.Abs(v) > scale {
+			scale = math.Abs(v)
+		}
+	}
+	cases := []struct{ spec, engine string }{
+		{"method cholesky", "cholesky"},
+		{"method cholesky-rcm", "cholesky-rcm"},
+		{"method cg", "cg"},
+		{"method cg precond jacobi", "cg+jacobi"},
+		{"method cg precond ssor", "cg+ssor"},
+		{"method jacobi", "jacobi"},
+		{"method sor", "sor"},
+	}
+	for _, c := range cases {
+		out, err := s.Execute("solve chain tip " + c.spec)
+		if err != nil {
+			t.Errorf("%q: %v", c.spec, err)
+			continue
+		}
+		if !strings.Contains(out, "("+c.engine+")") {
+			t.Errorf("%q output %q does not name engine %q", c.spec, out, c.engine)
+		}
+		got := s.WS.Solution("chain").U
+		for i := range ref {
+			if math.Abs(got[i]-ref[i]) > 1e-6*scale {
+				t.Errorf("%q: dof %d differs: %g vs %g", c.spec, i, got[i], ref[i])
+				break
+			}
+		}
+	}
+	// Unknown names fail at parse time with the registry listed.
+	if _, err := s.Execute("solve chain tip method gauss"); !errors.Is(err, fem2.ErrUsage) {
+		t.Errorf("unknown method error = %v, want ErrUsage", err)
+	}
+	if _, err := s.Execute("solve chain tip method cg precond ilu"); !errors.Is(err, fem2.ErrUsage) {
+		t.Errorf("unknown precond error = %v, want ErrUsage", err)
+	}
+}
+
+// TestSolveCancelledThroughFacade checks the facade surfaces the shared
+// cancellation taxonomy end to end.
+func TestSolveCancelledThroughFacade(t *testing.T) {
+	m, err := fem2.RectGrid("c", fem2.RectGridOpts{NX: 8, NY: 8, W: 8, H: 8, Mat: fem2.Steel(), ClampLeft: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := fem.EndLoad("tip", fem2.RectGridOpts{NX: 8, NY: 8, W: 8, H: 8}, 0, -100)
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := fem2.SolveOpts{Backend: fem2.BackendCG, Tol: 1e-14,
+		OnIteration: func(iter int, _ float64) {
+			if iter == 1 {
+				cancel()
+			}
+		}}
+	if _, err := fem2.Solve(ctx, m, ls, opts); !errors.Is(err, fem2.ErrCancelled) {
+		t.Errorf("cancelled solve returned %v, want ErrCancelled", err)
+	}
+}
+
 func TestProgrammaticAPIMatchesCommandAPI(t *testing.T) {
 	// Build and solve the same model through the Go API and through
 	// the command language; displacements must agree exactly.
@@ -46,7 +128,7 @@ func TestProgrammaticAPIMatchesCommandAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	ls := fem.EndLoad("tip", o, 0, -500)
-	apiSol, err := fem2.Solve(m, ls, fem2.MethodCholesky)
+	apiSol, err := fem2.Solve(context.Background(), m, ls, fem2.SolveOpts{Backend: fem2.BackendCholesky})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +180,7 @@ func TestStressRecoveryThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	ls := &fem2.LoadSet{Name: "tip", Entries: []fem.LoadEntry{{DOF: fem.DOF(3, 1), Value: -100}}}
-	sol, err := fem2.Solve(m, ls, fem2.MethodCG)
+	sol, err := fem2.Solve(context.Background(), m, ls, fem2.SolveOpts{Backend: fem2.BackendCG})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,12 +75,7 @@ var usage = errs.Usage
 
 // cancelled converts a context cancellation into the shared taxonomy,
 // keeping the context's own error in the chain for errors.Is.
-func cancelled(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("%w: %w", ErrCancelled, err)
-	}
-	return nil
-}
+func cancelled(ctx context.Context) error { return errs.Cancelled(ctx) }
 
 // Execute interprets one command line and returns its display output.
 // It is a thin adapter over the typed API: parse the line, Do the
@@ -334,23 +329,6 @@ func (s *Session) doEndLoad(c command.EndLoad) (command.Result, error) {
 	return &command.EndLoadResult{Set: c.Set, Entries: len(ls.Entries)}, nil
 }
 
-// femMethod maps a command method name to the fem solver enum; the zero
-// value selects the Cholesky baseline.
-func femMethod(m command.Method) (fem.Method, error) {
-	switch m {
-	case "", command.MethodCholesky:
-		return fem.MethodCholesky, nil
-	case command.MethodCG:
-		return fem.MethodCG, nil
-	case command.MethodSOR:
-		return fem.MethodSOR, nil
-	case command.MethodJacobi:
-		return fem.MethodJacobi, nil
-	default:
-		return 0, usage("unknown method %q", string(m))
-	}
-}
-
 func (s *Session) doSolve(ctx context.Context, c command.Solve) (command.Result, error) {
 	m, err := s.model(c.Model)
 	if err != nil {
@@ -361,51 +339,31 @@ func (s *Session) doSolve(ctx context.Context, c command.Solve) (command.Result,
 		return nil, fmt.Errorf("auvm: no load set %q on model %q: %w",
 			c.Set, c.Model, errs.ErrNotFound)
 	}
-	method, err := femMethod(c.Method)
+	// One context-aware solve path: the command maps onto SolveOpts and
+	// fem.Solve routes to sequential, distributed, or substructured
+	// execution through the solver registry.
+	sol, err := fem.Solve(ctx, m, ls, fem.SolveOpts{
+		Backend:       string(c.Method),
+		Precond:       string(c.Precond),
+		Parallel:      c.Parallel,
+		Substructured: c.Substructures,
+		RT:            s.RT,
+	})
 	if err != nil {
 		return nil, err
 	}
-	res := &command.SolveResult{Model: c.Model, Set: c.Set, Substructures: c.Substructures}
-	var sol *fem.Solution
-	switch {
-	case c.Substructures > 0:
-		sub, err := fem.PartitionByX(m, c.Substructures)
-		if err != nil {
-			return nil, err
-		}
-		if err := cancelled(ctx); err != nil {
-			return nil, err
-		}
-		sol, err = fem.SolveSubstructured(m, sub, ls, s.RT)
-		if err != nil {
-			return nil, err
-		}
-		res.Method = method.String()
-	case c.Parallel > 0:
-		if s.RT == nil {
-			return nil, fmt.Errorf("auvm: this session has no parallel machine attached")
-		}
-		if err := cancelled(ctx); err != nil {
-			return nil, err
-		}
-		var stats navm.SolveStats
-		sol, stats, err = fem.SolveParallel(s.RT, m, ls, c.Parallel)
-		if err != nil {
-			return nil, err
-		}
+	res := &command.SolveResult{
+		Model: c.Model, Set: c.Set,
+		Backend: sol.Backend, Precond: sol.Precond,
+		Substructures: c.Substructures,
+		Iterations:    sol.Iterations, Residual: sol.Residual,
+	}
+	// Par is set exactly when the distributed path ran (a substructured
+	// request outranks parallel, so echo the worker count only then).
+	if sol.Par != nil {
 		res.Parallel = c.Parallel
-		res.Iterations = stats.Iterations
-		res.HaloWords = stats.HaloWords
-		res.Makespan = stats.Makespan
-	default:
-		if err := cancelled(ctx); err != nil {
-			return nil, err
-		}
-		sol, err = fem.Solve(m, ls, method)
-		if err != nil {
-			return nil, err
-		}
-		res.Method = method.String()
+		res.HaloWords = sol.Par.HaloWords
+		res.Makespan = sol.Par.Makespan
 	}
 	s.WS.PutSolution(c.Model, sol)
 	res.MaxDOF, res.MaxDisp = MaxDisplacement(sol)

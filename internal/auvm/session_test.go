@@ -60,7 +60,7 @@ func TestDoTypedCommands(t *testing.T) {
 		t.Fatal(err)
 	}
 	sr := res.(*command.SolveResult)
-	if sr.Method != "cg" || sr.MaxDisp <= 0 || sr.MaxDOF < 0 {
+	if sr.Backend != "cg" || sr.Iterations <= 0 || sr.Residual <= 0 || sr.MaxDisp <= 0 || sr.MaxDOF < 0 {
 		t.Errorf("solve result = %+v", sr)
 	}
 

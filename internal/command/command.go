@@ -34,16 +34,29 @@ type Command interface {
 	isCommand()
 }
 
-// Method selects a sequential solution algorithm by name.  The zero
-// value selects the interpreter's default (banded Cholesky).
+// Method selects a solver backend by registry name (see
+// linalg.Backends).  The zero value selects the interpreter's default
+// (banded Cholesky).  The parser validates names against the live
+// registry, so a newly registered backend is immediately speakable.
 type Method string
 
-// The sequential solution methods of the solve verb.
+// The built-in solver backends of the solve verb.
 const (
-	MethodCholesky Method = "cholesky"
-	MethodCG       Method = "cg"
-	MethodSOR      Method = "sor"
-	MethodJacobi   Method = "jacobi"
+	MethodCholesky    Method = "cholesky"
+	MethodCholeskyRCM Method = "cholesky-rcm"
+	MethodCG          Method = "cg"
+	MethodSOR         Method = "sor"
+	MethodJacobi      Method = "jacobi"
+)
+
+// Precond selects a preconditioner by registry name for iterative
+// backends (see linalg.Preconds).  The zero value applies none.
+type Precond string
+
+// The built-in preconditioners of the solve verb.
+const (
+	PrecondJacobi Precond = "jacobi"
+	PrecondSSOR   Precond = "ssor"
 )
 
 // Help requests the command-language summary.
@@ -169,10 +182,13 @@ type EndLoad struct {
 type Solve struct {
 	// Model and Set name the system to solve.
 	Model, Set string
-	// Method selects the sequential algorithm ("" = cholesky).
+	// Method selects the solver backend ("" = cholesky).
 	Method Method
-	// Parallel, when positive, solves with distributed CG on that many
-	// simulated workers.
+	// Precond selects the preconditioner for iterative backends ("" =
+	// none).
+	Precond Precond
+	// Parallel, when positive, solves with the backend's distributed
+	// variant on that many simulated workers.
 	Parallel int
 	// Substructures, when positive, partitions the model into that many
 	// vertical bands and condenses them in parallel.
@@ -340,6 +356,9 @@ func (c Solve) String() string {
 	fmt.Fprintf(&b, "solve %s %s", c.Model, c.Set)
 	if c.Method != "" {
 		fmt.Fprintf(&b, " method %s", c.Method)
+	}
+	if c.Precond != "" {
+		fmt.Fprintf(&b, " precond %s", c.Precond)
 	}
 	if c.Parallel > 0 {
 		fmt.Fprintf(&b, " parallel %d", c.Parallel)

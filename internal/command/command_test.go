@@ -39,6 +39,10 @@ func TestParseEveryVerb(t *testing.T) {
 		{"solve m ls method cholesky", Solve{Model: "m", Set: "ls", Method: MethodCholesky}},
 		{"solve m ls method sor", Solve{Model: "m", Set: "ls", Method: MethodSOR}},
 		{"solve m ls method jacobi", Solve{Model: "m", Set: "ls", Method: MethodJacobi}},
+		{"solve m ls method cholesky-rcm", Solve{Model: "m", Set: "ls", Method: MethodCholeskyRCM}},
+		{"solve m ls method cg precond jacobi", Solve{Model: "m", Set: "ls", Method: MethodCG, Precond: PrecondJacobi}},
+		{"solve m ls method cg precond ssor parallel 8",
+			Solve{Model: "m", Set: "ls", Method: MethodCG, Precond: PrecondSSOR, Parallel: 8}},
 		{"solve m ls parallel 8", Solve{Model: "m", Set: "ls", Parallel: 8}},
 		{"solve m ls substructures 4", Solve{Model: "m", Set: "ls", Substructures: 4}},
 		{"solve m ls method sor parallel 2 substructures 3",
@@ -166,6 +170,9 @@ func TestRoundTrip(t *testing.T) {
 		EndLoad{Model: "m", Set: "ls", FX: 0, FY: -1000},
 		Solve{Model: "m", Set: "ls"},
 		Solve{Model: "m", Set: "ls", Method: MethodCG},
+		Solve{Model: "m", Set: "ls", Method: MethodCholeskyRCM},
+		Solve{Model: "m", Set: "ls", Method: MethodCG, Precond: PrecondJacobi},
+		Solve{Model: "m", Set: "ls", Method: MethodCG, Precond: PrecondSSOR, Parallel: 2},
 		Solve{Model: "m", Set: "ls", Parallel: 8},
 		Solve{Model: "m", Set: "ls", Substructures: 4},
 		Solve{Model: "m", Set: "ls", Method: MethodSOR, Parallel: 2, Substructures: 3},
@@ -212,11 +219,14 @@ func TestResultRenderings(t *testing.T) {
 		{ElementResult{Kind: "cst", Model: "m", Nodes: []int{0, 1, 2}},
 			`cst 0-1-2 added to "m"`},
 		{FixResult{What: "dof", Index: 3}, "dof 3 fixed"},
-		{SolveResult{Model: "m", Set: "ls", Method: "cholesky", MaxDisp: 0.5, MaxDOF: 7},
+		{SolveResult{Model: "m", Set: "ls", Backend: "cholesky", MaxDisp: 0.5, MaxDOF: 7},
 			`solved "m"/"ls" (cholesky): max |u| = 0.5 at dof 7`},
-		{SolveResult{Model: "m", Set: "ls", Parallel: 4, Iterations: 10, HaloWords: 100,
+		{SolveResult{Model: "m", Set: "ls", Backend: "cg", Precond: "jacobi", Iterations: 42,
+			Residual: 5e-09, MaxDisp: 0.5, MaxDOF: 7},
+			`solved "m"/"ls" (cg+jacobi): 42 iterations, residual 5e-09; max |u| = 0.5 at dof 7`},
+		{SolveResult{Model: "m", Set: "ls", Backend: "cg", Parallel: 4, Iterations: 10, HaloWords: 100,
 			Makespan: 1000, MaxDisp: 0.5, MaxDOF: 7},
-			`solved "m"/"ls" in parallel on 4 workers: 10 iterations, 100 halo words, makespan 1000 cycles; max |u| = 0.5 at dof 7`},
+			`solved "m"/"ls" in parallel on 4 workers (cg): 10 iterations, 100 halo words, makespan 1000 cycles; max |u| = 0.5 at dof 7`},
 		{ListResult{What: ListDB, Names: []string{"a", "b"}, Bytes: 128},
 			"data base (2 models, 128 bytes): a b"},
 		{ListResult{What: ListWorkspace, Names: []string{"a"}, Words: 64},

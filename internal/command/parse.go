@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/errs"
+	"repro/internal/linalg"
 )
 
 // ErrUsage aliases the shared errs.ErrUsage sentinel: every syntax error
@@ -248,24 +249,33 @@ func parseLoad(args []string) (Command, error) {
 	return AddLoad{Model: args[0], Set: args[1], DOF: dof, Value: val}, nil
 }
 
-// parseSolve parses the solve verb and its option list.
+// parseSolve parses the solve verb and its option list.  Backend and
+// preconditioner names are validated against the live linalg registries,
+// so a newly registered engine needs no parser change.
 func parseSolve(args []string) (Command, error) {
 	if len(args) < 2 {
-		return nil, usage("solve <model> <set> [method <m>] [parallel <p>] [substructures <k>]")
+		return nil, usage("solve <model> <set> [method <backend>] [precond <p>] [parallel <p>] [substructures <k>]")
 	}
 	c := Solve{Model: args[0], Set: args[1]}
 	for i := 2; i < len(args); i++ {
 		switch args[i] {
 		case "method":
 			if i+1 >= len(args) {
-				return nil, usage("method cholesky|cg|sor|jacobi")
+				return nil, usage("method %s", strings.Join(linalg.Backends(), "|"))
 			}
-			switch Method(args[i+1]) {
-			case MethodCholesky, MethodCG, MethodSOR, MethodJacobi:
-				c.Method = Method(args[i+1])
-			default:
-				return nil, usage("unknown method %q", args[i+1])
+			if !linalg.HasBackend(args[i+1]) {
+				return nil, usage("unknown method %q (have %s)", args[i+1], strings.Join(linalg.Backends(), "|"))
 			}
+			c.Method = Method(args[i+1])
+			i++
+		case "precond":
+			if i+1 >= len(args) {
+				return nil, usage("precond %s", strings.Join(linalg.Preconds(), "|"))
+			}
+			if !linalg.HasPrecond(args[i+1]) {
+				return nil, usage("unknown preconditioner %q (have %s)", args[i+1], strings.Join(linalg.Preconds(), "|"))
+			}
+			c.Precond = Precond(args[i+1])
 			i++
 		case "parallel":
 			if i+1 >= len(args) {

@@ -29,7 +29,7 @@ const HelpText = `FEM-2 workstation commands:
   loadset <model> <name>
   load <model> <set> <dof> <value>
   load <model> <set> endload <fx> <fy>   (grid models)
-  solve <model> <set> [method cholesky|cg|sor|jacobi] [parallel <p>] [substructures <k>]
+  solve <model> <set> [method cholesky|cholesky-rcm|cg|sor|jacobi] [precond jacobi|ssor] [parallel <p>] [substructures <k>]
   stresses <model>
   display model|displacements|stresses <model>
   store <model> | retrieve <name> | delete <name>
@@ -112,24 +112,38 @@ type EndLoadResult struct {
 type SolveResult struct {
 	// Model and Set name the solved system.
 	Model, Set string
-	// Method is the sequential method's name, rendered for
-	// non-parallel solves.  For a substructured solve it echoes the
-	// requested method while the condensation path performs its own
-	// direct solves — matching the REPL's historical display.
-	Method string
+	// Backend is the solver engine's registry name.  For a
+	// substructured solve it echoes the requested backend while the
+	// condensation path performs its own direct solves — matching the
+	// REPL's historical display.
+	Backend string
+	// Precond is the preconditioner applied, "" when none.
+	Precond string
 	// Parallel is the worker count of a parallel solve, 0 otherwise.
 	Parallel int
 	// Substructures is the band count of a substructured solve, 0
 	// otherwise.
 	Substructures int
-	// Iterations, HaloWords, and Makespan are the simulated-machine
-	// statistics of a parallel solve.
+	// Iterations counts solver iterations, 0 for direct solves.
 	Iterations int
-	HaloWords  int64
-	Makespan   int64
+	// Residual is the relative residual of the reduced system (0 where
+	// not measured, e.g. substructured solves).
+	Residual float64
+	// HaloWords and Makespan are the simulated-machine statistics of a
+	// parallel solve.
+	HaloWords int64
+	Makespan  int64
 	// MaxDisp is the largest displacement magnitude, at dof MaxDOF.
 	MaxDisp float64
 	MaxDOF  int
+}
+
+// Engine renders the backend+precond pair ("cg+jacobi", "cholesky").
+func (r SolveResult) Engine() string {
+	if r.Precond != "" {
+		return r.Backend + "+" + r.Precond
+	}
+	return r.Backend
 }
 
 // StressesResult is the reply to Stresses.
@@ -288,11 +302,15 @@ func (r EndLoadResult) String() string {
 // String renders the REPL display line.
 func (r SolveResult) String() string {
 	if r.Parallel > 0 {
-		return fmt.Sprintf("solved %q/%q in parallel on %d workers: %d iterations, %d halo words, makespan %d cycles; max |u| = %g at dof %d",
-			r.Model, r.Set, r.Parallel, r.Iterations, r.HaloWords, r.Makespan, r.MaxDisp, r.MaxDOF)
+		return fmt.Sprintf("solved %q/%q in parallel on %d workers (%s): %d iterations, %d halo words, makespan %d cycles; max |u| = %g at dof %d",
+			r.Model, r.Set, r.Parallel, r.Engine(), r.Iterations, r.HaloWords, r.Makespan, r.MaxDisp, r.MaxDOF)
+	}
+	if r.Iterations > 0 {
+		return fmt.Sprintf("solved %q/%q (%s): %d iterations, residual %.3g; max |u| = %g at dof %d",
+			r.Model, r.Set, r.Engine(), r.Iterations, r.Residual, r.MaxDisp, r.MaxDOF)
 	}
 	return fmt.Sprintf("solved %q/%q (%s): max |u| = %g at dof %d",
-		r.Model, r.Set, r.Method, r.MaxDisp, r.MaxDOF)
+		r.Model, r.Set, r.Engine(), r.MaxDisp, r.MaxDOF)
 }
 
 // String renders the REPL display line.

@@ -13,6 +13,7 @@
 package errs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -34,4 +35,16 @@ var ErrCancelled = errors.New("cancelled")
 // every layer.
 func Usage(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, args...))
+}
+
+// Cancelled converts a context cancellation into the taxonomy: nil while
+// ctx is live, an error wrapping both ErrCancelled and the context's own
+// error once it is done.  Every layer's cancellation points share it so
+// errors.Is(err, ErrCancelled) and errors.Is(err, context.Canceled) both
+// classify the failure.
+func Cancelled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/arch"
@@ -70,7 +71,7 @@ func E1Requirements(sizes []int, workers int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, stats, err := rt.ParallelCG(d, linalg.DefaultIterOpts(k.N))
+		_, stats, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(k.N))
 		if err != nil {
 			return nil, err
 		}
@@ -98,18 +99,16 @@ func E2SolverSpeedup(n int, workerCounts []int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Sequential baselines, costed on a single simulated PE.
-	seqStats := &linalg.Stats{}
-	if _, err := k.ToBanded().SolveCholesky(b, seqStats); err != nil {
+	// Sequential baselines through the solver registry, costed on a
+	// single simulated PE.
+	cholCycles, err := backendCycles(linalg.BackendCholesky, k, b)
+	if err != nil {
 		return nil, err
 	}
-	cholCycles := seqStats.Flops * navm.CyclesPerFlop
-
-	cgStats := &linalg.Stats{}
-	if _, _, err := linalg.CG(k, b, linalg.DefaultIterOpts(k.N), cgStats); err != nil {
+	seqCGCycles, err := backendCycles(linalg.BackendCG, k, b)
+	if err != nil {
 		return nil, err
 	}
-	seqCGCycles := cgStats.Flops * navm.CyclesPerFlop
 
 	t := &Table{
 		ID:      "E2",
@@ -130,7 +129,7 @@ func E2SolverSpeedup(n int, workerCounts []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, stats, err := rt.ParallelCG(d, linalg.DefaultIterOpts(k.N))
+		_, stats, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(k.N))
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +151,7 @@ func E3Substructure(ks []int) (*Table, error) {
 		return nil, err
 	}
 	ls := fem.EndLoad("tip", o, 0, -2000)
-	ref, err := fem.Solve(m, ls, fem.MethodCholesky)
+	ref, err := fem.Solve(context.Background(), m, ls, fem.SolveOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +169,7 @@ func E3Substructure(ks []int) (*Table, error) {
 		cfg := defaultConfig(maxInt(1, k/2), 3)
 		rt := navm.NewRuntime(arch.MustNew(cfg))
 		rt.AttachInstrumentation(metrics.NewCollector(), nil)
-		sol, err := fem.SolveSubstructured(m, s, ls, rt)
+		sol, err := fem.SolveSubstructured(context.Background(), m, s, ls, rt)
 		if err != nil {
 			return nil, err
 		}
@@ -398,7 +397,7 @@ func E7FaultIsolation(failCounts []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		x, stats, err := rt.ParallelCG(d, linalg.DefaultIterOpts(k.N))
+		x, stats, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(k.N))
 		if err != nil {
 			return nil, err
 		}
@@ -461,7 +460,7 @@ func E8Programmability() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, stats, err := rt.ParallelCG(d, linalg.DefaultIterOpts(k.N))
+	_, stats, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(k.N))
 	if err != nil {
 		return nil, err
 	}
@@ -630,17 +629,17 @@ func E12SolverComparison(n, workers int) (*Table, error) {
 	opts.MaxIter = 30 * k.N
 	runs := []run{
 		{"cg", func(rt *navm.Runtime, d *navm.DistSystem) (navm.SolveStats, error) {
-			_, s, err := rt.ParallelCG(d, opts)
+			_, s, err := rt.ParallelCG(context.Background(), d, opts)
 			return s, err
 		}},
 		{"multicolor-sor", func(rt *navm.Runtime, d *navm.DistSystem) (navm.SolveStats, error) {
 			o := opts
 			o.Omega = 1.8
-			_, s, err := rt.ParallelMultiColorSOR(d, coloring, o)
+			_, s, err := rt.ParallelMultiColorSOR(context.Background(), d, coloring, o)
 			return s, err
 		}},
 		{"jacobi", func(rt *navm.Runtime, d *navm.DistSystem) (navm.SolveStats, error) {
-			_, s, err := rt.ParallelJacobi(d, opts)
+			_, s, err := rt.ParallelJacobi(context.Background(), d, opts)
 			return s, err
 		}},
 	}
@@ -689,7 +688,7 @@ func E13LatencyAblation(latencies []int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, stats, err := rt.ParallelCG(d, linalg.DefaultIterOpts(k.N))
+		_, stats, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(k.N))
 		if err != nil {
 			return nil, err
 		}
@@ -817,7 +816,7 @@ func E14CommunicationPattern() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := rt.ParallelCG(d, linalg.DefaultIterOpts(k.N)); err != nil {
+	if _, _, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(k.N)); err != nil {
 		return nil, err
 	}
 	addMatrix("grid-cg", rt.Machine().Network().TrafficMatrix())
@@ -836,7 +835,7 @@ func E14CommunicationPattern() (*Table, error) {
 	}
 	rt2 := navm.NewRuntime(arch.MustNew(cfg))
 	rt2.AttachInstrumentation(metrics.NewCollector(), nil)
-	if _, err := fem.SolveSubstructured(m2, s, ls, rt2); err != nil {
+	if _, err := fem.SolveSubstructured(context.Background(), m2, s, ls, rt2); err != nil {
 		return nil, err
 	}
 	addMatrix("substructure", rt2.Machine().Network().TrafficMatrix())
@@ -893,6 +892,75 @@ func DesignIteration() (*Table, error) {
 	return t, nil
 }
 
+// backendCycles solves through the registry and converts the flop count
+// into single-PE cycles.
+func backendCycles(name string, k *linalg.CSR, b linalg.Vector) (int64, error) {
+	s, err := linalg.Backend(name)
+	if err != nil {
+		return 0, err
+	}
+	_, info, err := s.Solve(context.Background(), k, b, linalg.IterOpts{})
+	if err != nil {
+		return 0, err
+	}
+	return info.Flops * navm.CyclesPerFlop, nil
+}
+
+// E16SequentialBackends compares every backend in the solver registry —
+// plus CG under each registered preconditioner — on the same plate.
+// Because the case list is generated from the registries, a newly
+// registered engine appears in this table with no experiment change.
+// Expected shape: the direct solvers agree to machine precision and pay
+// bandwidth-squared flops; preconditioning cuts the CG iteration count;
+// plain Jacobi may exhaust its budget — reported, not fatal.
+func E16SequentialBackends(n int) (*Table, error) {
+	k, b, err := plateSystem(n)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E16",
+		Title:   fmt.Sprintf("solver engine registry on one %d-dof plate", k.N),
+		Columns: []string{"engine", "iters", "Mflops", "residual", "max.err", "converged"},
+		Notes:   "rows are generated from linalg.Backends()/Preconds(): registering a backend adds its row",
+	}
+	type engine struct{ backend, precond string }
+	var cases []engine
+	for _, name := range linalg.Backends() {
+		cases = append(cases, engine{name, ""})
+		if name == linalg.BackendCG {
+			for _, p := range linalg.Preconds() {
+				cases = append(cases, engine{name, p})
+			}
+		}
+	}
+	chol, err := linalg.Backend(linalg.BackendCholesky)
+	if err != nil {
+		return nil, err
+	}
+	ref, _, err := chol.Solve(context.Background(), k, b, linalg.IterOpts{})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cases {
+		s, err := linalg.Backend(c.backend)
+		if err != nil {
+			return nil, err
+		}
+		x, info, err := s.Solve(context.Background(), k, b, linalg.IterOpts{Precond: c.precond})
+		if err != nil && !errors.Is(err, linalg.ErrNoConvergence) {
+			return nil, fmt.Errorf("%s: %w", c.backend, err)
+		}
+		label := c.backend
+		if info.Precond != "" {
+			label += "+" + info.Precond
+		}
+		t.AddRow(label, info.Iterations, float64(info.Flops)/1e6,
+			info.Residual, linalg.MaxAbsDiff(x, ref), err == nil)
+	}
+	return t, nil
+}
+
 // RunAll executes every experiment with its default parameters and
 // returns the tables in order; cmd/fem2sim prints them.
 func RunAll() ([]*Table, error) {
@@ -913,6 +981,7 @@ func RunAll() ([]*Table, error) {
 		func() (*Table, error) { return E13LatencyAblation([]int64{0, 50, 200, 800}) },
 		E14CommunicationPattern,
 		E15RenumberingAblation,
+		func() (*Table, error) { return E16SequentialBackends(8) },
 		DesignIteration,
 	}
 	for _, r := range runs {

@@ -331,8 +331,8 @@ func TestRunAllProducesEveryTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 16 {
-		t.Fatalf("tables = %d, want 16", len(tabs))
+	if len(tabs) != 17 {
+		t.Fatalf("tables = %d, want 17", len(tabs))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tabs {
@@ -342,7 +342,7 @@ func TestRunAllProducesEveryTable(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "DM"} {
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "DM"} {
 		if !ids[want] {
 			t.Errorf("missing table %s", want)
 		}

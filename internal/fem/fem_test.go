@@ -1,6 +1,7 @@
 package fem
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -107,8 +108,8 @@ func TestUniaxialBarExactSolution(t *testing.T) {
 		t.Fatal(err)
 	}
 	ls := &LoadSet{Name: "tip", Entries: []LoadEntry{{DOF: DOF(10, 0), Value: P}}}
-	for _, method := range []Method{MethodCholesky, MethodCG, MethodSOR, MethodJacobi} {
-		sol, err := Solve(m, ls, method)
+	for _, method := range []string{linalg.BackendCholesky, linalg.BackendCG, linalg.BackendSOR, linalg.BackendJacobi} {
+		sol, err := Solve(context.Background(), m, ls, SolveOpts{Backend: method})
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -116,7 +117,7 @@ func TestUniaxialBarExactSolution(t *testing.T) {
 		// the 1e-8 relative residual.
 		utol := 1e-12
 		stol := 1e-7
-		if method != MethodCholesky {
+		if method != linalg.BackendCholesky {
 			utol, stol = 1e-8, 1e-4
 		}
 		for i := 0; i <= 10; i++ {
@@ -145,7 +146,7 @@ func TestReactionsBalanceAppliedLoad(t *testing.T) {
 	m, _ := UniaxialBar("chain", 5, 50, mat)
 	const P = 777.0
 	ls := &LoadSet{Name: "tip", Entries: []LoadEntry{{DOF: DOF(5, 0), Value: P}}}
-	sol, err := Solve(m, ls, MethodCholesky)
+	sol, err := Solve(context.Background(), m, ls, SolveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestCSTPatchTest(t *testing.T) {
 			Value: total * w / float64(o.NY),
 		})
 	}
-	sol, err := Solve(m, ls, MethodCholesky)
+	sol, err := Solve(context.Background(), m, ls, SolveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestAllMethodsAgreeOnPlate(t *testing.T) {
 	o := RectGridOpts{NX: 4, NY: 4, W: 4, H: 4, Mat: Steel(), ClampLeft: true}
 	m, _ := RectGrid("agree", o)
 	ls := EndLoad("shear", o, 0, -500)
-	ref, err := Solve(m, ls, MethodCholesky)
+	ref, err := Solve(context.Background(), m, ls, SolveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,8 +288,8 @@ func TestAllMethodsAgreeOnPlate(t *testing.T) {
 	// to 1 for the default budget (the classical reason the FEM
 	// literature moved to SOR and CG).
 	scale := linalg.NormInf(ref.U)
-	for _, method := range []Method{MethodCG, MethodSOR} {
-		sol, err := Solve(m, ls, method)
+	for _, method := range []string{linalg.BackendCG, linalg.BackendSOR} {
+		sol, err := Solve(context.Background(), m, ls, SolveOpts{Backend: method})
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -304,7 +305,7 @@ func TestCantileverTrussTipDeflection(t *testing.T) {
 		t.Fatal(err)
 	}
 	ls := TipLoad("tip", 4, 10000)
-	sol, err := Solve(m, ls, MethodCholesky)
+	sol, err := Solve(context.Background(), m, ls, SolveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestPlateReactionsBalanceTotalLoad(t *testing.T) {
 	m, _ := RectGrid("eq", o)
 	const fy = -1234.0
 	ls := EndLoad("shear", o, 0, fy)
-	sol, err := Solve(m, ls, MethodCholesky)
+	sol, err := Solve(context.Background(), m, ls, SolveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +391,7 @@ func TestJitteredGridStillSolvable(t *testing.T) {
 		t.Fatal(err)
 	}
 	ls := EndLoad("pull", o, 1000, 0)
-	sol, err := Solve(m, ls, MethodCholesky)
+	sol, err := Solve(context.Background(), m, ls, SolveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,15 +460,5 @@ func TestQuickRigidTranslationZeroStress(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
-	}
-}
-
-func TestMethodString(t *testing.T) {
-	if MethodCholesky.String() != "cholesky" || MethodCG.String() != "cg" ||
-		MethodJacobi.String() != "jacobi" || MethodSOR.String() != "sor" {
-		t.Error("method names wrong")
-	}
-	if Method(9).String() == "" {
-		t.Error("unknown method string empty")
 	}
 }

@@ -1,6 +1,7 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/errs"
@@ -8,117 +9,196 @@ import (
 	"repro/internal/navm"
 )
 
-// Method selects a solution algorithm for Solve.
-type Method int
+// SolveOpts selects and tunes the solution strategy for Solve — the one
+// knob set for every way the paper solves a structure.  Exactly one
+// execution path applies: Substructured > 0 partitions the model into
+// that many vertical bands and condenses them (in parallel on RT when
+// attached); otherwise Parallel > 0 runs the Backend's NAVM-distributed
+// variant on that many simulated workers; otherwise the Backend runs
+// sequentially through the linalg solver registry.
+type SolveOpts struct {
+	// Backend names the solver engine ("" selects the banded Cholesky
+	// baseline); see linalg.Backends for the registry.
+	Backend string
+	// Precond names the preconditioner for iterative backends ("" for
+	// none); see linalg.Preconds.
+	Precond string
+	// Parallel, when positive, solves with the backend's distributed
+	// variant on that many simulated workers (cg, jacobi, and sor have
+	// one; the direct backends do not).  Requires RT.
+	Parallel int
+	// Substructured, when positive, partitions the model into that many
+	// vertical bands and condenses them, in parallel when RT is
+	// attached.
+	Substructured int
+	// Tol is the iterative relative-residual tolerance (0 = 1e-8).
+	Tol float64
+	// MaxIter bounds iterative solvers.  Zero selects the backend's
+	// default budget (clamped to linalg.MaxIterCeiling); an explicit
+	// value is used as given.
+	MaxIter int
+	// Omega is the SOR/SSOR relaxation factor (0 = 1.5).
+	Omega float64
+	// RT is the simulated machine's runtime; required for Parallel,
+	// optional (cost attribution only) for Substructured.
+	RT *navm.Runtime
+	// OnIteration, when non-nil, traces iterative convergence.
+	OnIteration func(iter int, resid float64)
+}
 
-// Solution methods: the sequential baselines and the iterative methods
-// the NAVM parallelises.
-const (
-	// MethodCholesky is the sequential banded direct solver — the
-	// 1980s production baseline.
-	MethodCholesky Method = iota
-	// MethodCG is sequential conjugate gradients.
-	MethodCG
-	// MethodJacobi is sequential Jacobi iteration.
-	MethodJacobi
-	// MethodSOR is sequential successive over-relaxation.
-	MethodSOR
-)
-
-// String names the method.
-func (m Method) String() string {
-	switch m {
-	case MethodCholesky:
-		return "cholesky"
-	case MethodCG:
-		return "cg"
-	case MethodJacobi:
-		return "jacobi"
-	case MethodSOR:
-		return "sor"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
+// iterOpts lowers the solve options to the linalg layer.
+func (o SolveOpts) iterOpts() linalg.IterOpts {
+	return linalg.IterOpts{
+		Tol: o.Tol, MaxIter: o.MaxIter, Omega: o.Omega,
+		Precond: o.Precond, OnIteration: o.OnIteration,
 	}
 }
 
-// Solution is a solved load case: full displacement vector and solver
-// accounting.
+// backendName resolves the default backend name.
+func (o SolveOpts) backendName() string {
+	if o.Backend == "" {
+		return linalg.BackendCholesky
+	}
+	return o.Backend
+}
+
+// Solution is a solved load case: full displacement vector and the
+// unified solver accounting.
 type Solution struct {
 	// U is the full displacement vector (zeros at fixed dofs).
 	U linalg.Vector
+	// Backend is the engine that produced U ("substructured" paths echo
+	// the interface solver's requested backend).
+	Backend string
+	// Precond is the preconditioner applied, "" when none.
+	Precond string
 	// Iterations is 0 for direct solves.
 	Iterations int
-	// Stats accumulates solver flops.
+	// Residual is the relative residual ‖b-Kx‖/‖b‖ of the reduced
+	// system (0 where not measured, e.g. substructured solves).
+	Residual float64
+	// Stats accumulates assembly and solver flops.
 	Stats linalg.Stats
+	// Par carries the simulated-machine statistics of a distributed
+	// solve; nil for sequential and substructured paths.
+	Par *navm.SolveStats
 }
 
-// Solve assembles the model and solves it for one load set with the given
-// sequential method — the AUVM "solve structure model/load set for
-// displacements" operation.
-func Solve(m *Model, ls *LoadSet, method Method) (*Solution, error) {
+// Solve assembles the model and solves it for one load set as SolveOpts
+// directs — the AUVM "solve structure model/load set for displacements"
+// operation, unified over sequential, NAVM-parallel, and substructured
+// execution.  All three paths honour ctx: a cancelled solve returns an
+// error wrapping errs.ErrCancelled.
+func Solve(ctx context.Context, m *Model, ls *LoadSet, opts SolveOpts) (*Solution, error) {
+	if opts.Substructured > 0 {
+		// The condensation path performs its own direct solves, so the
+		// backend name must still be a real one (usage error on every
+		// route) and a preconditioner is rejected rather than silently
+		// ignored — mirroring the direct backends.
+		if _, err := linalg.Backend(opts.Backend); err != nil {
+			return nil, err
+		}
+		if opts.Precond != "" && opts.Precond != "none" {
+			return nil, errs.Usage("substructured solves condense directly and take no preconditioner (%q requested)", opts.Precond)
+		}
+		s, err := PartitionByX(m, opts.Substructured)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := SolveSubstructured(ctx, m, s, ls, opts.RT)
+		if err != nil {
+			return nil, err
+		}
+		sol.Backend = opts.backendName()
+		return sol, nil
+	}
 	asm, err := Assemble(m)
 	if err != nil {
 		return nil, err
 	}
-	return SolveAssembled(m, asm, ls, method)
+	return SolveAssembled(ctx, m, asm, ls, opts)
 }
 
 // SolveAssembled solves a pre-assembled system (several load sets can
-// share one assembly).
-func SolveAssembled(m *Model, asm *Assembled, ls *LoadSet, method Method) (*Solution, error) {
+// share one assembly) sequentially or NAVM-distributed as SolveOpts
+// directs.
+func SolveAssembled(ctx context.Context, m *Model, asm *Assembled, ls *LoadSet, opts SolveOpts) (*Solution, error) {
 	b, err := m.RHS(ls, asm.Index, len(asm.Free))
+	if err != nil {
+		return nil, err
+	}
+	if opts.Parallel > 0 {
+		return solveParallel(ctx, asm, b, opts)
+	}
+	solver, err := linalg.Backend(opts.Backend)
 	if err != nil {
 		return nil, err
 	}
 	sol := &Solution{}
 	sol.Stats.Merge(asm.Stats)
-	opts := linalg.DefaultIterOpts(asm.K.N)
-	var x linalg.Vector
-	var iters int
-	switch method {
-	case MethodCholesky:
-		x, err = asm.K.ToBanded().SolveCholesky(b, &sol.Stats)
-	case MethodCG:
-		x, iters, err = linalg.CG(asm.K, b, opts, &sol.Stats)
-	case MethodJacobi:
-		opts.MaxIter = 200 * asm.K.N
-		x, iters, err = linalg.Jacobi(asm.K, b, opts, &sol.Stats)
-	case MethodSOR:
-		opts.MaxIter = 100 * asm.K.N
-		x, iters, err = linalg.SOR(asm.K, b, opts, &sol.Stats)
-	default:
-		return nil, fmt.Errorf("%w: fem: unknown method %d", errs.ErrUsage, method)
-	}
+	x, info, err := solver.Solve(ctx, asm.K, b, opts.iterOpts())
+	sol.Backend = info.Backend
+	sol.Precond = info.Precond
+	sol.Iterations = info.Iterations
+	sol.Residual = info.Residual
+	sol.Stats.Flops += info.Flops
+	sol.Stats.Iterations += info.Iterations
 	if err != nil {
 		return nil, err
 	}
 	sol.U = asm.Expand(x)
-	sol.Iterations = iters
 	return sol, nil
 }
 
-// SolveParallel assembles the model and solves it with the NAVM
-// distributed CG on p simulated workers, returning the solution and the
-// simulated cost statistics.
-func SolveParallel(rt *navm.Runtime, m *Model, ls *LoadSet, p int) (*Solution, navm.SolveStats, error) {
-	var zero navm.SolveStats
-	asm, err := Assemble(m)
-	if err != nil {
-		return nil, zero, err
+// solveParallel routes a distributed solve to the backend's NAVM
+// variant: cg (the default), jacobi, or multi-colour sor.
+func solveParallel(ctx context.Context, asm *Assembled, b linalg.Vector, opts SolveOpts) (*Solution, error) {
+	rt := opts.RT
+	if rt == nil {
+		return nil, fmt.Errorf("fem: parallel solve needs an attached runtime (no parallel machine)")
 	}
-	b, err := m.RHS(ls, asm.Index, len(asm.Free))
-	if err != nil {
-		return nil, zero, err
+	backend := opts.Backend
+	if backend == "" {
+		backend = linalg.BackendCG
 	}
-	d, err := navm.Partition(asm.K, b, p)
-	if err != nil {
-		return nil, zero, err
+	if opts.Precond != "" && opts.Precond != "none" {
+		return nil, errs.Usage("distributed %s has no preconditioned variant (%q requested)",
+			backend, opts.Precond)
 	}
-	x, stats, err := rt.ParallelCG(d, linalg.DefaultIterOpts(asm.K.N))
+	d, err := navm.Partition(asm.K, b, opts.Parallel)
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
-	return &Solution{U: asm.Expand(x), Iterations: stats.Iterations}, stats, nil
+	// Zero-value fields pass through: each distributed solver applies
+	// the same linalg.IterDefaults as its sequential backend.
+	iopts := opts.iterOpts()
+	iopts.Precond = "" // rejected above; the distributed variants have none
+	var x linalg.Vector
+	var stats navm.SolveStats
+	switch backend {
+	case linalg.BackendCG:
+		x, stats, err = rt.ParallelCG(ctx, d, iopts)
+	case linalg.BackendJacobi:
+		x, stats, err = rt.ParallelJacobi(ctx, d, iopts)
+	case linalg.BackendSOR:
+		x, stats, err = rt.ParallelMultiColorSOR(ctx, d, linalg.GreedyColoring(asm.K), iopts)
+	default:
+		return nil, errs.Usage("backend %q has no distributed variant (try cg, jacobi, or sor)", backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{
+		Backend:    backend,
+		Iterations: stats.Iterations,
+		Residual:   stats.ResidualNorm,
+		Par:        &stats,
+	}
+	sol.Stats.Merge(asm.Stats)
+	sol.Stats.Flops += stats.Flops
+	sol.Stats.Iterations += stats.Iterations
+	sol.U = asm.Expand(x)
+	return sol, nil
 }
 
 // Stresses recovers per-element stress components from a solution — the

@@ -1,9 +1,11 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/errs"
 	"repro/internal/linalg"
 	"repro/internal/navm"
 )
@@ -224,13 +226,18 @@ func condense(m *Model, sub *Substructure, ls *LoadSet) (*condensed, error) {
 // substructure condenses its interior onto the interface (in parallel on
 // the simulated machine when rt is non-nil), the assembled interface
 // system is solved, and interiors are recovered by back-substitution.
-func SolveSubstructured(m *Model, s *Substructured, ls *LoadSet, rt *navm.Runtime) (*Solution, error) {
+// ctx is checked before each condensation and before the interface
+// solve; a cancelled solve returns an error wrapping errs.ErrCancelled.
+func SolveSubstructured(ctx context.Context, m *Model, s *Substructured, ls *LoadSet, rt *navm.Runtime) (*Solution, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	k := len(s.Subs)
 	conds := make([]*condensed, k)
 	for i, sub := range s.Subs {
+		if err := errs.Cancelled(ctx); err != nil {
+			return nil, err
+		}
 		c, err := condense(m, sub, ls)
 		if err != nil {
 			return nil, fmt.Errorf("fem: substructure %d: %w", i, err)
@@ -284,6 +291,9 @@ func SolveSubstructured(m *Model, s *Substructured, ls *LoadSet, rt *navm.Runtim
 	}
 	var ub linalg.Vector
 	if n > 0 {
+		if err := errs.Cancelled(ctx); err != nil {
+			return nil, err
+		}
 		var err error
 		ub, err = sys.SolveGauss(rhs, nil)
 		if err != nil {

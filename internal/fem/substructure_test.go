@@ -1,6 +1,7 @@
 package fem
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -81,7 +82,7 @@ func TestPartitionByXErrors(t *testing.T) {
 
 func TestSubstructuredMatchesDirectSolve(t *testing.T) {
 	m, _, ls := plateAndLoad(t, 8, 4)
-	ref, err := Solve(m, ls, MethodCholesky)
+	ref, err := Solve(context.Background(), m, ls, SolveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestSubstructuredMatchesDirectSolve(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, err := SolveSubstructured(m, s, ls, nil)
+		sol, err := SolveSubstructured(context.Background(), m, s, ls, nil)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -107,7 +108,7 @@ func TestSubstructuredTrussMatchesDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 	ls := TipLoad("tip", 6, 5000)
-	ref, err := Solve(m, ls, MethodCholesky)
+	ref, err := Solve(context.Background(), m, ls, SolveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestSubstructuredTrussMatchesDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveSubstructured(m, s, ls, nil)
+	sol, err := SolveSubstructured(context.Background(), m, s, ls, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +133,11 @@ func TestSubstructuredWithLoadOnInterface(t *testing.T) {
 		t.Fatal(err)
 	}
 	ls := &LoadSet{Name: "iface", Entries: []LoadEntry{{DOF: s.Interface[0], Value: 123}}}
-	ref, err := Solve(m, ls, MethodCholesky)
+	ref, err := Solve(context.Background(), m, ls, SolveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveSubstructured(m, s, ls, nil)
+	sol, err := SolveSubstructured(context.Background(), m, s, ls, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +157,11 @@ func TestSubstructuredParallelCostAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveSubstructured(m, s, ls, rt)
+	sol, err := SolveSubstructured(context.Background(), m, s, ls, rt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, _ := Solve(m, ls, MethodCholesky)
+	ref, _ := Solve(context.Background(), m, ls, SolveOpts{})
 	if d := linalg.MaxAbsDiff(sol.U, ref.U); d > 1e-8*linalg.NormInf(ref.U) {
 		t.Errorf("parallel-accounted solve differs by %g", d)
 	}
@@ -186,7 +187,7 @@ func TestSubstructureParallelSpeedupShape(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := SolveSubstructured(m, s, ls, rt); err != nil {
+		if _, err := SolveSubstructured(context.Background(), m, s, ls, rt); err != nil {
 			t.Fatal(err)
 		}
 		return rt.Machine().Makespan()

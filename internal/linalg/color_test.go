@@ -90,7 +90,7 @@ func TestMultiColorSORConvergesLikeLexicographicSOR(t *testing.T) {
 	opts := DefaultIterOpts(m.N)
 	opts.Tol = 1e-8
 	opts.MaxIter = 50000
-	_, lexIters, err := SOR(m, b, opts, nil)
+	_, lexIters, err := seqSOR(m, b, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestMultiColorSORConvergesLikeLexicographicSOR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	xLex, _, _ := SOR(m, b, opts, nil)
+	xLex, _, _ := seqSOR(m, b, opts, nil)
 	if d := MaxAbsDiff(xRB, xLex); d > 1e-6 {
 		t.Errorf("orderings disagree by %g", d)
 	}

@@ -168,7 +168,7 @@ func TestQuickRCMPreservesSolution(t *testing.T) {
 		for i := range b {
 			b[i] = rng.Float64()*2 - 1
 		}
-		xRef, _, err := CG(m, b, DefaultIterOpts(n), nil)
+		xRef, _, err := seqCG(m, b, DefaultIterOpts(n), nil)
 		if err != nil {
 			return false
 		}

@@ -1,14 +1,41 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/errs"
 )
 
-// ErrNoConvergence is returned when an iterative solver exhausts its
-// iteration budget before reaching the requested tolerance.
+// ErrNoConvergence is the sentinel an iterative solver's error wraps when
+// it exhausts its iteration budget before reaching the requested
+// tolerance.  The concrete error is a *ConvergenceError carrying the
+// final residual and iteration count.
 var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// ConvergenceError reports an exhausted iteration budget.  It wraps
+// ErrNoConvergence (errors.Is matches) while carrying the state the
+// solver stopped in, so callers can decide whether the partial answer is
+// usable.
+type ConvergenceError struct {
+	// Backend names the solver that gave up.
+	Backend string
+	// Iterations is the budget that was exhausted.
+	Iterations int
+	// Residual is the relative residual ‖r‖/‖b‖ at the final iteration.
+	Residual float64
+}
+
+// Error formats the failure with its final state.
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("%v: %s after %d iterations, residual %.3g",
+		ErrNoConvergence, e.Backend, e.Iterations, e.Residual)
+}
+
+// Unwrap links the typed error to the ErrNoConvergence sentinel.
+func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
 
 // IterOpts configures the iterative solvers.
 type IterOpts struct {
@@ -16,23 +43,57 @@ type IterOpts struct {
 	Tol float64
 	// MaxIter bounds the iteration count.
 	MaxIter int
-	// Omega is the SOR relaxation factor (ignored by CG/Jacobi).
+	// Omega is the SOR/SSOR relaxation factor (ignored by CG/Jacobi).
 	Omega float64
+	// Precond names the preconditioner an iterative backend should build
+	// and apply ("" or "none" for unpreconditioned; see Preconds).  Only
+	// the CG backend uses it; direct backends reject it.
+	Precond string
 	// OnIteration, when non-nil, is invoked after each iteration with
 	// the iteration index and current residual norm.  The experiment
 	// harness uses it to trace convergence histories.
 	OnIteration func(iter int, resid float64)
 }
 
-// DefaultIterOpts returns the options used throughout the experiments:
-// 1e-8 relative tolerance, an n-proportional iteration cap and the
-// classical ω=1.5 for SOR.
-func DefaultIterOpts(n int) IterOpts {
-	max := 10 * n
-	if max < 200 {
-		max = 200
+// MaxIterCeiling bounds every iteration budget: DefaultIterOpts and the
+// per-backend defaults clamp to it, so a huge system cannot turn a
+// mistyped solve into an unbounded loop.
+const MaxIterCeiling = 200_000
+
+// clampIter applies the floor-200 / MaxIterCeiling bounds to an
+// n-proportional iteration budget.
+func clampIter(m int) int {
+	if m < 200 {
+		m = 200
 	}
-	return IterOpts{Tol: 1e-8, MaxIter: max, Omega: 1.5}
+	if m > MaxIterCeiling {
+		m = MaxIterCeiling
+	}
+	return m
+}
+
+// DefaultIterOpts returns the options used throughout the experiments:
+// 1e-8 relative tolerance, an n-proportional iteration cap (bounded by
+// MaxIterCeiling) and the classical ω=1.5 for SOR.
+func DefaultIterOpts(n int) IterOpts {
+	return IterOpts{Tol: 1e-8, MaxIter: clampIter(10 * n), Omega: 1.5}
+}
+
+// cancelCheckInterval is how many iterations pass between context polls
+// inside the solver loops: frequent enough that a cancelled solve stops
+// promptly, rare enough to stay off the per-iteration critical path.
+const cancelCheckInterval = 16
+
+// CheckCancel polls ctx on iteration 1 and every cancelCheckInterval
+// iterations after it, converting a cancellation into the shared
+// errs.ErrCancelled taxonomy (the context's own error stays in the chain
+// for errors.Is).  The NAVM distributed solvers share it so sequential
+// and parallel solves cancel identically.
+func CheckCancel(ctx context.Context, iter int) error {
+	if ctx == nil || iter%cancelCheckInterval != 1 {
+		return nil
+	}
+	return errs.Cancelled(ctx)
 }
 
 // Operator is anything that can apply itself to a vector: the iterative
@@ -41,33 +102,52 @@ type Operator interface {
 	MulVec(x, out Vector, st *Stats) Vector
 }
 
-// CG solves A*x = b for symmetric positive definite A by the conjugate
-// gradient method, the "solution of a particular system of simultaneous
-// equations" workload at the bottom of the paper's parallelism hierarchy.
-// It returns the solution and the iteration count.
-func CG(a Operator, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
+// cg is the (optionally preconditioned) conjugate gradient kernel for
+// symmetric positive definite A — the "solution of a particular system
+// of simultaneous equations" workload at the bottom of the paper's
+// parallelism hierarchy.  With a nil preconditioner the iteration is the
+// classical CG recurrence; with one, z = M⁻¹r replaces r in the
+// direction updates.  It returns the solution, the iteration count, and
+// the final relative residual.
+func cg(ctx context.Context, a Operator, b Vector, m Preconditioner, opts IterOpts, st *Stats) (Vector, int, float64, error) {
 	n := len(b)
 	x := NewVector(n)
 	r := b.Clone()
-	p := r.Clone()
+	z := r
+	if m != nil {
+		z = NewVector(n)
+		m.Apply(r, z, st)
+	}
+	p := z.Clone()
 	ap := NewVector(n)
 
 	bnorm := Norm2(b, st)
 	if bnorm == 0 {
-		return x, 0, nil
+		return x, 0, 0, nil
 	}
-	rr := Dot(r, r, st)
+	rz := Dot(r, z, st)
+	resid := math.Inf(1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := CheckCancel(ctx, iter); err != nil {
+			return x, iter - 1, resid, err
+		}
 		a.MulVec(p, ap, st)
 		pap := Dot(p, ap, st)
 		if pap <= 0 {
-			return nil, iter, fmt.Errorf("linalg: CG breakdown, pᵀAp = %g (matrix not SPD?)", pap)
+			return nil, iter, resid, fmt.Errorf("linalg: CG breakdown, pᵀAp = %g (matrix not SPD?)", pap)
 		}
-		alpha := rr / pap
+		alpha := rz / pap
 		Axpy(alpha, p, x, st)
 		Axpy(-alpha, ap, r, st)
-		rrNew := Dot(r, r, st)
-		resid := math.Sqrt(rrNew) / bnorm
+		var rzNew float64
+		if m == nil {
+			rzNew = Dot(r, r, st)
+			resid = math.Sqrt(rzNew) / bnorm
+		} else {
+			m.Apply(r, z, st)
+			rzNew = Dot(r, z, st)
+			resid = math.Sqrt(Dot(r, r, st)) / bnorm
+		}
 		if opts.OnIteration != nil {
 			opts.OnIteration(iter, resid)
 		}
@@ -75,25 +155,32 @@ func CG(a Operator, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
 			st.Iterations++
 		}
 		if resid <= opts.Tol {
-			return x, iter, nil
+			return x, iter, resid, nil
 		}
-		beta := rrNew / rr
+		beta := rzNew / rz
 		for i := range p {
-			p[i] = r[i] + beta*p[i]
+			p[i] = z[i] + beta*p[i]
 		}
 		st.addFlops(int64(2 * n))
-		rr = rrNew
+		rz = rzNew
 	}
-	return x, opts.MaxIter, fmt.Errorf("%w: CG after %d iterations", ErrNoConvergence, opts.MaxIter)
+	return x, opts.MaxIter, resid, &ConvergenceError{Backend: cgName(m), Iterations: opts.MaxIter, Residual: resid}
 }
 
-// Jacobi solves A*x = b by Jacobi iteration.  A must have non-zero
-// diagonal; convergence requires A (after constraint application) to be
-// diagonally dominant enough, which the FEM systems here are for modest
-// meshes.  Jacobi is the most naturally parallel method — every component
-// update is independent — which is why the FEM-1/FEM-2 literature leaned
-// on it.
-func Jacobi(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
+// cgName labels the CG variant for errors and Info.
+func cgName(m Preconditioner) string {
+	if m == nil {
+		return BackendCG
+	}
+	return BackendCG + "+" + m.Name()
+}
+
+// jacobi is the Jacobi iteration kernel.  A must have non-zero diagonal;
+// convergence requires A (after constraint application) to be diagonally
+// dominant enough, which the FEM systems here are for modest meshes.
+// Jacobi is the most naturally parallel method — every component update
+// is independent — which is why the FEM-1/FEM-2 literature leaned on it.
+func jacobi(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, float64, error) {
 	n := a.N
 	if len(b) != n {
 		panic(fmt.Errorf("%w: Jacobi order %d with rhs %d", ErrDimension, n, len(b)))
@@ -101,17 +188,21 @@ func Jacobi(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
 	d := a.Diagonal()
 	for i, v := range d {
 		if v == 0 {
-			return nil, 0, fmt.Errorf("linalg: Jacobi zero diagonal at %d", i)
+			return nil, 0, 0, fmt.Errorf("linalg: Jacobi zero diagonal at %d", i)
 		}
 	}
 	x := NewVector(n)
 	xNew := NewVector(n)
 	bnorm := Norm2(b, st)
 	if bnorm == 0 {
-		return x, 0, nil
+		return x, 0, 0, nil
 	}
 	r := NewVector(n)
+	resid := math.Inf(1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := CheckCancel(ctx, iter); err != nil {
+			return x, iter - 1, resid, err
+		}
 		// xNew_i = (b_i - sum_{j≠i} a_ij x_j) / a_ii
 		var flops int64
 		for i := 0; i < n; i++ {
@@ -133,7 +224,7 @@ func Jacobi(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
 			r[i] = b[i] - r[i]
 		}
 		st.addFlops(int64(n))
-		resid := Norm2(r, st) / bnorm
+		resid = Norm2(r, st) / bnorm
 		if opts.OnIteration != nil {
 			opts.OnIteration(iter, resid)
 		}
@@ -141,39 +232,43 @@ func Jacobi(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
 			st.Iterations++
 		}
 		if resid <= opts.Tol {
-			return x, iter, nil
+			return x, iter, resid, nil
 		}
 	}
-	return x, opts.MaxIter, fmt.Errorf("%w: Jacobi after %d iterations", ErrNoConvergence, opts.MaxIter)
+	return x, opts.MaxIter, resid, &ConvergenceError{Backend: BackendJacobi, Iterations: opts.MaxIter, Residual: resid}
 }
 
-// SOR solves A*x = b by successive over-relaxation with factor opts.Omega
+// sor is the successive over-relaxation kernel with factor opts.Omega
 // (ω=1 gives Gauss-Seidel).  Adams' contemporaneous ICASE work analysed
 // multi-colour SOR for the Finite Element Machine; the sequential kernel
 // here is the building block, and the NAVM layer runs it red/black in
 // parallel.
-func SOR(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
+func sor(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, float64, error) {
 	n := a.N
 	if len(b) != n {
 		panic(fmt.Errorf("%w: SOR order %d with rhs %d", ErrDimension, n, len(b)))
 	}
 	w := opts.Omega
 	if w <= 0 || w >= 2 {
-		return nil, 0, fmt.Errorf("linalg: SOR relaxation factor %g outside (0,2)", w)
+		return nil, 0, 0, fmt.Errorf("linalg: SOR relaxation factor %g outside (0,2)", w)
 	}
 	d := a.Diagonal()
 	for i, v := range d {
 		if v == 0 {
-			return nil, 0, fmt.Errorf("linalg: SOR zero diagonal at %d", i)
+			return nil, 0, 0, fmt.Errorf("linalg: SOR zero diagonal at %d", i)
 		}
 	}
 	x := NewVector(n)
 	bnorm := Norm2(b, st)
 	if bnorm == 0 {
-		return x, 0, nil
+		return x, 0, 0, nil
 	}
 	r := NewVector(n)
+	resid := math.Inf(1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := CheckCancel(ctx, iter); err != nil {
+			return x, iter - 1, resid, err
+		}
 		var flops int64
 		for i := 0; i < n; i++ {
 			s := b[i]
@@ -192,7 +287,7 @@ func SOR(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
 			r[i] = b[i] - r[i]
 		}
 		st.addFlops(int64(n))
-		resid := Norm2(r, st) / bnorm
+		resid = Norm2(r, st) / bnorm
 		if opts.OnIteration != nil {
 			opts.OnIteration(iter, resid)
 		}
@@ -200,10 +295,10 @@ func SOR(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
 			st.Iterations++
 		}
 		if resid <= opts.Tol {
-			return x, iter, nil
+			return x, iter, resid, nil
 		}
 	}
-	return x, opts.MaxIter, fmt.Errorf("%w: SOR after %d iterations", ErrNoConvergence, opts.MaxIter)
+	return x, opts.MaxIter, resid, &ConvergenceError{Backend: BackendSOR, Iterations: opts.MaxIter, Residual: resid}
 }
 
 // Residual computes ‖b - A*x‖₂ for verification.

@@ -1,11 +1,30 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// seqCG, seqJacobi, and seqSOR adapt the engine kernels to the historic
+// (x, iters, err) shape the kernel-level tests in this package assert
+// against; the engine API itself is covered by engine_test.go.
+func seqCG(a Operator, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
+	x, iters, _, err := cg(context.Background(), a, b, nil, opts, st)
+	return x, iters, err
+}
+
+func seqJacobi(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
+	x, iters, _, err := jacobi(context.Background(), a, b, opts, st)
+	return x, iters, err
+}
+
+func seqSOR(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
+	x, iters, _, err := sor(context.Background(), a, b, opts, st)
+	return x, iters, err
+}
 
 func solveAllWaysSystem(t *testing.T, n int) (*CSR, Vector, Vector) {
 	t.Helper()
@@ -22,7 +41,7 @@ func solveAllWaysSystem(t *testing.T, n int) (*CSR, Vector, Vector) {
 func TestCGSolvesPoisson(t *testing.T) {
 	m, b, want := solveAllWaysSystem(t, 8)
 	st := &Stats{}
-	x, iters, err := CG(m, b, DefaultIterOpts(m.N), st)
+	x, iters, err := seqCG(m, b, DefaultIterOpts(m.N), st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +58,7 @@ func TestCGSolvesPoisson(t *testing.T) {
 
 func TestCGZeroRHS(t *testing.T) {
 	m, _, _ := solveAllWaysSystem(t, 4)
-	x, iters, err := CG(m, NewVector(m.N), DefaultIterOpts(m.N), nil)
+	x, iters, err := seqCG(m, NewVector(m.N), DefaultIterOpts(m.N), nil)
 	if err != nil || iters != 0 {
 		t.Fatalf("zero rhs: err=%v iters=%d", err, iters)
 	}
@@ -54,7 +73,7 @@ func TestCGBreakdownOnIndefinite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := CG(m, Vector{1, 1, 1}, DefaultIterOpts(3), nil); err == nil {
+	if _, _, err := seqCG(m, Vector{1, 1, 1}, DefaultIterOpts(3), nil); err == nil {
 		t.Error("CG on negative definite matrix did not report breakdown")
 	}
 }
@@ -64,7 +83,7 @@ func TestCGNoConvergenceBudget(t *testing.T) {
 	opts := DefaultIterOpts(m.N)
 	opts.MaxIter = 1
 	opts.Tol = 1e-14
-	_, _, err := CG(m, b, opts, nil)
+	_, _, err := seqCG(m, b, opts, nil)
 	if !errors.Is(err, ErrNoConvergence) {
 		t.Errorf("want ErrNoConvergence, got %v", err)
 	}
@@ -75,7 +94,7 @@ func TestCGIterationCallback(t *testing.T) {
 	var history []float64
 	opts := DefaultIterOpts(m.N)
 	opts.OnIteration = func(iter int, resid float64) { history = append(history, resid) }
-	_, iters, err := CG(m, b, opts, nil)
+	_, iters, err := seqCG(m, b, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +111,7 @@ func TestJacobiSolvesPoisson(t *testing.T) {
 	opts := DefaultIterOpts(m.N)
 	opts.Tol = 1e-10
 	opts.MaxIter = 20000
-	x, iters, err := Jacobi(m, b, opts, nil)
+	x, iters, err := seqJacobi(m, b, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,14 +125,14 @@ func TestJacobiZeroDiagonal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Jacobi(m, Vector{1, 1}, DefaultIterOpts(2), nil); err == nil {
+	if _, _, err := seqJacobi(m, Vector{1, 1}, DefaultIterOpts(2), nil); err == nil {
 		t.Error("Jacobi with zero diagonal did not fail")
 	}
 }
 
 func TestJacobiZeroRHS(t *testing.T) {
 	m, _, _ := solveAllWaysSystem(t, 3)
-	x, iters, err := Jacobi(m, NewVector(m.N), DefaultIterOpts(m.N), nil)
+	x, iters, err := seqJacobi(m, NewVector(m.N), DefaultIterOpts(m.N), nil)
 	if err != nil || iters != 0 || NormInf(Vector(x)) != 0 {
 		t.Errorf("zero rhs: x=%v iters=%d err=%v", x, iters, err)
 	}
@@ -125,11 +144,11 @@ func TestSORSolvesPoissonFasterThanJacobi(t *testing.T) {
 	opts.Tol = 1e-9
 	opts.MaxIter = 20000
 
-	_, jIters, err := Jacobi(m, b, opts, nil)
+	_, jIters, err := seqJacobi(m, b, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	x, sIters, err := SOR(m, b, opts, nil)
+	x, sIters, err := seqSOR(m, b, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +165,7 @@ func TestSORGaussSeidelOmegaOne(t *testing.T) {
 	opts := DefaultIterOpts(m.N)
 	opts.Omega = 1.0
 	opts.MaxIter = 20000
-	x, _, err := SOR(m, b, opts, nil)
+	x, _, err := seqSOR(m, b, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +179,7 @@ func TestSORRejectsBadOmega(t *testing.T) {
 	for _, w := range []float64{0, -1, 2, 2.5} {
 		opts := DefaultIterOpts(m.N)
 		opts.Omega = w
-		if _, _, err := SOR(m, b, opts, nil); err == nil {
+		if _, _, err := seqSOR(m, b, opts, nil); err == nil {
 			t.Errorf("SOR accepted omega = %g", w)
 		}
 	}
@@ -171,7 +190,7 @@ func TestSORZeroDiagonal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := SOR(m, Vector{1, 1}, DefaultIterOpts(2), nil); err == nil {
+	if _, _, err := seqSOR(m, Vector{1, 1}, DefaultIterOpts(2), nil); err == nil {
 		t.Error("SOR with zero diagonal did not fail")
 	}
 }
@@ -189,15 +208,15 @@ func TestAllSolversAgree(t *testing.T) {
 	opts.Tol = 1e-10
 	opts.MaxIter = 50000
 
-	xc, _, err := CG(m, b, opts, nil)
+	xc, _, err := seqCG(m, b, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	xj, _, err := Jacobi(m, b, opts, nil)
+	xj, _, err := seqJacobi(m, b, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	xs, _, err := SOR(m, b, opts, nil)
+	xs, _, err := seqSOR(m, b, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +253,7 @@ func TestQuickCGMatchesDirect(t *testing.T) {
 		for i := range b {
 			b[i] = rng.Float64()*2 - 1
 		}
-		x, _, err := CG(m, b, DefaultIterOpts(n), nil)
+		x, _, err := seqCG(m, b, DefaultIterOpts(n), nil)
 		if err != nil {
 			return false
 		}

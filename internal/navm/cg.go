@@ -1,6 +1,7 @@
 package navm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -238,8 +239,10 @@ func barrier(rt *Runtime, pes []*arch.PE) {
 // communication costs accrue on the simulated machine: each worker's
 // flops advance its own PE clock, each halo word crosses the network, and
 // each inner product costs a barrier — reproducing the Adams–Voigt
-// analysis of the finite element process on FEM-class hardware.
-func (rt *Runtime) ParallelCG(d *DistSystem, opts linalg.IterOpts) (linalg.Vector, SolveStats, error) {
+// analysis of the finite element process on FEM-class hardware.  The
+// iteration loop polls ctx, so a cancelled solve stops promptly with an
+// error wrapping errs.ErrCancelled.
+func (rt *Runtime) ParallelCG(ctx context.Context, d *DistSystem, opts linalg.IterOpts) (linalg.Vector, SolveStats, error) {
 	var stats SolveStats
 	pes, err := workerPEs(rt.machine, d.P)
 	if err != nil {
@@ -247,6 +250,8 @@ func (rt *Runtime) ParallelCG(d *DistSystem, opts linalg.IterOpts) (linalg.Vecto
 	}
 	defer rt.spawnSolverTasks(pes)()
 	n := d.A.N
+	// Same defaults as the sequential cg backend.
+	opts = linalg.IterDefaults(opts, n, 10)
 	st := make([]linalg.Stats, d.P) // per-worker flop counts
 
 	x := linalg.NewVector(n)
@@ -274,10 +279,11 @@ func (rt *Runtime) ParallelCG(d *DistSystem, opts linalg.IterOpts) (linalg.Vecto
 	barrier(rt, pes)
 
 	maxIter := opts.MaxIter
-	if maxIter <= 0 {
-		maxIter = 10 * n
-	}
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := linalg.CheckCancel(ctx, iter); err != nil {
+			finalizeStats(rt, &stats, st)
+			return x, stats, err
+		}
 		// Halo exchange then local SpMV rows, each worker's flops on
 		// its own PE.
 		stats.HaloWords += d.haloExchange(rt, pes)
@@ -311,7 +317,7 @@ func (rt *Runtime) ParallelCG(d *DistSystem, opts linalg.IterOpts) (linalg.Vecto
 		if iter == maxIter {
 			stats.ResidualNorm = resid
 			finalizeStats(rt, &stats, st)
-			return x, stats, fmt.Errorf("%w: parallel CG after %d iterations", linalg.ErrNoConvergence, maxIter)
+			return x, stats, &linalg.ConvergenceError{Backend: "parallel-cg", Iterations: maxIter, Residual: resid}
 		}
 		beta := rrNew / rr
 		for w := 0; w < d.P; w++ {
@@ -408,8 +414,9 @@ func (rt *Runtime) KernelCycles(d *DistSystem) (spmv, dot, axpy int64, err error
 // simulated workers — the maximally parallel method the original Finite
 // Element Machine favoured.  Same cost model as ParallelCG, but the only
 // synchronisation per iteration is the halo exchange and one barrier
-// (no inner products except the convergence check).
-func (rt *Runtime) ParallelJacobi(d *DistSystem, opts linalg.IterOpts) (linalg.Vector, SolveStats, error) {
+// (no inner products except the convergence check).  The iteration loop
+// polls ctx like ParallelCG does.
+func (rt *Runtime) ParallelJacobi(ctx context.Context, d *DistSystem, opts linalg.IterOpts) (linalg.Vector, SolveStats, error) {
 	var stats SolveStats
 	pes, err := workerPEs(rt.machine, d.P)
 	if err != nil {
@@ -417,6 +424,8 @@ func (rt *Runtime) ParallelJacobi(d *DistSystem, opts linalg.IterOpts) (linalg.V
 	}
 	defer rt.spawnSolverTasks(pes)()
 	n := d.A.N
+	// Same defaults as the sequential jacobi backend.
+	opts = linalg.IterDefaults(opts, n, 200)
 	st := make([]linalg.Stats, d.P)
 	diag := d.A.Diagonal()
 	for i, v := range diag {
@@ -431,11 +440,12 @@ func (rt *Runtime) ParallelJacobi(d *DistSystem, opts linalg.IterOpts) (linalg.V
 		return x, stats, nil
 	}
 	maxIter := opts.MaxIter
-	if maxIter <= 0 {
-		maxIter = 100 * n
-	}
 	r := linalg.NewVector(n)
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := linalg.CheckCancel(ctx, iter); err != nil {
+			finalizeStats(rt, &stats, st)
+			return x, stats, err
+		}
 		stats.HaloWords += d.haloExchange(rt, pes)
 		for w := 0; w < d.P; w++ {
 			var flops int64
@@ -478,7 +488,7 @@ func (rt *Runtime) ParallelJacobi(d *DistSystem, opts linalg.IterOpts) (linalg.V
 		if iter == maxIter {
 			stats.ResidualNorm = resid
 			finalizeStats(rt, &stats, st)
-			return x, stats, fmt.Errorf("%w: parallel Jacobi after %d iterations", linalg.ErrNoConvergence, maxIter)
+			return x, stats, &linalg.ConvergenceError{Backend: "parallel-jacobi", Iterations: maxIter, Residual: resid}
 		}
 	}
 	finalizeStats(rt, &stats, st)

@@ -1,6 +1,7 @@
 package navm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -134,7 +135,7 @@ func TestParallelCGMatchesSequential(t *testing.T) {
 	rt := newSolveRuntime(t, 4, 5)
 	d, _ := Partition(a, b, 8)
 	opts := linalg.DefaultIterOpts(a.N)
-	x, stats, err := rt.ParallelCG(d, opts)
+	x, stats, err := rt.ParallelCG(context.Background(), d, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,10 +145,15 @@ func TestParallelCGMatchesSequential(t *testing.T) {
 	// Same iterate count as the sequential algorithm (identical
 	// arithmetic order within blocks is not guaranteed, but counts
 	// should be close; allow ±2).
-	_, seqIters, err := linalg.CG(a, b, opts, nil)
+	seqSolver, err := linalg.Backend(linalg.BackendCG)
 	if err != nil {
 		t.Fatal(err)
 	}
+	_, seqInfo, err := seqSolver.Solve(context.Background(), a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqIters := seqInfo.Iterations
 	if stats.Iterations < seqIters-2 || stats.Iterations > seqIters+2 {
 		t.Errorf("parallel %d vs sequential %d iterations", stats.Iterations, seqIters)
 	}
@@ -163,7 +169,7 @@ func TestParallelCGZeroRHS(t *testing.T) {
 	a, _, _ := testSystem(4)
 	rt := newSolveRuntime(t, 2, 4)
 	d, _ := Partition(a, linalg.NewVector(a.N), 4)
-	x, stats, err := rt.ParallelCG(d, linalg.DefaultIterOpts(a.N))
+	x, stats, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(a.N))
 	if err != nil || stats.Iterations != 0 {
 		t.Fatalf("zero rhs: %v, %+v", err, stats)
 	}
@@ -179,7 +185,7 @@ func TestParallelCGConvergenceBudget(t *testing.T) {
 	opts := linalg.DefaultIterOpts(a.N)
 	opts.MaxIter = 2
 	opts.Tol = 1e-15
-	if _, _, err := rt.ParallelCG(d, opts); err == nil {
+	if _, _, err := rt.ParallelCG(context.Background(), d, opts); err == nil {
 		t.Error("budget exhaustion not reported")
 	}
 }
@@ -193,7 +199,7 @@ func TestParallelCGMoreWorkersReduceMakespan(t *testing.T) {
 	run := func(clusters, workers int) int64 {
 		rt := newSolveRuntime(t, clusters, 5)
 		d, _ := Partition(a, b, workers)
-		_, stats, err := rt.ParallelCG(d, opts)
+		_, stats, err := rt.ParallelCG(context.Background(), d, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +223,7 @@ func TestParallelJacobiMatchesSequential(t *testing.T) {
 	opts := linalg.DefaultIterOpts(a.N)
 	opts.MaxIter = 20000
 	opts.Tol = 1e-9
-	x, stats, err := rt.ParallelJacobi(d, opts)
+	x, stats, err := rt.ParallelJacobi(context.Background(), d, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +242,7 @@ func TestParallelJacobiZeroDiagonal(t *testing.T) {
 	}
 	rt := newSolveRuntime(t, 1, 3)
 	d, _ := Partition(m, linalg.Vector{1, 1}, 2)
-	if _, _, err := rt.ParallelJacobi(d, linalg.DefaultIterOpts(2)); err == nil {
+	if _, _, err := rt.ParallelJacobi(context.Background(), d, linalg.DefaultIterOpts(2)); err == nil {
 		t.Error("zero diagonal accepted")
 	}
 }
@@ -252,7 +258,7 @@ func TestParallelCGSurvivesFailedPEs(t *testing.T) {
 	m.FailPE(m.Cluster(2).Workers[0].ID)
 	m.FailPE(m.Cluster(2).Workers[1].ID)
 	d, _ := Partition(a, b, 8)
-	x, stats, err := rt.ParallelCG(d, linalg.DefaultIterOpts(a.N))
+	x, stats, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(a.N))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +279,7 @@ func TestParallelCGAllWorkersFailed(t *testing.T) {
 		}
 	}
 	d, _ := Partition(a, b, 4)
-	if _, _, err := rt.ParallelCG(d, linalg.DefaultIterOpts(a.N)); err == nil {
+	if _, _, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(a.N)); err == nil {
 		t.Error("solve on fully failed machine succeeded")
 	}
 }

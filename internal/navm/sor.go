@@ -1,6 +1,7 @@
 package navm
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,11 +15,14 @@ import (
 // iteration Adams analysed for the Finite Element Machine: it converges
 // like Gauss-Seidel/SOR (roughly twice as fast as Jacobi on grid
 // problems) while exposing Jacobi-like parallelism within each color.
-func (rt *Runtime) ParallelMultiColorSOR(d *DistSystem, c *linalg.Coloring, opts linalg.IterOpts) (linalg.Vector, SolveStats, error) {
+// The iteration loop polls ctx like ParallelCG does.
+func (rt *Runtime) ParallelMultiColorSOR(ctx context.Context, d *DistSystem, c *linalg.Coloring, opts linalg.IterOpts) (linalg.Vector, SolveStats, error) {
 	var stats SolveStats
 	if err := c.Validate(d.A); err != nil {
 		return nil, stats, err
 	}
+	// Same defaults as the sequential sor backend.
+	opts = linalg.IterDefaults(opts, d.A.N, 100)
 	w := opts.Omega
 	if w <= 0 || w >= 2 {
 		return nil, stats, fmt.Errorf("navm: SOR relaxation factor %g outside (0,2)", w)
@@ -51,11 +55,12 @@ func (rt *Runtime) ParallelMultiColorSOR(d *DistSystem, c *linalg.Coloring, opts
 		return x, stats, nil
 	}
 	maxIter := opts.MaxIter
-	if maxIter <= 0 {
-		maxIter = 100 * n
-	}
 	r := linalg.NewVector(n)
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := linalg.CheckCancel(ctx, iter); err != nil {
+			finalizeStats(rt, &stats, st)
+			return x, stats, err
+		}
 		for color := 0; color < c.NumColors; color++ {
 			// Boundary values of the previous colors must be
 			// visible before this sweep.
@@ -101,7 +106,7 @@ func (rt *Runtime) ParallelMultiColorSOR(d *DistSystem, c *linalg.Coloring, opts
 		if iter == maxIter {
 			stats.ResidualNorm = resid
 			finalizeStats(rt, &stats, st)
-			return x, stats, fmt.Errorf("%w: parallel multi-colour SOR after %d iterations", linalg.ErrNoConvergence, maxIter)
+			return x, stats, &linalg.ConvergenceError{Backend: "parallel-multicolor-sor", Iterations: maxIter, Residual: resid}
 		}
 	}
 	finalizeStats(rt, &stats, st)

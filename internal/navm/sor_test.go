@@ -1,6 +1,7 @@
 package navm
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/linalg"
@@ -17,7 +18,7 @@ func TestParallelMultiColorSORMatchesSequential(t *testing.T) {
 	opts := linalg.DefaultIterOpts(a.N)
 	opts.Tol = 1e-9
 	opts.MaxIter = 50000
-	x, stats, err := rt.ParallelMultiColorSOR(d, c, opts)
+	x, stats, err := rt.ParallelMultiColorSOR(context.Background(), d, c, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,14 +49,14 @@ func TestParallelMultiColorSORBeatsJacobiIterations(t *testing.T) {
 
 	rt1 := newSolveRuntime(t, 2, 5)
 	d1, _ := Partition(a, b, 4)
-	_, jStats, err := rt1.ParallelJacobi(d1, opts)
+	_, jStats, err := rt1.ParallelJacobi(context.Background(), d1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rt2 := newSolveRuntime(t, 2, 5)
 	d2, _ := Partition(a, b, 4)
 	c := linalg.GreedyColoring(a)
-	_, sStats, err := rt2.ParallelMultiColorSOR(d2, c, opts)
+	_, sStats, err := rt2.ParallelMultiColorSOR(context.Background(), d2, c, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,24 +74,24 @@ func TestParallelMultiColorSORErrors(t *testing.T) {
 
 	opts := linalg.DefaultIterOpts(a.N)
 	opts.Omega = -1
-	if _, _, err := rt.ParallelMultiColorSOR(d, c, opts); err == nil {
+	if _, _, err := rt.ParallelMultiColorSOR(context.Background(), d, c, opts); err == nil {
 		t.Error("bad omega accepted")
 	}
 	// Corrupt coloring rejected.
 	bad := &linalg.Coloring{ColorOf: make([]int, a.N), NumColors: 1, Rows: [][]int{{}}}
-	if _, _, err := rt.ParallelMultiColorSOR(d, bad, linalg.DefaultIterOpts(a.N)); err == nil {
+	if _, _, err := rt.ParallelMultiColorSOR(context.Background(), d, bad, linalg.DefaultIterOpts(a.N)); err == nil {
 		t.Error("invalid coloring accepted")
 	}
 	// Budget exhaustion.
 	opts = linalg.DefaultIterOpts(a.N)
 	opts.MaxIter = 1
 	opts.Tol = 1e-15
-	if _, _, err := rt.ParallelMultiColorSOR(d, c, opts); err == nil {
+	if _, _, err := rt.ParallelMultiColorSOR(context.Background(), d, c, opts); err == nil {
 		t.Error("budget exhaustion not reported")
 	}
 	// Zero RHS short-circuits.
 	d0, _ := Partition(a, linalg.NewVector(a.N), 2)
-	if x, stats, err := rt.ParallelMultiColorSOR(d0, c, linalg.DefaultIterOpts(a.N)); err != nil || stats.Iterations != 0 || linalg.NormInf(x) != 0 {
+	if x, stats, err := rt.ParallelMultiColorSOR(context.Background(), d0, c, linalg.DefaultIterOpts(a.N)); err != nil || stats.Iterations != 0 || linalg.NormInf(x) != 0 {
 		t.Error("zero rhs mishandled")
 	}
 }
@@ -127,7 +128,7 @@ func TestWorkerPEsLeastLoadedAndDisjoint(t *testing.T) {
 	a, b, _ := testSystem(6)
 	d, _ := Partition(a, b, 4)
 	// First solve occupies 4 workers.
-	if _, _, err := rt.ParallelCG(d, linalg.DefaultIterOpts(a.N)); err != nil {
+	if _, _, err := rt.ParallelCG(context.Background(), d, linalg.DefaultIterOpts(a.N)); err != nil {
 		t.Fatal(err)
 	}
 	busyBefore := map[int]int64{}
@@ -136,7 +137,7 @@ func TestWorkerPEsLeastLoadedAndDisjoint(t *testing.T) {
 	}
 	// Second solve must land on previously idle workers.
 	d2, _ := Partition(a, b, 4)
-	if _, _, err := rt.ParallelCG(d2, linalg.DefaultIterOpts(a.N)); err != nil {
+	if _, _, err := rt.ParallelCG(context.Background(), d2, linalg.DefaultIterOpts(a.N)); err != nil {
 		t.Fatal(err)
 	}
 	newlyBusy := 0
