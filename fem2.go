@@ -353,6 +353,38 @@ func Solve(ctx context.Context, m *Model, ls *LoadSet, opts SolveOpts) (*Solutio
 	return fem.Solve(ctx, m, ls, opts)
 }
 
+// Assembled is a model's reduced global system: the free-dof stiffness
+// matrix plus the dof maps needed to expand solutions back to the full
+// grid.
+type Assembled = fem.Assembled
+
+// AssemblyWorkspace is the retained symbolic half of assembly: the
+// sparsity pattern and scatter maps of one mesh topology, computed once
+// and reused so every numeric re-assembly (new load step, moved nodes,
+// another solver-comparison row) is an allocation-free scatter-add —
+// sequential via Assemble or fanned over cores via AssembleParallel.
+// It is distinct from Workspace, the AUVM user workspace.
+type AssemblyWorkspace = fem.Workspace
+
+// NewAssemblyWorkspace runs the symbolic assembly phase over a model.
+// The topology (elements, connectivity, constraints) must stay fixed for
+// the workspace's lifetime; node coordinates and materials may change
+// between numeric assemblies.
+func NewAssemblyWorkspace(m *Model) (*AssemblyWorkspace, error) { return fem.NewWorkspace(m) }
+
+// Assemble builds the reduced global stiffness system of a model in one
+// shot.  Callers that re-assemble one topology should retain a
+// NewAssemblyWorkspace instead.
+func Assemble(m *Model) (*Assembled, error) { return fem.Assemble(m) }
+
+// SolveAssembled solves a pre-assembled system for one load set —
+// assemble once, solve many.  opts routes exactly as in Solve, minus the
+// substructured path (which performs its own condensation instead of a
+// global assembly).
+func SolveAssembled(ctx context.Context, m *Model, asm *Assembled, ls *LoadSet, opts SolveOpts) (*Solution, error) {
+	return fem.SolveAssembled(ctx, m, asm, ls, opts)
+}
+
 // Stresses recovers element stresses from a solution.
 func Stresses(m *Model, sol *Solution) ([][]float64, error) { return fem.Stresses(m, sol) }
 

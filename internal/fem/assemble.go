@@ -19,10 +19,29 @@ type Assembled struct {
 }
 
 // Assemble builds the reduced global stiffness matrix by the direct
-// stiffness method: every element's stiffness scatters into the triplet
-// list at its global dofs, with fixed rows/columns eliminated — the AUVM
-// "solve structure model" operation's first half.
+// stiffness method: every element's stiffness scatters into the global
+// system at its free dofs, with fixed rows/columns eliminated — the AUVM
+// "solve structure model" operation's first half.  It is the one-shot
+// form of the symbolic/numeric split: a Workspace is built, run once,
+// and discarded.  Callers that assemble a topology repeatedly should
+// retain a Workspace (NewWorkspace) instead.
 func Assemble(m *Model) (*Assembled, error) {
+	ws, err := NewWorkspace(m)
+	if err != nil {
+		return nil, err
+	}
+	return ws.Assemble()
+}
+
+// AssembleTriplets is the reference assembly path: element stiffnesses
+// append to a triplet list that is then sorted into CSR form, with
+// zero-valued entries skipped.  It is kept for differential testing and
+// benchmarking against the Workspace scatter path; production callers
+// use Assemble.  On shared entries the two paths agree bitwise (both
+// sum contributions in element order); the Workspace pattern may store
+// additional explicit zeros where an element stiffness entry is exactly
+// zero.
+func AssembleTriplets(m *Model) (*Assembled, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

@@ -35,18 +35,38 @@ func (b *Bar) geometry(m *Model) (l, c, s float64, err error) {
 // Stiffness returns the 4×4 global-coordinate bar stiffness
 // k = (EA/L)·[cc cs; cs ss] pattern.
 func (b *Bar) Stiffness(m *Model) (*linalg.Dense, error) {
+	ke := linalg.NewDense(4, 4)
+	if err := b.StiffnessInto(m, ke); err != nil {
+		return nil, err
+	}
+	return ke, nil
+}
+
+// StiffnessInto writes the bar stiffness into a caller-owned 4×4 matrix,
+// allocating nothing — the assembly workspace's numeric phase calls it
+// once per element per re-assembly.
+func (b *Bar) StiffnessInto(m *Model, ke *linalg.Dense) error {
+	if ke.Rows != 4 || ke.Cols != 4 {
+		return fmt.Errorf("%w: bar stiffness into %dx%d", linalg.ErrDimension, ke.Rows, ke.Cols)
+	}
 	l, c, s, err := b.geometry(m)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	k := b.Mat.E * b.Mat.A / l
 	cc, ss, cs := c*c, s*s, c*s
-	return linalg.DenseFromRows([][]float64{
+	rows := [4][4]float64{
 		{k * cc, k * cs, -k * cc, -k * cs},
 		{k * cs, k * ss, -k * cs, -k * ss},
 		{-k * cc, -k * cs, k * cc, k * cs},
 		{-k * cs, -k * ss, k * cs, k * ss},
-	}), nil
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			ke.Set(i, j, rows[i][j])
+		}
+	}
+	return nil
 }
 
 // Stress returns the single axial stress component (positive in tension).
@@ -113,23 +133,76 @@ func (t *CST) dMatrix() *linalg.Dense {
 
 // Stiffness returns the 6×6 element stiffness k = t·|A|·BᵀDB.
 func (t *CST) Stiffness(m *Model) (*linalg.Dense, error) {
-	b, area, err := t.bMatrixAndArea(m)
-	if err != nil {
+	ke := linalg.NewDense(6, 6)
+	if err := t.StiffnessInto(m, ke); err != nil {
 		return nil, err
 	}
+	return ke, nil
+}
+
+// StiffnessInto writes the CST stiffness k = t·|A|·BᵀDB into a
+// caller-owned 6×6 matrix using fixed-size local arrays, allocating
+// nothing.  The accumulation order matches the Dense.Mul chain the dense
+// path historically used, so both paths produce bit-identical entries.
+func (t *CST) StiffnessInto(m *Model, ke *linalg.Dense) error {
+	if ke.Rows != 6 || ke.Cols != 6 {
+		return fmt.Errorf("%w: CST stiffness into %dx%d", linalg.ErrDimension, ke.Rows, ke.Cols)
+	}
+	p1, p2, p3 := m.Nodes[t.N1], m.Nodes[t.N2], m.Nodes[t.N3]
+	a2 := (p2.X-p1.X)*(p3.Y-p1.Y) - (p3.X-p1.X)*(p2.Y-p1.Y)
+	if a2 == 0 {
+		return fmt.Errorf("%w: degenerate CST %d-%d-%d", ErrModel, t.N1, t.N2, t.N3)
+	}
+	area := a2 / 2
 	if area < 0 {
 		area = -area
 	}
-	d := t.dMatrix()
-	bt := b.Transpose()
-	k := bt.Mul(d, nil).Mul(b, nil)
-	scale := t.Mat.T * area
-	for i := 0; i < k.Rows; i++ {
-		for j := 0; j < k.Cols; j++ {
-			k.Set(i, j, k.At(i, j)*scale)
+	b1, b2, b3 := p2.Y-p3.Y, p3.Y-p1.Y, p1.Y-p2.Y
+	c1, c2, c3 := p3.X-p2.X, p1.X-p3.X, p2.X-p1.X
+	inv := 1 / a2
+	b := [3][6]float64{
+		{b1 * inv, 0, b2 * inv, 0, b3 * inv, 0},
+		{0, c1 * inv, 0, c2 * inv, 0, c3 * inv},
+		{c1 * inv, b1 * inv, c2 * inv, b2 * inv, c3 * inv, b3 * inv},
+	}
+	e, nu := t.Mat.E, t.Mat.Nu
+	f := e / (1 - nu*nu)
+	d := [3][3]float64{
+		{f, f * nu, 0},
+		{f * nu, f, 0},
+		{0, 0, f * (1 - nu) / 2},
+	}
+	// m1 = Bᵀ·D, then ke = (m1·B)·scale, both accumulated in Dense.Mul's
+	// i,k,j order with its zero skip.
+	var m1 [6][3]float64
+	for i := 0; i < 6; i++ {
+		for k := 0; k < 3; k++ {
+			a := b[k][i]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < 3; j++ {
+				m1[i][j] += a * d[k][j]
+			}
 		}
 	}
-	return k, nil
+	scale := t.Mat.T * area
+	for i := 0; i < 6; i++ {
+		var row [6]float64
+		for k := 0; k < 3; k++ {
+			a := m1[i][k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < 6; j++ {
+				row[j] += a * b[k][j]
+			}
+		}
+		for j := 0; j < 6; j++ {
+			ke.Set(i, j, row[j]*scale)
+		}
+	}
+	return nil
 }
 
 // Stress returns the element stress components (σx, σy, τxy), constant

@@ -121,8 +121,13 @@ func Solve(ctx context.Context, m *Model, ls *LoadSet, opts SolveOpts) (*Solutio
 
 // SolveAssembled solves a pre-assembled system (several load sets can
 // share one assembly) sequentially or NAVM-distributed as SolveOpts
-// directs.
+// directs.  The substructured route is rejected rather than silently
+// ignored: it condenses element blocks instead of solving a global
+// assembly, so it only exists on Solve.
 func SolveAssembled(ctx context.Context, m *Model, asm *Assembled, ls *LoadSet, opts SolveOpts) (*Solution, error) {
+	if opts.Substructured > 0 {
+		return nil, errs.Usage("SolveAssembled solves a pre-assembled global system; the substructured path condenses per-substructure blocks instead (use Solve)")
+	}
 	b, err := m.RHS(ls, asm.Index, len(asm.Free))
 	if err != nil {
 		return nil, err

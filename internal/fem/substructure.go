@@ -3,7 +3,10 @@ package fem
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/errs"
 	"repro/internal/linalg"
@@ -123,8 +126,9 @@ type condensed struct {
 	schur *linalg.Dense
 	// fb is the condensed boundary load.
 	fb linalg.Vector
-	// chol and kib allow internal back-substitution.
-	chol *linalg.DenseChol
+	// chol (the banded Cholesky factor of K_ii) and kib allow internal
+	// back-substitution.
+	chol *linalg.Banded
 	kib  *linalg.Dense
 	fi   linalg.Vector
 	// flops spent condensing (for cost attribution).
@@ -132,7 +136,10 @@ type condensed struct {
 }
 
 // condense performs static condensation of one substructure for one load
-// set.
+// set.  K_ii is stored and factored in symmetric banded form: the
+// internal dofs of a vertical band are nearly contiguous in the mesh
+// numbering, so the interior block has a small local bandwidth and the
+// factorisation costs O(ni·bw²) instead of the dense O(ni³).
 func condense(m *Model, sub *Substructure, ls *LoadSet) (*condensed, error) {
 	ni, nb := len(sub.Internal), len(sub.Boundary)
 	idxI := map[int]int{}
@@ -143,7 +150,28 @@ func condense(m *Model, sub *Substructure, ls *LoadSet) (*condensed, error) {
 	for i, d := range sub.Boundary {
 		idxB[d] = i
 	}
-	kii := linalg.NewDense(ni, ni)
+	// Symbolic pass: the interior block's local half-bandwidth, from
+	// connectivity alone.
+	bw := 0
+	for _, ei := range sub.Elems {
+		dofs := ElementDOFs(m.Elements[ei])
+		for _, gi := range dofs {
+			ii, isI := idxI[gi]
+			if !isI {
+				continue
+			}
+			for _, gj := range dofs {
+				ji, jIsI := idxI[gj]
+				if !jIsI {
+					continue
+				}
+				if d := ii - ji; d > bw {
+					bw = d
+				}
+			}
+		}
+	}
+	kii := linalg.NewBanded(ni, bw)
 	kib := linalg.NewDense(ni, nb)
 	kbb := linalg.NewDense(nb, nb)
 	st := &linalg.Stats{}
@@ -169,7 +197,12 @@ func condense(m *Model, sub *Substructure, ls *LoadSet) (*condensed, error) {
 				}
 				switch {
 				case isI && jIsI:
-					kii.AddAt(ii, ji, v)
+					// Banded storage holds each symmetric pair once, so
+					// only the lower-triangle visit scatters (ke is
+					// symmetric; the upper visit is its mirror).
+					if ii >= ji {
+						kii.AddAt(ii, ji, v)
+					}
 				case isI && jIsB:
 					kib.AddAt(ii, jb, v)
 				case isB && jIsB:
@@ -192,13 +225,13 @@ func condense(m *Model, sub *Substructure, ls *LoadSet) (*condensed, error) {
 	}
 	c := &condensed{sub: sub, fi: fi, kib: kib}
 	if ni > 0 {
-		chol, err := linalg.CholeskyDense(kii, st)
+		chol, err := kii.CholeskyFactor(st)
 		if err != nil {
 			return nil, fmt.Errorf("fem: substructure interior not SPD: %w", err)
 		}
 		c.chol = chol
 		// S = K_bb - K_ibᵀ · (K_ii⁻¹ K_ib)
-		y := chol.SolveMatrix(kib, st) // ni×nb
+		y := chol.CholeskySolveMatrix(kib, st) // ni×nb
 		s := kib.Transpose().Mul(y, st)
 		for i := 0; i < nb; i++ {
 			for j := 0; j < nb; j++ {
@@ -207,7 +240,7 @@ func condense(m *Model, sub *Substructure, ls *LoadSet) (*condensed, error) {
 		}
 		// fb := -K_ibᵀ · K_ii⁻¹ fi  (applied loads on boundary added
 		// by the caller)
-		z := chol.Solve(fi, st)
+		z := chol.CholeskySolve(fi, st)
 		corr := kib.Transpose().MulVec(z, nil, st)
 		fbv := linalg.NewVector(nb)
 		for i := range fbv {
@@ -223,26 +256,63 @@ func condense(m *Model, sub *Substructure, ls *LoadSet) (*condensed, error) {
 }
 
 // SolveSubstructured solves the model by substructure analysis: each
-// substructure condenses its interior onto the interface (in parallel on
-// the simulated machine when rt is non-nil), the assembled interface
-// system is solved, and interiors are recovered by back-substitution.
-// ctx is checked before each condensation and before the interface
-// solve; a cancelled solve returns an error wrapping errs.ErrCancelled.
+// substructure condenses its interior onto the interface (fanned out
+// over a host worker pool, and costed in parallel on the simulated
+// machine when rt is non-nil), the assembled interface system is solved,
+// and interiors are recovered by back-substitution.  ctx is checked
+// before each condensation and before the interface solve; a cancelled
+// solve returns an error wrapping errs.ErrCancelled.  The host pool uses
+// GOMAXPROCS workers; SolveSubstructuredWorkers pins the count.
 func SolveSubstructured(ctx context.Context, m *Model, s *Substructured, ls *LoadSet, rt *navm.Runtime) (*Solution, error) {
+	return SolveSubstructuredWorkers(ctx, m, s, ls, rt, 0)
+}
+
+// SolveSubstructuredWorkers is SolveSubstructured with an explicit host
+// worker count for the condensation fan-out (0 selects GOMAXPROCS).
+// Results are independent of the worker count: condensations are
+// mutually independent and land in per-substructure slots.
+func SolveSubstructuredWorkers(ctx context.Context, m *Model, s *Substructured, ls *LoadSet, rt *navm.Runtime, workers int) (*Solution, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	k := len(s.Subs)
 	conds := make([]*condensed, k)
-	for i, sub := range s.Subs {
-		if err := errs.Cancelled(ctx); err != nil {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	condErrs := make([]error, k)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= k {
+					return
+				}
+				if err := errs.Cancelled(ctx); err != nil {
+					condErrs[i] = err
+					return
+				}
+				c, err := condense(m, s.Subs[i], ls)
+				if err != nil {
+					condErrs[i] = fmt.Errorf("fem: substructure %d: %w", i, err)
+					return
+				}
+				conds[i] = c
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range condErrs {
+		if err != nil {
 			return nil, err
 		}
-		c, err := condense(m, sub, ls)
-		if err != nil {
-			return nil, fmt.Errorf("fem: substructure %d: %w", i, err)
-		}
-		conds[i] = c
 	}
 	// Parallel cost attribution: each condensation runs on its own
 	// worker PE (least-loaded, interleaved over clusters), then a
@@ -320,7 +390,7 @@ func SolveSubstructured(ctx context.Context, m *Model, s *Substructured, ls *Loa
 		for i := range rhsI {
 			rhsI[i] = c.fi[i] - t[i]
 		}
-		ui := c.chol.Solve(rhsI, nil)
+		ui := c.chol.CholeskySolve(rhsI, nil)
 		for i, d := range c.sub.Internal {
 			u[d] = ui[i]
 		}

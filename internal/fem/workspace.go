@@ -1,0 +1,248 @@
+package fem
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// StiffnessWriter is the optional fast path of an Element: writing the
+// stiffness into a caller-owned matrix lets the numeric assembly phase
+// reuse one scratch matrix per worker instead of allocating the whole
+// Dense chain per element.  Bar and CST implement it; elements that do
+// not fall back to Stiffness.
+type StiffnessWriter interface {
+	StiffnessInto(m *Model, ke *linalg.Dense) error
+}
+
+// Workspace is the symbolic half of direct-stiffness assembly, retained
+// across solves: the reduced sparsity Pattern of the mesh topology and a
+// per-element scatter map from local (i,j) stiffness entries to flat
+// positions in the CSR value array.  Building it costs one counting sort
+// of the element connectivity; after that every numeric re-assembly —
+// new load step, changed node coordinates, another backend row of an
+// experiment table — is a scatter-add that allocates nothing.
+//
+// A workspace is bound to the topology it was built from: the element
+// list, connectivity, and constraint set of the model must not change
+// (node coordinates and materials may — they only affect values).
+// Assemble returns an Assembled whose K shares the workspace's value
+// buffer, so it is valid until the next Assemble/AssembleParallel call
+// on the same workspace; callers that need snapshots keep one workspace
+// per concurrent system.  Workspace methods are not safe for concurrent
+// use.
+type Workspace struct {
+	m     *Model
+	free  []int
+	index []int
+	pat   *linalg.Pattern
+	asm   *Assembled
+	// scat[e] maps element e's dense-local (i*nd+j) entry to its flat
+	// index in K.Val, -1 where either dof is fixed.
+	scat [][]int32
+	ndof []int
+	// bufs are the per-worker accumulation buffers of the parallel
+	// numeric phase, grown lazily to the requested worker count.
+	bufs [][]float64
+	// scratch holds one element-stiffness scratch per worker.
+	scratch []*stiffScratch
+}
+
+// stiffScratch reuses one stiffness matrix per element order for
+// StiffnessWriter elements.
+type stiffScratch struct {
+	ke map[int]*linalg.Dense
+}
+
+// stiffness computes an element's stiffness through the allocation-free
+// path when the element offers one.  The returned matrix may be a shared
+// scratch: it is only valid until the next call.
+func (sc *stiffScratch) stiffness(m *Model, e Element, nd int) (*linalg.Dense, error) {
+	sw, ok := e.(StiffnessWriter)
+	if !ok {
+		return e.Stiffness(m)
+	}
+	ke := sc.ke[nd]
+	if ke == nil {
+		ke = linalg.NewDense(nd, nd)
+		sc.ke[nd] = ke
+	}
+	if err := sw.StiffnessInto(m, ke); err != nil {
+		return nil, err
+	}
+	return ke, nil
+}
+
+// NewWorkspace runs the symbolic assembly phase: it validates the model,
+// reduces out the fixed dofs, builds the CSR sparsity pattern of the
+// free-dof system with a two-pass counting sort, and records where every
+// element stiffness entry scatters.  No element stiffness is evaluated —
+// the symbolic phase depends on topology alone.
+func NewWorkspace(m *Model) (*Workspace, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	free, index := m.FreeDOFs()
+	var rows, cols []int
+	scat := make([][]int32, len(m.Elements))
+	ndof := make([]int, len(m.Elements))
+	for ei, e := range m.Elements {
+		dofs := ElementDOFs(e)
+		nd := len(dofs)
+		ndof[ei] = nd
+		s := make([]int32, nd*nd)
+		for i, gi := range dofs {
+			ri := index[gi]
+			for j, gj := range dofs {
+				rj := index[gj]
+				if ri < 0 || rj < 0 {
+					s[i*nd+j] = -1
+					continue
+				}
+				// Temporarily store the coordinate index; remapped to
+				// the flat value index once the pattern exists.
+				s[i*nd+j] = int32(len(rows))
+				rows = append(rows, ri)
+				cols = append(cols, rj)
+			}
+		}
+		scat[ei] = s
+	}
+	pat, scatter, err := linalg.NewPattern(len(free), rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range scat {
+		for t, v := range s {
+			if v >= 0 {
+				s[t] = int32(scatter[v])
+			}
+		}
+	}
+	ws := &Workspace{m: m, free: free, index: index, pat: pat, scat: scat, ndof: ndof}
+	ws.asm = &Assembled{K: pat.NewCSR(), Free: free, Index: index}
+	return ws, nil
+}
+
+// Pattern returns the reduced system's sparsity pattern.
+func (ws *Workspace) Pattern() *linalg.Pattern { return ws.pat }
+
+// Model returns the model the workspace was built from.
+func (ws *Workspace) Model() *Model { return ws.m }
+
+// Assemble runs the numeric phase sequentially: element stiffnesses are
+// re-evaluated and scatter-added through the cached map.  The returned
+// Assembled shares the workspace's value storage; see the type comment.
+func (ws *Workspace) Assemble() (*Assembled, error) { return ws.AssembleParallel(1) }
+
+// AssembleParallel runs the numeric phase with the given worker count
+// (values below 2 run sequentially; the count is capped at the element
+// count).  Workers scatter contiguous element ranges into private
+// accumulation buffers, which are then merged in worker order — a
+// deterministic reduction, so repeated parallel assemblies of one system
+// are bit-identical for a fixed worker count.  The count is taken as
+// given rather than clamped to GOMAXPROCS: results do not depend on it,
+// and benchmarks sweep it explicitly.
+func (ws *Workspace) AssembleParallel(workers int) (*Assembled, error) {
+	k := ws.asm.K
+	val := k.Val
+	for i := range val {
+		val[i] = 0
+	}
+	ws.asm.Stats = linalg.Stats{}
+	if workers > len(ws.m.Elements) {
+		workers = len(ws.m.Elements)
+	}
+	if workers <= 1 {
+		flops, err := ws.scatterRange(0, len(ws.m.Elements), val, ws.scratchFor(1)[0])
+		if err != nil {
+			return nil, err
+		}
+		ws.asm.Stats.Flops = flops
+		return ws.asm, nil
+	}
+	bufs := ws.bufsFor(workers, len(val))
+	scratch := ws.scratchFor(workers)
+	ne := len(ws.m.Elements)
+	errs := make([]error, workers)
+	flops := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*ne/workers, (w+1)*ne/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			flops[w], errs[w] = ws.scatterRange(lo, hi, bufs[w], scratch[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		buf := bufs[w]
+		for i, v := range buf {
+			val[i] += v
+		}
+		ws.asm.Stats.Flops += flops[w]
+	}
+	return ws.asm, nil
+}
+
+// scatterRange evaluates and scatters elements [lo,hi) into val.
+func (ws *Workspace) scatterRange(lo, hi int, val []float64, sc *stiffScratch) (int64, error) {
+	var flops int64
+	for ei := lo; ei < hi; ei++ {
+		e := ws.m.Elements[ei]
+		nd := ws.ndof[ei]
+		ke, err := sc.stiffness(ws.m, e, nd)
+		if err != nil {
+			return flops, fmt.Errorf("fem: element %d: %w", ei, err)
+		}
+		if ke.Rows != nd || ke.Cols != nd {
+			return flops, fmt.Errorf("fem: element %d stiffness %dx%d for %d dofs", ei, ke.Rows, ke.Cols, nd)
+		}
+		s := ws.scat[ei]
+		for i := 0; i < nd; i++ {
+			row := ke.Row(i)
+			base := i * nd
+			for j, v := range row {
+				if t := s[base+j]; t >= 0 {
+					val[t] += v
+					flops++
+				}
+			}
+		}
+	}
+	return flops, nil
+}
+
+// bufsFor returns w zeroed accumulation buffers of length n, reusing
+// prior allocations where possible.
+func (ws *Workspace) bufsFor(w, n int) [][]float64 {
+	for len(ws.bufs) < w {
+		ws.bufs = append(ws.bufs, make([]float64, n))
+	}
+	for i := 0; i < w; i++ {
+		if len(ws.bufs[i]) != n {
+			ws.bufs[i] = make([]float64, n)
+			continue
+		}
+		buf := ws.bufs[i]
+		for j := range buf {
+			buf[j] = 0
+		}
+	}
+	return ws.bufs[:w]
+}
+
+// scratchFor returns w element-stiffness scratches.
+func (ws *Workspace) scratchFor(w int) []*stiffScratch {
+	for len(ws.scratch) < w {
+		ws.scratch = append(ws.scratch, &stiffScratch{ke: map[int]*linalg.Dense{}})
+	}
+	return ws.scratch[:w]
+}

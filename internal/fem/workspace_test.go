@@ -1,0 +1,271 @@
+package fem
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/linalg"
+)
+
+// csrEqualExact asserts two assembled systems agree element-for-element
+// with no tolerance (explicit zeros in one pattern but not the other are
+// fine: At reads both as 0).
+func csrEqualExact(t *testing.T, label string, a, b *linalg.CSR) {
+	t.Helper()
+	if a.N != b.N {
+		t.Fatalf("%s: order %d vs %d", label, a.N, b.N)
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if av, bv := a.At(i, j), b.At(i, j); av != bv {
+				t.Fatalf("%s: (%d,%d) = %g vs %g", label, i, j, av, bv)
+			}
+		}
+	}
+}
+
+// csrEqualUlps asserts per-entry agreement within a few ulps — the slack
+// a reassociated parallel reduction is allowed.
+func csrEqualUlps(t *testing.T, label string, a, b *linalg.CSR) {
+	t.Helper()
+	if a.N != b.N {
+		t.Fatalf("%s: order %d vs %d", label, a.N, b.N)
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			av, bv := a.At(i, j), b.At(i, j)
+			if av == bv {
+				continue
+			}
+			scale := math.Max(math.Abs(av), math.Abs(bv))
+			if math.Abs(av-bv) > 4*scale*2.220446049250313e-16 {
+				t.Fatalf("%s: (%d,%d) = %.17g vs %.17g", label, i, j, av, bv)
+			}
+		}
+	}
+}
+
+// randomModel builds a randomized mesh: a plate or truss generator with
+// random dimensions, then jittered node coordinates (same topology,
+// perturbed values) and occasionally an extra random stiffening bar.
+func randomModel(t *testing.T, rng *rand.Rand) *Model {
+	t.Helper()
+	var m *Model
+	var err error
+	if rng.Intn(2) == 0 {
+		o := RectGridOpts{
+			NX: 2 + rng.Intn(5), NY: 2 + rng.Intn(4),
+			W: 1 + 4*rng.Float64(), H: 1 + 3*rng.Float64(),
+			Mat: Steel(), ClampLeft: true,
+		}
+		m, err = RectGrid("rand-plate", o)
+	} else {
+		m, err = CantileverTruss("rand-truss", 2+rng.Intn(5), 500+500*rng.Float64(), 800, Steel())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Nodes {
+		m.Nodes[i].X += 0.05 * (rng.Float64() - 0.5)
+		m.Nodes[i].Y += 0.05 * (rng.Float64() - 0.5)
+	}
+	if rng.Intn(2) == 0 && len(m.Nodes) >= 4 {
+		n1, n2 := rng.Intn(len(m.Nodes)), rng.Intn(len(m.Nodes))
+		if n1 != n2 {
+			if err := m.AddElement(&Bar{N1: n1, N2: n2, Mat: Steel()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return m
+}
+
+// TestWorkspaceMatchesTripletAssembly is the sequential half of the
+// differential property: on the fixed plate and bar fixtures the
+// workspace scatter path must agree bitwise with the triplet reference
+// path (both sum element contributions in the same order).
+func TestWorkspaceMatchesTripletAssembly(t *testing.T) {
+	plate, err := RectGrid("plate", RectGridOpts{NX: 6, NY: 4, W: 6, H: 4, Mat: Steel(), ClampLeft: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truss, err := CantileverTruss("truss", 5, 1000, 800, Steel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Model{plate, truss} {
+		ref, err := AssembleTriplets(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Assemble(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csrEqualExact(t, m.Name, ref.K, got.K)
+		if len(got.Free) != len(ref.Free) {
+			t.Errorf("%s: free dof count %d vs %d", m.Name, len(got.Free), len(ref.Free))
+		}
+	}
+}
+
+// TestWorkspaceParallelMatchesSequential is the parallel half: across
+// randomized meshes and worker counts, the parallel numeric phase agrees
+// with the sequential triplet path within a few ulps, and is bitwise
+// deterministic for a fixed worker count (per-worker buffers merge in
+// worker order).
+func TestWorkspaceParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(t, rng)
+		ref, err := AssembleTriplets(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := NewWorkspace(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 4} {
+			asm, err := ws.AssembleParallel(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if workers == 1 {
+				csrEqualExact(t, m.Name, ref.K, asm.K)
+			} else {
+				csrEqualUlps(t, m.Name, ref.K, asm.K)
+			}
+			first := append([]float64(nil), asm.K.Val...)
+			again, err := ws.AssembleParallel(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range again.K.Val {
+				if v != first[i] {
+					t.Fatalf("%s workers=%d: nondeterministic value at %d: %.17g vs %.17g",
+						m.Name, workers, i, v, first[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuseTracksValueChanges re-assembles through one
+// workspace after node coordinates move: same topology, new values.  The
+// result must match a from-scratch build of the moved model exactly.
+func TestWorkspaceReuseTracksValueChanges(t *testing.T) {
+	m, err := RectGrid("mv", RectGridOpts{NX: 4, NY: 3, W: 4, H: 3, Mat: Steel(), ClampLeft: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWorkspace(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Assemble(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Nodes {
+		m.Nodes[i].X *= 1.1
+		m.Nodes[i].Y *= 0.9
+	}
+	reused, err := ws.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := AssembleTriplets(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrEqualExact(t, "moved", fresh.K, reused.K)
+}
+
+// TestWorkspaceAssembleOnceSolveMany covers the retained-workspace
+// workflow end to end: one assembly feeding several load sets through
+// SolveAssembled must match independent Solve calls.
+func TestWorkspaceAssembleOnceSolveMany(t *testing.T) {
+	o := RectGridOpts{NX: 5, NY: 3, W: 5, H: 3, Mat: Steel(), ClampLeft: true}
+	m, err := RectGrid("many", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWorkspace(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := ws.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i, ls := range []*LoadSet{
+		EndLoad("a", o, 0, -1000),
+		EndLoad("b", o, 500, 0),
+		EndLoad("c", o, -200, 300),
+	} {
+		shared, err := SolveAssembled(ctx, m, asm, ls, SolveOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		independent, err := Solve(ctx, m, ls, SolveOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := linalg.MaxAbsDiff(shared.U, independent.U); d != 0 {
+			t.Errorf("load set %d: shared assembly differs by %g", i, d)
+		}
+	}
+}
+
+// TestSolveAssembledRejectsSubstructured: the substructured route
+// condenses instead of using a global assembly, so requesting it on a
+// pre-assembled system is a usage error, not a silent fallback.
+func TestSolveAssembledRejectsSubstructured(t *testing.T) {
+	o := RectGridOpts{NX: 3, NY: 3, W: 3, H: 3, Mat: Steel(), ClampLeft: true}
+	m, err := RectGrid("rej", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SolveAssembled(context.Background(), m, asm, EndLoad("l", o, 0, -1), SolveOpts{Substructured: 2})
+	if !errors.Is(err, errs.ErrUsage) {
+		t.Errorf("Substructured on SolveAssembled: err = %v, want ErrUsage", err)
+	}
+}
+
+// TestWorkspaceRejectsInvalidModel mirrors Assemble's validation.
+func TestWorkspaceRejectsInvalidModel(t *testing.T) {
+	if _, err := NewWorkspace(NewModel("empty")); err == nil {
+		t.Error("workspace built over empty model")
+	}
+}
+
+// TestWorkspaceWorkerCountClamped: more workers than elements (or cores)
+// must still assemble correctly.
+func TestWorkspaceWorkerCountClamped(t *testing.T) {
+	m, err := CantileverTruss("small", 1, 100, 100, Steel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWorkspace(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := ws.AssembleParallel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := AssembleTriplets(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrEqualExact(t, "clamped", ref.K, asm.K)
+}

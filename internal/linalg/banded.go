@@ -177,11 +177,27 @@ func (b *Banded) CholeskyFactor(st *Stats) (*Banded, error) {
 // CholeskySolve solves B*x = rhs given the factor L from CholeskyFactor,
 // by forward then backward substitution.
 func (l *Banded) CholeskySolve(rhs Vector, st *Stats) Vector {
+	return l.CholeskySolveInto(rhs, nil, st)
+}
+
+// CholeskySolveInto is CholeskySolve writing into out (allocated when
+// nil).  out may alias rhs, solving in place — the repeated-solve paths
+// (condensation's one solve per boundary dof) reuse one buffer.
+func (l *Banded) CholeskySolveInto(rhs, out Vector, st *Stats) Vector {
 	if len(rhs) != l.N {
 		panic(fmt.Errorf("%w: CholeskySolve order %d with rhs %d", ErrDimension, l.N, len(rhs)))
 	}
 	w := l.Bandwidth
-	y := rhs.Clone()
+	y := out
+	if y == nil {
+		y = NewVector(l.N)
+	}
+	if len(y) != l.N {
+		panic(fmt.Errorf("%w: CholeskySolveInto order %d into %d", ErrDimension, l.N, len(y)))
+	}
+	if l.N > 0 && &y[0] != &rhs[0] {
+		copy(y, rhs)
+	}
 	var flops int64
 	// Forward: L*y = rhs.
 	for i := 0; i < l.N; i++ {
@@ -213,6 +229,28 @@ func (l *Banded) CholeskySolve(rhs Vector, st *Stats) Vector {
 	}
 	st.addFlops(flops)
 	return y
+}
+
+// CholeskySolveMatrix solves B·X = C column by column given the factor L
+// from CholeskyFactor, reusing one column buffer across all right-hand
+// sides.  Substructure condensation solves each interior block against
+// one right-hand side per boundary dof.
+func (l *Banded) CholeskySolveMatrix(c *Dense, st *Stats) *Dense {
+	if c.Rows != l.N {
+		panic(fmt.Errorf("%w: CholeskySolveMatrix order %d with %d rows", ErrDimension, l.N, c.Rows))
+	}
+	out := NewDense(l.N, c.Cols)
+	col := NewVector(l.N)
+	for j := 0; j < c.Cols; j++ {
+		for i := 0; i < l.N; i++ {
+			col[i] = c.At(i, j)
+		}
+		l.CholeskySolveInto(col, col, st)
+		for i := 0; i < l.N; i++ {
+			out.Set(i, j, col[i])
+		}
+	}
+	return out
 }
 
 // SolveCholesky factors and solves in one call.

@@ -27,37 +27,25 @@ type CSR struct {
 
 // NewCSRFromTriplets builds an n×n CSR matrix from assembly triplets,
 // summing duplicates.  Row/col indices must lie in [0,n).
+//
+// Every (row, col) coordinate present in ts is stored, even when its
+// values sum to exactly zero: the sparsity pattern is a function of the
+// coordinates alone, so a Pattern reused across numeric re-assemblies
+// always agrees with a from-scratch build.  Duplicates sum in input
+// order, making the result bit-identical to a direct scatter-add.
 func NewCSRFromTriplets(n int, ts []Triplet) (*CSR, error) {
-	for _, t := range ts {
-		if t.Row < 0 || t.Row >= n || t.Col < 0 || t.Col >= n {
-			return nil, fmt.Errorf("linalg: triplet (%d,%d) outside order %d", t.Row, t.Col, n)
-		}
+	rows := make([]int, len(ts))
+	cols := make([]int, len(ts))
+	for k, t := range ts {
+		rows[k], cols[k] = t.Row, t.Col
 	}
-	sorted := make([]Triplet, len(ts))
-	copy(sorted, ts)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Row != sorted[j].Row {
-			return sorted[i].Row < sorted[j].Row
-		}
-		return sorted[i].Col < sorted[j].Col
-	})
-	m := &CSR{N: n, RowPtr: make([]int, n+1)}
-	for i := 0; i < len(sorted); {
-		j := i
-		v := 0.0
-		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
-			v += sorted[j].Val
-			j++
-		}
-		if v != 0 {
-			m.ColIdx = append(m.ColIdx, sorted[i].Col)
-			m.Val = append(m.Val, v)
-			m.RowPtr[sorted[i].Row+1]++
-		}
-		i = j
+	pat, scatter, err := NewPattern(n, rows, cols)
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		m.RowPtr[i+1] += m.RowPtr[i]
+	m := pat.NewCSR()
+	for k, t := range ts {
+		m.Val[scatter[k]] += t.Val
 	}
 	return m, nil
 }
@@ -123,10 +111,32 @@ func (m *CSR) MulVecRows(x, out Vector, rowLo, rowHi int, st *Stats) {
 
 // Diagonal returns the main diagonal as a vector (Jacobi preconditioning
 // and the Jacobi solver itself need it).
-func (m *CSR) Diagonal() Vector {
-	d := NewVector(m.N)
+func (m *CSR) Diagonal() Vector { return m.DiagonalInto(nil) }
+
+// DiagonalInto stores the main diagonal into d, allocating only when d is
+// nil.  It walks each row once (columns are sorted, so the scan stops at
+// the diagonal) instead of binary-searching per element; the iterative
+// solver workspaces use it to refresh their cached diagonal without
+// allocating.
+func (m *CSR) DiagonalInto(d Vector) Vector {
+	if d == nil {
+		d = NewVector(m.N)
+	}
+	if len(d) != m.N {
+		panic(fmt.Errorf("%w: CSR.DiagonalInto order %d into %d", ErrDimension, m.N, len(d)))
+	}
 	for i := 0; i < m.N; i++ {
-		d[i] = m.At(i, i)
+		d[i] = 0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			if j > i {
+				break
+			}
+			if j == i {
+				d[i] = m.Val[k]
+				break
+			}
+		}
 	}
 	return d
 }

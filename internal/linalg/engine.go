@@ -130,6 +130,12 @@ func init() {
 	RegisterSolver(sorSolver{})
 }
 
+// iterWorkPool recycles iterative-kernel workspaces across Solve calls.
+// The registry's backends are stateless shared singletons, so the scratch
+// vectors live here instead: a steady-state solve allocates only its
+// returned solution, and concurrent solves each draw their own workspace.
+var iterWorkPool = sync.Pool{New: func() any { return new(IterWork) }}
+
 // rejectPrecond is the direct backends' guard: a preconditioner only
 // means something to an iterative method.
 func rejectPrecond(backend string, opts IterOpts) error {
@@ -230,7 +236,9 @@ func (cgSolver) Solve(ctx context.Context, a *CSR, b Vector, opts IterOpts) (Vec
 		info.Precond = m.Name()
 	}
 	st := &Stats{}
-	x, iters, resid, err := cg(ctx, a, b, m, opts, st)
+	ws := iterWorkPool.Get().(*IterWork)
+	defer iterWorkPool.Put(ws)
+	x, iters, resid, err := cg(ctx, a, b, m, opts, st, ws)
 	info.Iterations = iters
 	info.Residual = resid
 	info.Flops = st.Flops
@@ -251,7 +259,9 @@ func (jacobiSolver) Solve(ctx context.Context, a *CSR, b Vector, opts IterOpts) 
 	}
 	opts = IterDefaults(opts, a.N, 200)
 	st := &Stats{}
-	x, iters, resid, err := jacobi(ctx, a, b, opts, st)
+	ws := iterWorkPool.Get().(*IterWork)
+	defer iterWorkPool.Put(ws)
+	x, iters, resid, err := jacobi(ctx, a, b, opts, st, ws)
 	return x, Info{Backend: BackendJacobi, Iterations: iters, Residual: resid, Flops: st.Flops}, err
 }
 
@@ -268,6 +278,8 @@ func (sorSolver) Solve(ctx context.Context, a *CSR, b Vector, opts IterOpts) (Ve
 	}
 	opts = IterDefaults(opts, a.N, 100)
 	st := &Stats{}
-	x, iters, resid, err := sor(ctx, a, b, opts, st)
+	ws := iterWorkPool.Get().(*IterWork)
+	defer iterWorkPool.Put(ws)
+	x, iters, resid, err := sor(ctx, a, b, opts, st, ws)
 	return x, Info{Backend: BackendSOR, Iterations: iters, Residual: resid, Flops: st.Flops}, err
 }

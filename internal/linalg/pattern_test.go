@@ -1,0 +1,136 @@
+package linalg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// referencePattern builds the expected (row-major, deduplicated, sorted)
+// entry list with a comparison sort, for checking the counting sort.
+func referencePattern(n int, rows, cols []int) (rowPtr, colIdx []int) {
+	type rc struct{ r, c int }
+	seen := map[rc]bool{}
+	var es []rc
+	for k := range rows {
+		e := rc{rows[k], cols[k]}
+		if !seen[e] {
+			seen[e] = true
+			es = append(es, e)
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].r != es[j].r {
+			return es[i].r < es[j].r
+		}
+		return es[i].c < es[j].c
+	})
+	rowPtr = make([]int, n+1)
+	for _, e := range es {
+		colIdx = append(colIdx, e.c)
+		rowPtr[e.r+1]++
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return rowPtr, colIdx
+}
+
+func TestPatternMatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		m := rng.Intn(6 * n)
+		rows := make([]int, m)
+		cols := make([]int, m)
+		for k := 0; k < m; k++ {
+			rows[k], cols[k] = rng.Intn(n), rng.Intn(n)
+		}
+		p, scatter, err := NewPattern(n, rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPtr, wantIdx := referencePattern(n, rows, cols)
+		if len(p.ColIdx) != len(wantIdx) {
+			t.Fatalf("trial %d: NNZ %d, want %d", trial, len(p.ColIdx), len(wantIdx))
+		}
+		for i := range wantPtr {
+			if p.RowPtr[i] != wantPtr[i] {
+				t.Fatalf("trial %d: RowPtr[%d] = %d, want %d", trial, i, p.RowPtr[i], wantPtr[i])
+			}
+		}
+		for i := range wantIdx {
+			if p.ColIdx[i] != wantIdx[i] {
+				t.Fatalf("trial %d: ColIdx[%d] = %d, want %d", trial, i, p.ColIdx[i], wantIdx[i])
+			}
+		}
+		// The scatter map must send every input coordinate to the slot
+		// holding exactly its (row, col).
+		for k := 0; k < m; k++ {
+			s := scatter[k]
+			if p.ColIdx[s] != cols[k] {
+				t.Fatalf("trial %d: scatter[%d] slot has col %d, want %d", trial, k, p.ColIdx[s], cols[k])
+			}
+			r := sort.SearchInts(p.RowPtr, s+1) - 1
+			if r != rows[k] {
+				t.Fatalf("trial %d: scatter[%d] slot in row %d, want %d", trial, k, r, rows[k])
+			}
+		}
+	}
+}
+
+func TestPatternRejectsBadInput(t *testing.T) {
+	if _, _, err := NewPattern(2, []int{0}, []int{0, 1}); err == nil {
+		t.Error("mismatched coordinate lengths accepted")
+	}
+	if _, _, err := NewPattern(2, []int{2}, []int{0}); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, _, err := NewPattern(2, []int{0}, []int{-1}); err == nil {
+		t.Error("negative column accepted")
+	}
+}
+
+func TestPatternNewCSRSharesStructure(t *testing.T) {
+	p, scatter, err := NewPattern(3, []int{0, 1, 2, 0}, []int{0, 1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (duplicate collapsed)", p.NNZ())
+	}
+	if scatter[0] != scatter[3] {
+		t.Errorf("duplicate coordinates got distinct slots %d, %d", scatter[0], scatter[3])
+	}
+	a, b := p.NewCSR(), p.NewCSR()
+	if &a.RowPtr[0] != &b.RowPtr[0] || &a.ColIdx[0] != &b.ColIdx[0] {
+		t.Error("CSR instances do not share the pattern's structure")
+	}
+	a.Val[0] = 5
+	if b.Val[0] != 0 {
+		t.Error("CSR instances share values")
+	}
+	if p.RowNNZ(0) != 1 {
+		t.Errorf("RowNNZ(0) = %d", p.RowNNZ(0))
+	}
+}
+
+func TestDiagonalIntoMatchesDiagonal(t *testing.T) {
+	m := poisson2D(4)
+	want := m.Diagonal()
+	got := NewVector(m.N)
+	got.Fill(99)
+	m.DiagonalInto(got)
+	if MaxAbsDiff(got, want) != 0 {
+		t.Error("DiagonalInto differs from Diagonal")
+	}
+	// A matrix with a structurally absent diagonal entry reads zero.
+	z, err := NewCSRFromTriplets(2, []Triplet{{0, 1, 1}, {1, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := z.DiagonalInto(nil)
+	if d[0] != 0 || d[1] != 0 {
+		t.Errorf("missing diagonal read as %v", d)
+	}
+}

@@ -102,6 +102,31 @@ type Operator interface {
 	MulVec(x, out Vector, st *Stats) Vector
 }
 
+// IterWork holds the scratch vectors of the iterative kernels — the
+// system diagonal, iterates, residual, and direction buffers — so
+// repeated solves of same-order systems reuse storage instead of
+// reallocating it.  The engine backends draw these from a pool; a nil
+// *IterWork is valid and simply allocates fresh buffers.  The kernels
+// refresh the cached diagonal from the matrix on every invocation
+// (DiagonalInto, one row walk), so a workspace never goes stale when a
+// reused assembly rewrites the matrix values in place.
+type IterWork struct {
+	diag, x, x2, r, z, p, ap Vector
+}
+
+// grow returns a zeroed length-n vector, reusing v's storage when it is
+// large enough.
+func grow(v Vector, n int) Vector {
+	if cap(v) < n {
+		return NewVector(n)
+	}
+	v = v[:n]
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
 // cg is the (optionally preconditioned) conjugate gradient kernel for
 // symmetric positive definite A — the "solution of a particular system
 // of simultaneous equations" workload at the bottom of the paper's
@@ -109,17 +134,26 @@ type Operator interface {
 // classical CG recurrence; with one, z = M⁻¹r replaces r in the
 // direction updates.  It returns the solution, the iteration count, and
 // the final relative residual.
-func cg(ctx context.Context, a Operator, b Vector, m Preconditioner, opts IterOpts, st *Stats) (Vector, int, float64, error) {
+func cg(ctx context.Context, a Operator, b Vector, m Preconditioner, opts IterOpts, st *Stats, ws *IterWork) (Vector, int, float64, error) {
+	if ws == nil {
+		ws = &IterWork{}
+	}
 	n := len(b)
-	x := NewVector(n)
-	r := b.Clone()
+	x := NewVector(n) // returned; never drawn from the workspace
+	ws.r = grow(ws.r, n)
+	r := ws.r
+	copy(r, b)
 	z := r
 	if m != nil {
-		z = NewVector(n)
+		ws.z = grow(ws.z, n)
+		z = ws.z
 		m.Apply(r, z, st)
 	}
-	p := z.Clone()
-	ap := NewVector(n)
+	ws.p = grow(ws.p, n)
+	p := ws.p
+	copy(p, z)
+	ws.ap = grow(ws.ap, n)
+	ap := ws.ap
 
 	bnorm := Norm2(b, st)
 	if bnorm == 0 {
@@ -180,28 +214,37 @@ func cgName(m Preconditioner) string {
 // dominant enough, which the FEM systems here are for modest meshes.
 // Jacobi is the most naturally parallel method — every component update
 // is independent — which is why the FEM-1/FEM-2 literature leaned on it.
-func jacobi(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, float64, error) {
+func jacobi(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats, ws *IterWork) (Vector, int, float64, error) {
 	n := a.N
 	if len(b) != n {
 		panic(fmt.Errorf("%w: Jacobi order %d with rhs %d", ErrDimension, n, len(b)))
 	}
-	d := a.Diagonal()
+	if ws == nil {
+		ws = &IterWork{}
+	}
+	ws.diag = grow(ws.diag, n)
+	d := a.DiagonalInto(ws.diag)
 	for i, v := range d {
 		if v == 0 {
 			return nil, 0, 0, fmt.Errorf("linalg: Jacobi zero diagonal at %d", i)
 		}
 	}
-	x := NewVector(n)
-	xNew := NewVector(n)
+	// The iterate ping-pongs between two workspace buffers, so the
+	// returned solution is detached with a single Clone at each exit.
+	ws.x = grow(ws.x, n)
+	x := ws.x
+	ws.x2 = grow(ws.x2, n)
+	xNew := ws.x2
 	bnorm := Norm2(b, st)
 	if bnorm == 0 {
-		return x, 0, 0, nil
+		return x.Clone(), 0, 0, nil
 	}
-	r := NewVector(n)
+	ws.r = grow(ws.r, n)
+	r := ws.r
 	resid := math.Inf(1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		if err := CheckCancel(ctx, iter); err != nil {
-			return x, iter - 1, resid, err
+			return x.Clone(), iter - 1, resid, err
 		}
 		// xNew_i = (b_i - sum_{j≠i} a_ij x_j) / a_ii
 		var flops int64
@@ -232,10 +275,10 @@ func jacobi(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats) (Ve
 			st.Iterations++
 		}
 		if resid <= opts.Tol {
-			return x, iter, resid, nil
+			return x.Clone(), iter, resid, nil
 		}
 	}
-	return x, opts.MaxIter, resid, &ConvergenceError{Backend: BackendJacobi, Iterations: opts.MaxIter, Residual: resid}
+	return x.Clone(), opts.MaxIter, resid, &ConvergenceError{Backend: BackendJacobi, Iterations: opts.MaxIter, Residual: resid}
 }
 
 // sor is the successive over-relaxation kernel with factor opts.Omega
@@ -243,7 +286,7 @@ func jacobi(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats) (Ve
 // multi-colour SOR for the Finite Element Machine; the sequential kernel
 // here is the building block, and the NAVM layer runs it red/black in
 // parallel.
-func sor(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, float64, error) {
+func sor(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats, ws *IterWork) (Vector, int, float64, error) {
 	n := a.N
 	if len(b) != n {
 		panic(fmt.Errorf("%w: SOR order %d with rhs %d", ErrDimension, n, len(b)))
@@ -252,22 +295,28 @@ func sor(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats) (Vecto
 	if w <= 0 || w >= 2 {
 		return nil, 0, 0, fmt.Errorf("linalg: SOR relaxation factor %g outside (0,2)", w)
 	}
-	d := a.Diagonal()
+	if ws == nil {
+		ws = &IterWork{}
+	}
+	ws.diag = grow(ws.diag, n)
+	d := a.DiagonalInto(ws.diag)
 	for i, v := range d {
 		if v == 0 {
 			return nil, 0, 0, fmt.Errorf("linalg: SOR zero diagonal at %d", i)
 		}
 	}
-	x := NewVector(n)
+	ws.x = grow(ws.x, n)
+	x := ws.x
 	bnorm := Norm2(b, st)
 	if bnorm == 0 {
-		return x, 0, 0, nil
+		return x.Clone(), 0, 0, nil
 	}
-	r := NewVector(n)
+	ws.r = grow(ws.r, n)
+	r := ws.r
 	resid := math.Inf(1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		if err := CheckCancel(ctx, iter); err != nil {
-			return x, iter - 1, resid, err
+			return x.Clone(), iter - 1, resid, err
 		}
 		var flops int64
 		for i := 0; i < n; i++ {
@@ -295,10 +344,10 @@ func sor(ctx context.Context, a *CSR, b Vector, opts IterOpts, st *Stats) (Vecto
 			st.Iterations++
 		}
 		if resid <= opts.Tol {
-			return x, iter, resid, nil
+			return x.Clone(), iter, resid, nil
 		}
 	}
-	return x, opts.MaxIter, resid, &ConvergenceError{Backend: BackendSOR, Iterations: opts.MaxIter, Residual: resid}
+	return x.Clone(), opts.MaxIter, resid, &ConvergenceError{Backend: BackendSOR, Iterations: opts.MaxIter, Residual: resid}
 }
 
 // Residual computes ‖b - A*x‖₂ for verification.

@@ -12,17 +12,17 @@ import (
 // (x, iters, err) shape the kernel-level tests in this package assert
 // against; the engine API itself is covered by engine_test.go.
 func seqCG(a Operator, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
-	x, iters, _, err := cg(context.Background(), a, b, nil, opts, st)
+	x, iters, _, err := cg(context.Background(), a, b, nil, opts, st, nil)
 	return x, iters, err
 }
 
 func seqJacobi(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
-	x, iters, _, err := jacobi(context.Background(), a, b, opts, st)
+	x, iters, _, err := jacobi(context.Background(), a, b, opts, st, nil)
 	return x, iters, err
 }
 
 func seqSOR(a *CSR, b Vector, opts IterOpts, st *Stats) (Vector, int, error) {
-	x, iters, _, err := sor(context.Background(), a, b, opts, st)
+	x, iters, _, err := sor(context.Background(), a, b, opts, st, nil)
 	return x, iters, err
 }
 

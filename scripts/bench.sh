@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-trajectory benchmarks and write BENCH_assembly.json.
+#
+# The JSON file is the machine-readable benchmark history for this repo:
+# one entry per benchmark with iterations, ns/op, B/op, and allocs/op.
+# Re-run after perf work and commit the result so successive PRs carry a
+# before/after trail.
+#
+#   BENCH=<regex>     benchmarks to run   (default: the assembly + solver set)
+#   BENCHTIME=<n>x|s  per-benchmark time  (default: 50x)
+#   OUT=<path>        output JSON         (default: BENCH_assembly.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-Assemble|SubstructureSolve|SolveBackends}"
+BENCHTIME="${BENCHTIME:-50x}"
+OUT="${OUT:-BENCH_assembly.json}"
+
+raw=$(go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" .)
+echo "$raw"
+
+# Go appends a "-<GOMAXPROCS>" suffix to benchmark names only when
+# GOMAXPROCS != 1; strip exactly that suffix so names are comparable
+# across hosts (and so "parallel-8" keeps its worker count on 1-cpu
+# machines).
+procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
+
+{
+  echo '{'
+  echo "  \"date\": \"$(date -u +%FT%TZ)\","
+  echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"cpus\": $(nproc 2>/dev/null || echo 1),"
+  echo "  \"bench\": ["
+  echo "$raw" | awk -v procs="$procs" '
+    /^Benchmark/ {
+      name = $1
+      if (procs != 1) sub("-" procs "$", "", name)
+      ns = ""; bytes = ""; allocs = ""
+      for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+      }
+      line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+      if (ns != "")     line = line sprintf(", \"ns_per_op\": %s", ns)
+      if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+      if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+      line = line "}"
+      if (n++) printf(",\n")
+      printf("%s", line)
+    }
+    END { printf("\n") }
+  '
+  echo '  ]'
+  echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"
