@@ -8,6 +8,7 @@ package fem2_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -610,6 +611,58 @@ func BenchmarkParseDispatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkConcurrentSolves measures the asynchronous job service as a
+// front end: N sessions each submit a solve on their own model through
+// the shared scheduler and wait for all of them, so the headline metric
+// is jobs/sec at 1, 4, and 16 parallel sessions.  Distinct models never
+// serialize, so this exercises the worker pool, the per-model lock map,
+// and the per-job metrics plumbing at full concurrency.
+func BenchmarkConcurrentSolves(b *testing.B) {
+	for _, sessions := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			sys, err := fem2.New(fem2.WithWorkers(sessions))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			ctx := context.Background()
+			ss := make([]*fem2.Session, sessions)
+			cmds := make([]fem2.Command, sessions)
+			for i := range ss {
+				ss[i] = sys.Session(fmt.Sprintf("user-%d", i))
+				model := fmt.Sprintf("plate-%d", i)
+				for _, line := range []string{
+					fmt.Sprintf("generate grid %s 8 6 8 6 clamp-left", model),
+					fmt.Sprintf("load %s tip endload 0 -100", model),
+				} {
+					if _, err := ss[i].Execute(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cmds[i] = fem2.SolveCommand{Model: model, Set: "tip"}
+			}
+			ids := make([]fem2.JobID, sessions)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for i := range ss {
+					id, err := ss[i].SubmitAsync(ctx, cmds[i])
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids[i] = id
+				}
+				for _, id := range ids {
+					if _, err := sys.Jobs.Wait(ctx, id); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*sessions)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
 }
 
 // BenchmarkAUVMCommand measures command interpretation end to end.

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	fem2 [-clusters N] [-pes N] [-script file]
+//	fem2 [-clusters N] [-pes N] [-workers N] [-script file]
 //
 // Without -script it reads commands from stdin; type `help` for the
-// command language.
+// command language.  Long-running solves can run asynchronously on the
+// system's job scheduler: `submit solve ...` returns a job id at once,
+// and `status`, `wait`, `cancel`, and `jobs` monitor and control it.
 package main
 
 import (
@@ -23,16 +25,19 @@ import (
 func main() {
 	clusters := flag.Int("clusters", 4, "number of PE clusters")
 	pes := flag.Int("pes", 8, "PEs per cluster (including the kernel PE)")
+	workers := flag.Int("workers", 0, "job scheduler worker pool bound (0 = GOMAXPROCS)")
 	script := flag.String("script", "", "command script to run instead of stdin")
 	user := flag.String("user", "engineer", "user name for the session")
 	report := flag.Bool("report", false, "print the machine report on exit")
 	flag.Parse()
 
-	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes))
+	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes),
+		fem2.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fem2:", err)
 		os.Exit(1)
 	}
+	defer sys.Close()
 	sess := sys.Session(*user)
 
 	in := os.Stdin

@@ -42,6 +42,27 @@
 //	s.Execute("load wing cruise endload 0 -1000")
 //	out, _ := s.Execute("solve wing cruise parallel 8")
 //	fmt.Println(out)
+//
+// Quick start, asynchronous job service (the concurrent multi-tenant
+// front end — many sessions submit, monitor, and cancel long-running
+// work on one shared scheduler; solves on different models run in
+// parallel, solves on one model serialize):
+//
+//	sys, _ := fem2.New(fem2.WithWorkers(8))
+//	defer sys.Close()
+//	s := sys.Session("engineer")
+//	s.Do(ctx, fem2.GenerateGrid{Name: "wing", NX: 16, NY: 8, W: 16, H: 8, ClampLeft: true})
+//	s.Do(ctx, fem2.EndLoad{Model: "wing", Set: "cruise", FY: -1000})
+//	id, _ := s.SubmitAsync(ctx, fem2.SolveCommand{Model: "wing", Set: "cruise"})
+//	// ... the solve runs on the worker pool; monitor or cancel it:
+//	snap, _ := sys.Jobs.Status(id)   // queued / running / done ...
+//	res, err := sys.Jobs.Wait(ctx, id) // the same *SolveResult Do returns
+//	_, _, _ = snap, res, err
+//
+// The command language speaks the same job API — `submit solve wing
+// cruise`, `status job-1`, `wait job-1`, `cancel job-1`, `jobs user
+// engineer state running` — so a REPL user and an RPC front end share
+// one scheduler.
 package fem2
 
 import (
@@ -55,6 +76,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fem"
 	"repro/internal/hgraph"
+	"repro/internal/job"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/navm"
@@ -72,43 +94,55 @@ func DefaultConfig() Config { return arch.DefaultConfig() }
 // and machine-wide instrumentation.
 type System = core.System
 
-// Option adjusts one dimension of the machine configuration New builds.
-type Option func(*Config)
+// options collects everything New configures: the simulated hardware
+// plus the front end's job scheduler bound.
+type options struct {
+	cfg     Config
+	workers int
+}
+
+// Option adjusts one dimension of the system New builds.
+type Option func(*options)
 
 // WithClusters sets the number of PE clusters.
-func WithClusters(n int) Option { return func(c *Config) { c.Clusters = n } }
+func WithClusters(n int) Option { return func(o *options) { o.cfg.Clusters = n } }
 
 // WithPEsPerCluster sets the PEs in each cluster (including the kernel
 // PE, so each cluster has n-1 workers).
-func WithPEsPerCluster(n int) Option { return func(c *Config) { c.PEsPerCluster = n } }
+func WithPEsPerCluster(n int) Option { return func(o *options) { o.cfg.PEsPerCluster = n } }
 
 // WithSharedMemoryWords sets each cluster's shared-memory capacity.
-func WithSharedMemoryWords(w int64) Option { return func(c *Config) { c.SharedMemoryWords = w } }
+func WithSharedMemoryWords(w int64) Option { return func(o *options) { o.cfg.SharedMemoryWords = w } }
 
 // WithCostModel sets the simulator's cost parameters: the fixed network
 // message latency, the per-word network transfer cost, the per-word
 // shared-memory cost, and the kernel PE's message decode cost.
 func WithCostModel(netLatency, netCyclesPerWord, memCyclesPerWord, kernelDecodeCycles int64) Option {
-	return func(c *Config) {
-		c.NetLatency = netLatency
-		c.NetCyclesPerWord = netCyclesPerWord
-		c.MemCyclesPerWord = memCyclesPerWord
-		c.KernelDecodeCycles = kernelDecodeCycles
+	return func(o *options) {
+		o.cfg.NetLatency = netLatency
+		o.cfg.NetCyclesPerWord = netCyclesPerWord
+		o.cfg.MemCyclesPerWord = memCyclesPerWord
+		o.cfg.KernelDecodeCycles = kernelDecodeCycles
 	}
 }
 
-// WithConfig replaces the whole configuration; later options adjust it
-// further.
-func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+// WithConfig replaces the whole hardware configuration; later options
+// adjust it further.
+func WithConfig(cfg Config) Option { return func(o *options) { o.cfg = cfg } }
+
+// WithWorkers bounds the job scheduler's worker pool: at most n
+// asynchronous jobs execute at once (0, the default, selects GOMAXPROCS).
+// Workers start lazily on the first SubmitAsync / submit.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 
 // New builds the full four-layer stack over the default configuration
 // adjusted by the given options.
 func New(opts ...Option) (*System, error) {
-	cfg := DefaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	o := options{cfg: DefaultConfig()}
+	for _, f := range opts {
+		f(&o)
 	}
-	return core.NewSystem(cfg)
+	return core.NewSystemWithWorkers(o.cfg, o.workers)
 }
 
 // NewSystem builds the full four-layer stack over an explicit hardware
@@ -184,6 +218,16 @@ type (
 	DeleteCommand = command.Delete
 	// ListCommand enumerates the database or the workspace.
 	ListCommand = command.List
+	// SubmitCommand runs another command as an asynchronous job.
+	SubmitCommand = command.Submit
+	// StatusCommand reports one job's state and accounting.
+	StatusCommand = command.Status
+	// WaitCommand blocks until a job finishes and yields its result.
+	WaitCommand = command.Wait
+	// CancelCommand stops a queued or running job.
+	CancelCommand = command.Cancel
+	// JobsCommand enumerates the scheduler's jobs.
+	JobsCommand = command.Jobs
 )
 
 // SolveMethod names a solver backend in a SolveCommand; the zero value
@@ -265,7 +309,73 @@ type (
 	DeleteResult = command.DeleteResult
 	// ListResult enumerates a store's model names.
 	ListResult = command.ListResult
+	// SubmitResult reports a newly submitted job's id and state.
+	SubmitResult = command.SubmitResult
+	// JobStatusResult reports one job's state and accounting.
+	JobStatusResult = command.JobStatusResult
+	// JobsResult enumerates jobs; JobRow is one of its lines.
+	JobsResult = command.JobsResult
+	// JobRow is one line of a JobsResult.
+	JobRow = command.JobRow
+	// CancelResult reports a cancel attempt's outcome.
+	CancelResult = command.CancelResult
 )
+
+// The asynchronous job service — the concurrent multi-tenant front end.
+// System.Jobs owns the scheduler; Session.SubmitAsync and the
+// submit/status/wait/cancel/jobs verbs drive it.
+
+// JobID identifies one submitted job.
+type JobID = job.JobID
+
+// JobState is a job's lifecycle state.
+type JobState = job.State
+
+// The job lifecycle states.
+const (
+	// JobQueued means the job is waiting for a worker or its model's
+	// lock.
+	JobQueued = job.Queued
+	// JobRunning means a worker is executing the job.
+	JobRunning = job.Running
+	// JobDone means the job finished; its result is stored.
+	JobDone = job.Done
+	// JobFailed means the job's command returned an error.
+	JobFailed = job.Failed
+	// JobCancelled means the job was stopped before or during its run.
+	JobCancelled = job.Cancelled
+)
+
+// JobStateName is a job state as the command language speaks it: the
+// string form JobsCommand.State filters on and the job results render.
+// JobState (the scheduler enum) and JobStateName correspond via
+// JobState.String().
+type JobStateName = command.JobState
+
+// The job state names, for JobsCommand filters:
+// fem2.JobsCommand{State: fem2.JobRunningName}.
+const (
+	JobQueuedName    = command.JobQueued
+	JobRunningName   = command.JobRunning
+	JobDoneName      = command.JobDone
+	JobFailedName    = command.JobFailed
+	JobCancelledName = command.JobCancelled
+)
+
+// JobScheduler is the system's job service: Submit/Wait/Status/Cancel/
+// List over a bounded worker pool with per-model serialization.
+type JobScheduler = job.Scheduler
+
+// JobSnapshot is an immutable view of one job: state, stored result,
+// and per-job ops/flops/cycles attribution.
+type JobSnapshot = job.Snapshot
+
+// JobFilter selects jobs for JobScheduler.List; zero fields match
+// everything.
+type JobFilter = job.Filter
+
+// ErrSchedulerClosed is returned by Submit after the system closes.
+var ErrSchedulerClosed = job.ErrClosed
 
 // The shared error taxonomy.  Missing objects, malformed or ineligible
 // requests, and cancelled contexts wrap these sentinels across auvm,

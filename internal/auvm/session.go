@@ -6,11 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"reflect"
+	"sync"
 
 	"repro/internal/command"
 	"repro/internal/errs"
 	"repro/internal/fem"
+	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/navm"
 )
@@ -36,9 +37,17 @@ var ErrCancelled = errs.ErrCancelled
 // user commands" — with Do as the programmatic entry point and Execute
 // as the command-line adapter over it.
 //
-// A Session is confined to one goroutine; multi-user serving runs one
-// Session per user (they share the Database and Runtime, which are
-// concurrency-safe).
+// The session's own command loop is one goroutine, but a session with a
+// job scheduler attached (Jobs non-nil) is a concurrent front end:
+// SubmitAsync — and the submit verb — route heavy commands through the
+// scheduler's worker pool, which re-enters Do on worker goroutines, and
+// cheap commands run inline on each submitter's goroutine.  That is safe
+// because every piece of session state a verb touches is mutex-guarded:
+// the workspace, the database, and the interpreter-local state below
+// (stateMu).  Direct Do calls concurrent with a job on the same model
+// bypass the scheduler's per-model lock and are the caller's
+// responsibility — route model-touching work through SubmitAsync when a
+// solve may be in flight.
 type Session struct {
 	// User names the session for multi-user experiments.
 	User string
@@ -53,7 +62,15 @@ type Session struct {
 	// nil-receiver safe), so a metrics-less session interprets commands
 	// without instrumentation.
 	Metrics *metrics.Collector
+	// Jobs, when non-nil, is the system's job scheduler: it enables
+	// SubmitAsync and the submit/status/wait/cancel/jobs verbs.
+	// Sessions created through core.System get it wired automatically.
+	Jobs *job.Scheduler
 
+	// stateMu guards the interpreter-local state below.  Cheap verbs
+	// run inline on submitter goroutines, so two SubmitAsync calls on
+	// one session may interpret commands concurrently.
+	stateMu sync.Mutex
 	// mat is the current material, applied by generate/element
 	// commands.
 	mat fem.Material
@@ -77,25 +94,57 @@ var usage = errs.Usage
 // keeping the context's own error in the chain for errors.Is.
 func cancelled(ctx context.Context) error { return errs.Cancelled(ctx) }
 
+// collector resolves the metrics sink for one request: a context-carried
+// override (the job scheduler's per-job Tee collector) when present, the
+// session's shared collector otherwise.
+func (s *Session) collector(ctx context.Context) *metrics.Collector {
+	if c, ok := metrics.FromContext(ctx); ok {
+		return c
+	}
+	return s.Metrics
+}
+
 // Execute interprets one command line and returns its display output.
-// It is a thin adapter over the typed API: parse the line, Do the
-// command, render the result.
+// It is ExecuteContext under context.Background() — the no-deadline
+// spelling for REPLs and scripts.
 func (s *Session) Execute(line string) (string, error) {
+	return s.ExecuteContext(context.Background(), line)
+}
+
+// ExecuteContext interprets one command line under a context and returns
+// its display output.  It is a thin adapter over the typed API: parse
+// the line, Do the command, render the result — so the string API has
+// the same cancellation story as Do: once ctx is done the command
+// returns an error wrapping ErrCancelled.
+func (s *Session) ExecuteContext(ctx context.Context, line string) (string, error) {
 	cmd, err := command.Parse(line)
 	if err != nil {
 		// A malformed line still counts as an AUVM operation, exactly
 		// as the pre-AST interpreter charged it.
-		s.Metrics.Add(metrics.LevelAUVM, metrics.CtrOps, 1)
+		s.collector(ctx).Add(metrics.LevelAUVM, metrics.CtrOps, 1)
 		return "", err
 	}
 	if cmd == nil { // blank line or comment
 		return "", nil
 	}
-	res, err := s.Do(context.Background(), cmd)
+	res, err := s.Do(ctx, cmd)
 	if res == nil {
 		return "", err
 	}
 	return res.String(), err
+}
+
+// SubmitAsync hands a command to the system's job scheduler and returns
+// its job id immediately.  Heavy verbs (solves) run on the scheduler's
+// worker pool, serialized per model; cheap verbs run inline before
+// SubmitAsync returns, but still leave a job record, so the
+// submit→status→wait surface is uniform.  The job runs under a context
+// derived from ctx — cancelling ctx, or Jobs.Cancel, cancels it.
+func (s *Session) SubmitAsync(ctx context.Context, cmd command.Command) (job.JobID, error) {
+	if s.Jobs == nil {
+		return 0, errNoScheduler
+	}
+	return s.Jobs.Submit(ctx, s.User, s, cmd)
 }
 
 // Do interprets one typed command and returns its typed result.  It
@@ -109,18 +158,13 @@ func (s *Session) Do(ctx context.Context, cmd command.Command) (command.Result, 
 		return nil, nil
 	}
 	// Pointer commands satisfy the interface too (value-receiver method
-	// sets), and callers naturally write &fem2.SolveCommand{...} since
-	// every result comes back as a pointer — deref so both spellings
-	// dispatch.
-	if v := reflect.ValueOf(cmd); v.Kind() == reflect.Pointer && !v.IsNil() {
-		if c, ok := v.Elem().Interface().(command.Command); ok {
-			cmd = c
-		}
-	}
+	// sets) — deref so both spellings dispatch.
+	cmd = command.Value(cmd)
 	// Charge the op before the cancellation check so request accounting
 	// sees every command, shed or served — matching Execute, which
-	// charges even malformed lines.
-	s.Metrics.Add(metrics.LevelAUVM, metrics.CtrOps, 1)
+	// charges even malformed lines.  The collector is the per-job one
+	// when this command runs as a job.
+	s.collector(ctx).Add(metrics.LevelAUVM, metrics.CtrOps, 1)
 	if err := cancelled(ctx); err != nil {
 		return nil, err
 	}
@@ -169,9 +213,107 @@ func (s *Session) Do(ctx context.Context, cmd command.Command) (command.Result, 
 		return s.doDelete(c)
 	case command.List:
 		return s.doList(c)
+	case command.Submit:
+		return s.doSubmit(ctx, c)
+	case command.Status:
+		return s.doJobStatus(c)
+	case command.Wait:
+		return s.doWait(ctx, c)
+	case command.Cancel:
+		return s.doCancel(c)
+	case command.Jobs:
+		return s.doJobs(c)
 	default:
 		return nil, usage("unknown command type %T", cmd)
 	}
+}
+
+// errNoScheduler reports a job verb on a session without a front end.
+var errNoScheduler = errors.New("auvm: session has no job scheduler attached (no front end)")
+
+// stateName maps a scheduler state onto the command language's canonical
+// name.
+func stateName(st job.State) command.JobState { return command.JobState(st.String()) }
+
+func (s *Session) doSubmit(ctx context.Context, c command.Submit) (command.Result, error) {
+	id, err := s.SubmitAsync(ctx, c.Cmd)
+	if err != nil {
+		return nil, err
+	}
+	// Report the state as of submit time: a heavy command was queued
+	// (re-reading it here would race the worker pool and make the reply
+	// nondeterministic); a cheap command ran inline and is terminal.
+	res := &command.SubmitResult{ID: int64(id), State: command.JobQueued,
+		Cmd: command.Value(c.Cmd).String()}
+	if !job.Heavy(c.Cmd) {
+		if snap, err := s.Jobs.Status(id); err == nil {
+			res.State = stateName(snap.State)
+		}
+	}
+	return res, nil
+}
+
+func (s *Session) doJobStatus(c command.Status) (command.Result, error) {
+	if s.Jobs == nil {
+		return nil, errNoScheduler
+	}
+	snap, err := s.Jobs.Status(job.JobID(c.ID))
+	if err != nil {
+		return nil, err
+	}
+	res := &command.JobStatusResult{
+		ID: int64(snap.ID), Owner: snap.Owner, State: stateName(snap.State),
+		Cmd: snap.Cmd.String(),
+		Ops: snap.Ops, Flops: snap.Flops, Cycles: snap.Cycles,
+	}
+	if snap.State == job.Failed && snap.Err != nil {
+		res.Error = snap.Err.Error()
+	}
+	return res, nil
+}
+
+// doWait blocks until the job finishes and returns the job's own typed
+// result and error — submit…wait displays exactly what the synchronous
+// command would have.
+func (s *Session) doWait(ctx context.Context, c command.Wait) (command.Result, error) {
+	if s.Jobs == nil {
+		return nil, errNoScheduler
+	}
+	return s.Jobs.Wait(ctx, job.JobID(c.ID))
+}
+
+func (s *Session) doCancel(c command.Cancel) (command.Result, error) {
+	if s.Jobs == nil {
+		return nil, errNoScheduler
+	}
+	st, err := s.Jobs.Cancel(job.JobID(c.ID))
+	if err != nil {
+		return nil, err
+	}
+	return &command.CancelResult{ID: c.ID, State: stateName(st)}, nil
+}
+
+func (s *Session) doJobs(c command.Jobs) (command.Result, error) {
+	if s.Jobs == nil {
+		return nil, errNoScheduler
+	}
+	f := job.Filter{Owner: c.Owner}
+	if c.State != "" {
+		st, err := job.ParseState(string(c.State))
+		if err != nil {
+			return nil, err
+		}
+		f.States = []job.State{st}
+	}
+	snaps := s.Jobs.List(f)
+	res := &command.JobsResult{Rows: make([]command.JobRow, len(snaps))}
+	for i, snap := range snaps {
+		res.Rows[i] = command.JobRow{
+			ID: int64(snap.ID), Owner: snap.Owner,
+			State: stateName(snap.State), Cmd: snap.Cmd.String(),
+		}
+	}
+	return res, nil
 }
 
 func (s *Session) doDefine(c command.Define) (command.Result, error) {
@@ -188,13 +330,15 @@ func (s *Session) doMaterial(c command.SetMaterial) (command.Result, error) {
 	if c.E <= 0 {
 		return nil, usage("modulus must be positive")
 	}
+	s.stateMu.Lock()
 	s.mat = fem.Material{E: c.E, Nu: c.Nu, T: c.T, A: c.A}
+	s.stateMu.Unlock()
 	return &command.MaterialResult{E: c.E, Nu: c.Nu, T: c.T, A: c.A}, nil
 }
 
 func (s *Session) doGenerateGrid(c command.GenerateGrid) (command.Result, error) {
 	o := fem.RectGridOpts{
-		NX: c.NX, NY: c.NY, W: c.W, H: c.H, Mat: s.mat,
+		NX: c.NX, NY: c.NY, W: c.W, H: c.H, Mat: s.material(),
 		ClampLeft: c.ClampLeft, Jitter: c.Jitter, Seed: c.Seed,
 	}
 	m, err := fem.RectGrid(c.Name, o)
@@ -208,7 +352,7 @@ func (s *Session) doGenerateGrid(c command.GenerateGrid) (command.Result, error)
 }
 
 func (s *Session) doGenerateTruss(c command.GenerateTruss) (command.Result, error) {
-	m, err := fem.CantileverTruss(c.Name, c.Bays, c.BayLen, c.Height, s.mat)
+	m, err := fem.CantileverTruss(c.Name, c.Bays, c.BayLen, c.Height, s.material())
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +362,7 @@ func (s *Session) doGenerateTruss(c command.GenerateTruss) (command.Result, erro
 }
 
 func (s *Session) doGenerateBar(c command.GenerateBar) (command.Result, error) {
-	m, err := fem.UniaxialBar(c.Name, c.Segments, c.Length, s.mat)
+	m, err := fem.UniaxialBar(c.Name, c.Segments, c.Length, s.material())
 	if err != nil {
 		return nil, err
 	}
@@ -228,12 +372,23 @@ func (s *Session) doGenerateBar(c command.GenerateBar) (command.Result, error) {
 }
 
 func (s *Session) gridOpts(name string, o fem.RectGridOpts) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	s.grids[name] = o
 }
 
 func (s *Session) lookupGridOpts(name string) (fem.RectGridOpts, bool) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	o, ok := s.grids[name]
 	return o, ok
+}
+
+// material reads the session's current material under the state lock.
+func (s *Session) material() fem.Material {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.mat
 }
 
 func (s *Session) model(name string) (*fem.Model, error) {
@@ -259,7 +414,7 @@ func (s *Session) doAddBar(c command.AddBar) (command.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := m.AddElement(&fem.Bar{N1: c.N1, N2: c.N2, Mat: s.mat}); err != nil {
+	if err := m.AddElement(&fem.Bar{N1: c.N1, N2: c.N2, Mat: s.material()}); err != nil {
 		return nil, err
 	}
 	return &command.ElementResult{Kind: "bar", Model: m.Name, Nodes: []int{c.N1, c.N2}}, nil
@@ -270,7 +425,7 @@ func (s *Session) doAddCST(c command.AddCST) (command.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := m.AddElement(&fem.CST{N1: c.N1, N2: c.N2, N3: c.N3, Mat: s.mat}); err != nil {
+	if err := m.AddElement(&fem.CST{N1: c.N1, N2: c.N2, N3: c.N3, Mat: s.material()}); err != nil {
 		return nil, err
 	}
 	return &command.ElementResult{Kind: "cst", Model: m.Name, Nodes: []int{c.N1, c.N2, c.N3}}, nil
@@ -357,6 +512,7 @@ func (s *Session) doSolve(ctx context.Context, c command.Solve) (command.Result,
 		Backend: sol.Backend, Precond: sol.Precond,
 		Substructures: c.Substructures,
 		Iterations:    sol.Iterations, Residual: sol.Residual,
+		Flops: sol.Stats.Flops,
 	}
 	// Par is set exactly when the distributed path ran (a substructured
 	// request outranks parallel, so echo the worker count only then).

@@ -21,6 +21,7 @@ package command
 
 import (
 	"fmt"
+	"reflect"
 	"strconv"
 	"strings"
 )
@@ -253,6 +254,65 @@ type List struct {
 	What ListKind
 }
 
+// JobState names a job lifecycle state in the command language.  These
+// are the canonical names: the jobs verb's state filter accepts them,
+// job results render them, and internal/job maps its State enum onto
+// them, so the command layer and the scheduler always agree.
+type JobState string
+
+// The job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// JobStates returns every job state name, lifecycle order.
+func JobStates() []JobState {
+	return []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled}
+}
+
+// Submit runs another command as an asynchronous job: the interpreter
+// answers immediately with a job id while the wrapped command executes
+// on the system's scheduler.  Job-control verbs and quit cannot
+// themselves be submitted.
+type Submit struct {
+	// Cmd is the wrapped command to run asynchronously.
+	Cmd Command
+}
+
+// Status reports one job's state and accounting.
+type Status struct {
+	// ID is the job id.
+	ID int64
+}
+
+// Wait blocks until a job finishes and yields the wrapped command's own
+// result — so submit…wait displays exactly what the synchronous command
+// would have.
+type Wait struct {
+	// ID is the job id.
+	ID int64
+}
+
+// Cancel stops a queued or running job.
+type Cancel struct {
+	// ID is the job id.
+	ID int64
+}
+
+// Jobs enumerates the scheduler's jobs, optionally filtered by owner
+// and state.
+type Jobs struct {
+	// Owner, when non-empty, restricts the listing to one user.
+	Owner string
+	// State, when non-empty, restricts the listing to one lifecycle
+	// state.
+	State JobState
+}
+
 func (Help) isCommand()          {}
 func (Quit) isCommand()          {}
 func (Define) isCommand()        {}
@@ -275,6 +335,24 @@ func (Store) isCommand()         {}
 func (Retrieve) isCommand()      {}
 func (Delete) isCommand()        {}
 func (List) isCommand()          {}
+func (Submit) isCommand()        {}
+func (Status) isCommand()        {}
+func (Wait) isCommand()          {}
+func (Cancel) isCommand()        {}
+func (Jobs) isCommand()          {}
+
+// Value returns the value form of cmd: a pointer command is dereferenced
+// so the value and pointer spellings dispatch identically everywhere a
+// command is interpreted (callers naturally write &fem2.SolveCommand{…}
+// since every result comes back as a pointer).
+func Value(cmd Command) Command {
+	if v := reflect.ValueOf(cmd); v.Kind() == reflect.Pointer && !v.IsNil() {
+		if c, ok := v.Elem().Interface().(Command); ok {
+			return c
+		}
+	}
+	return cmd
+}
 
 // g renders a float in the shortest form that round-trips through Parse.
 func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -386,3 +464,28 @@ func (c Delete) String() string { return "delete " + c.Name }
 
 // String renders the canonical command line.
 func (c List) String() string { return fmt.Sprintf("list %s", c.What) }
+
+// String renders the canonical command line.
+func (c Submit) String() string { return "submit " + c.Cmd.String() }
+
+// String renders the canonical command line.
+func (c Status) String() string { return fmt.Sprintf("status job-%d", c.ID) }
+
+// String renders the canonical command line.
+func (c Wait) String() string { return fmt.Sprintf("wait job-%d", c.ID) }
+
+// String renders the canonical command line.
+func (c Cancel) String() string { return fmt.Sprintf("cancel job-%d", c.ID) }
+
+// String renders the canonical command line.
+func (c Jobs) String() string {
+	var b strings.Builder
+	b.WriteString("jobs")
+	if c.Owner != "" {
+		fmt.Fprintf(&b, " user %s", c.Owner)
+	}
+	if c.State != "" {
+		fmt.Fprintf(&b, " state %s", c.State)
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package command
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/errs"
+)
+
+// TestParseJobVerbs covers the job-control verbs the scheduler speaks.
+func TestParseJobVerbs(t *testing.T) {
+	cases := []struct {
+		line string
+		want Command
+	}{
+		{"submit solve g l", Submit{Cmd: Solve{Model: "g", Set: "l"}}},
+		{"submit solve g l method cg parallel 4",
+			Submit{Cmd: Solve{Model: "g", Set: "l", Method: MethodCG, Parallel: 4}}},
+		{"submit generate grid g 4 3 4 3", Submit{Cmd: GenerateGrid{Name: "g", NX: 4, NY: 3, W: 4, H: 3}}},
+		{"status 3", Status{ID: 3}},
+		{"status job-3", Status{ID: 3}},
+		{"wait 7", Wait{ID: 7}},
+		{"wait job-7", Wait{ID: 7}},
+		{"cancel 2", Cancel{ID: 2}},
+		{"cancel job-2", Cancel{ID: 2}},
+		{"jobs", Jobs{}},
+		{"jobs user alice", Jobs{Owner: "alice"}},
+		{"jobs state running", Jobs{State: JobRunning}},
+		{"jobs user alice state done", Jobs{Owner: "alice", State: JobDone}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.line)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.line, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.line, got, c.want)
+		}
+	}
+}
+
+// TestJobVerbRoundTrip: Parse(cmd.String()) reproduces the command.
+func TestJobVerbRoundTrip(t *testing.T) {
+	cmds := []Command{
+		Submit{Cmd: Solve{Model: "m", Set: "ls", Method: MethodCG, Parallel: 2}},
+		Submit{Cmd: GenerateGrid{Name: "g", NX: 4, NY: 3, W: 4, H: 3, ClampLeft: true}},
+		Status{ID: 3},
+		Wait{ID: 12},
+		Cancel{ID: 5},
+		Jobs{},
+		Jobs{Owner: "alice"},
+		Jobs{State: JobFailed},
+		Jobs{Owner: "bob", State: JobCancelled},
+	}
+	for _, cmd := range cmds {
+		line := cmd.String()
+		got, err := Parse(line)
+		if err != nil {
+			t.Errorf("Parse(%v.String() = %q): %v", cmd, line, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, cmd) {
+			t.Errorf("round trip via %q: got %#v, want %#v", line, got, cmd)
+		}
+	}
+}
+
+// TestParseJobUsageErrors rejects malformed and forbidden job lines.
+func TestParseJobUsageErrors(t *testing.T) {
+	for _, line := range []string{
+		"submit",
+		"submit # just a comment",
+		"submit quit",
+		"submit submit solve g l",
+		"submit wait 1",
+		"submit status 1",
+		"submit cancel 1",
+		"submit jobs",
+		"status",
+		"status one",
+		"status job-0",
+		"status -3",
+		"wait",
+		"cancel 1 2",
+		"jobs wat",
+		"jobs state limbo",
+		"jobs user",
+	} {
+		if _, err := Parse(line); !errors.Is(err, errs.ErrUsage) {
+			t.Errorf("Parse(%q) = %v, want ErrUsage", line, err)
+		}
+	}
+	// A syntax error inside the submitted command surfaces too.
+	if _, err := Parse("submit solve"); !errors.Is(err, errs.ErrUsage) {
+		t.Errorf("submit with bad inner command: %v", err)
+	}
+}
+
+// TestJobResultRenderings spot-checks the REPL display lines.
+func TestJobResultRenderings(t *testing.T) {
+	cases := []struct {
+		res  Result
+		want string
+	}{
+		{SubmitResult{ID: 3, State: JobQueued, Cmd: "solve g l"},
+			"submitted job-3 (queued): solve g l"},
+		{SubmitResult{ID: 4, State: JobDone, Cmd: "list db"},
+			"submitted job-4 (done): list db"},
+		{JobStatusResult{ID: 3, Owner: "alice", State: JobRunning, Cmd: "solve g l"},
+			`job-3 running (owner "alice"): solve g l`},
+		{JobStatusResult{ID: 3, Owner: "alice", State: JobDone, Cmd: "solve g l",
+			Flops: 1000, Cycles: 500},
+			`job-3 done (owner "alice"): solve g l [1000 flops, 500 cycles]`},
+		{JobStatusResult{ID: 9, Owner: "bob", State: JobFailed, Cmd: "solve g l",
+			Error: "no load set"},
+			`job-9 failed (owner "bob"): solve g l — no load set`},
+		{CancelResult{ID: 2, State: JobCancelled}, "cancelled job-2"},
+		{CancelResult{ID: 2, State: JobRunning}, "cancel requested for running job-2"},
+		{CancelResult{ID: 2, State: JobDone}, "job-2 already done"},
+		{JobsResult{}, "no jobs"},
+		{JobsResult{Rows: []JobRow{
+			{ID: 1, Owner: "alice", State: JobDone, Cmd: "solve g l"},
+			{ID: 2, Owner: "bob", State: JobQueued, Cmd: "solve h l"},
+		}},
+			"jobs (2):\n  job-1    done      alice      solve g l\n  job-2    queued    bob        solve h l"},
+	}
+	for _, c := range cases {
+		if got := c.res.String(); got != c.want {
+			t.Errorf("%T.String() = %q, want %q", c.res, got, c.want)
+		}
+	}
+}
+
+// TestValue covers the pointer-deref helper every interpreter layer
+// shares.
+func TestValue(t *testing.T) {
+	v := Solve{Model: "m", Set: "l"}
+	if got := Value(&v); !reflect.DeepEqual(got, v) {
+		t.Errorf("Value(&Solve) = %#v", got)
+	}
+	if got := Value(v); !reflect.DeepEqual(got, v) {
+		t.Errorf("Value(Solve) = %#v", got)
+	}
+	var nilPtr *Solve
+	if got := Value(nilPtr); got != Command(nilPtr) {
+		t.Errorf("Value(nil *Solve) = %#v", got)
+	}
+}

@@ -124,6 +124,28 @@ func Parse(line string) (Command, error) {
 		default:
 			return nil, usage("list db|workspace")
 		}
+	case "submit":
+		return parseSubmit(args)
+	case "status":
+		id, err := jobID(args, "status <job>")
+		if err != nil {
+			return nil, err
+		}
+		return Status{ID: id}, nil
+	case "wait":
+		id, err := jobID(args, "wait <job>")
+		if err != nil {
+			return nil, err
+		}
+		return Wait{ID: id}, nil
+	case "cancel":
+		id, err := jobID(args, "cancel <job>")
+		if err != nil {
+			return nil, err
+		}
+		return Cancel{ID: id}, nil
+	case "jobs":
+		return parseJobs(args)
 	default:
 		return nil, usage("unknown command %q (try help)", verb)
 	}
@@ -302,6 +324,86 @@ func parseSolve(args []string) (Command, error) {
 		}
 	}
 	return c, nil
+}
+
+// parseSubmit parses the submit verb: the rest of the line is itself a
+// command line, parsed recursively.  Job-control verbs (and quit) cannot
+// run as jobs, so nesting is rejected here.
+func parseSubmit(args []string) (Command, error) {
+	if len(args) == 0 {
+		return nil, usage("submit <command>")
+	}
+	inner, err := Parse(strings.Join(args, " "))
+	if err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		return nil, usage("submit <command>")
+	}
+	switch inner.(type) {
+	case Submit, Status, Wait, Cancel, Jobs, Quit:
+		return nil, usage("%q cannot run as a job", strings.Fields(inner.String())[0])
+	}
+	return Submit{Cmd: inner}, nil
+}
+
+// parseJobs parses the jobs verb and its filter options.
+func parseJobs(args []string) (Command, error) {
+	c := Jobs{}
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "user":
+			if i+1 >= len(args) {
+				return nil, usage("jobs user <name>")
+			}
+			c.Owner = args[i+1]
+			i++
+		case "state":
+			if i+1 >= len(args) {
+				return nil, usage("jobs state %s", joinStates())
+			}
+			if !validState(JobState(args[i+1])) {
+				return nil, usage("unknown job state %q (have %s)", args[i+1], joinStates())
+			}
+			c.State = JobState(args[i+1])
+			i++
+		default:
+			return nil, usage("unknown jobs option %q", args[i])
+		}
+	}
+	return c, nil
+}
+
+// validState reports whether s names a job lifecycle state.
+func validState(s JobState) bool {
+	for _, k := range JobStates() {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// joinStates renders the state names for usage messages.
+func joinStates() string {
+	names := make([]string, 0, len(JobStates()))
+	for _, k := range JobStates() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, "|")
+}
+
+// jobID parses the single argument of a job-control verb: a job id,
+// with or without the "job-" prefix its results render.
+func jobID(args []string, use string) (int64, error) {
+	if len(args) != 1 {
+		return 0, usage("%s", use)
+	}
+	id, err := strconv.ParseInt(strings.TrimPrefix(args[0], "job-"), 10, 64)
+	if err != nil || id < 1 {
+		return 0, usage("job id %q", args[0])
+	}
+	return id, nil
 }
 
 // floats parses every field as a float64.

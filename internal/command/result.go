@@ -34,6 +34,9 @@ const HelpText = `FEM-2 workstation commands:
   display model|displacements|stresses <model>
   store <model> | retrieve <name> | delete <name>
   list db | list workspace
+  submit <command>                       (run asynchronously, returns a job id)
+  status <job> | wait <job> | cancel <job>
+  jobs [user <name>] [state queued|running|done|failed|cancelled]
   help | quit`
 
 // HelpResult is the reply to Help.
@@ -133,6 +136,9 @@ type SolveResult struct {
 	// parallel solve.
 	HaloWords int64
 	Makespan  int64
+	// Flops counts the solve's floating point work (assembly plus
+	// solver) — the per-job attribution the job service reports.
+	Flops int64
 	// MaxDisp is the largest displacement magnitude, at dof MaxDOF.
 	MaxDisp float64
 	MaxDOF  int
@@ -220,6 +226,63 @@ type ListResult struct {
 	Words int64
 }
 
+// SubmitResult is the reply to Submit.
+type SubmitResult struct {
+	// ID is the new job's id.
+	ID int64
+	// State is the job's state at reply time: "queued" for heavy
+	// commands handed to the worker pool, a terminal state for cheap
+	// commands the scheduler ran inline.
+	State JobState
+	// Cmd is the submitted command's canonical line.
+	Cmd string
+}
+
+// JobStatusResult is the reply to Status.
+type JobStatusResult struct {
+	// ID is the job id; Owner the submitting user.
+	ID    int64
+	Owner string
+	// State is the job's lifecycle state.
+	State JobState
+	// Cmd is the job's command, canonical line.
+	Cmd string
+	// Error is the failure message of a failed job, "" otherwise.
+	Error string
+	// Ops, Flops, and Cycles are the job's own accounting: AUVM
+	// operations charged while it ran, solver flops, and simulated
+	// machine cycles (parallel solves only).
+	Ops, Flops, Cycles int64
+}
+
+// JobRow is one line of a JobsResult.
+type JobRow struct {
+	// ID is the job id; Owner the submitting user.
+	ID    int64
+	Owner string
+	// State is the job's lifecycle state.
+	State JobState
+	// Cmd is the job's command, canonical line.
+	Cmd string
+}
+
+// JobsResult is the reply to Jobs.
+type JobsResult struct {
+	// Rows are the matching jobs, ascending id.
+	Rows []JobRow
+}
+
+// CancelResult is the reply to Cancel.
+type CancelResult struct {
+	// ID is the job id.
+	ID int64
+	// State is the job's state after the cancel attempt: "cancelled"
+	// when the job was stopped before running, "running" when the stop
+	// signal was delivered to a live job, or the terminal state of a job
+	// that had already finished.
+	State JobState
+}
+
 func (HelpResult) isResult()          {}
 func (QuitResult) isResult()          {}
 func (DefineResult) isResult()        {}
@@ -240,6 +303,10 @@ func (StoreResult) isResult()         {}
 func (RetrieveResult) isResult()      {}
 func (DeleteResult) isResult()        {}
 func (ListResult) isResult()          {}
+func (SubmitResult) isResult()        {}
+func (JobStatusResult) isResult()     {}
+func (JobsResult) isResult()          {}
+func (CancelResult) isResult()        {}
 
 // String renders the REPL display line.
 func (HelpResult) String() string { return HelpText }
@@ -355,6 +422,49 @@ func (r RetrieveResult) String() string {
 // String renders the REPL display line.
 func (r DeleteResult) String() string {
 	return fmt.Sprintf("deleted %q from data base", r.Name)
+}
+
+// String renders the REPL display line.
+func (r SubmitResult) String() string {
+	return fmt.Sprintf("submitted job-%d (%s): %s", r.ID, r.State, r.Cmd)
+}
+
+// String renders the REPL display line.
+func (r JobStatusResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job-%d %s (owner %q): %s", r.ID, r.State, r.Owner, r.Cmd)
+	if r.Error != "" {
+		fmt.Fprintf(&b, " — %s", r.Error)
+	}
+	if r.Flops > 0 || r.Cycles > 0 {
+		fmt.Fprintf(&b, " [%d flops, %d cycles]", r.Flops, r.Cycles)
+	}
+	return b.String()
+}
+
+// String renders the REPL display line.
+func (r JobsResult) String() string {
+	if len(r.Rows) == 0 {
+		return "no jobs"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs (%d):", len(r.Rows))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "\n  job-%-4d %-9s %-10s %s", row.ID, row.State, row.Owner, row.Cmd)
+	}
+	return b.String()
+}
+
+// String renders the REPL display line.
+func (r CancelResult) String() string {
+	switch r.State {
+	case JobCancelled:
+		return fmt.Sprintf("cancelled job-%d", r.ID)
+	case JobRunning:
+		return fmt.Sprintf("cancel requested for running job-%d", r.ID)
+	default:
+		return fmt.Sprintf("job-%d already %s", r.ID, r.State)
+	}
 }
 
 // String renders the REPL display line.

@@ -24,11 +24,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/auvm"
 	"repro/internal/errs"
 	"repro/internal/hgraph"
+	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/navm"
 	"repro/internal/trace"
@@ -200,20 +202,36 @@ func FEM2Layers() []*LayerSpec {
 
 // System is a complete FEM-2 instance: the simulated hardware, the
 // per-cluster SPVM kernels, the NAVM runtime, the shared AUVM database,
-// and any number of user sessions — all sharing one metrics collector and
-// trace so experiments see every level at once.
+// the job scheduler, and any number of user sessions — all sharing one
+// metrics collector and trace so experiments see every level at once.
+//
+// System is a concurrent multi-tenant front end: the session registry is
+// mutex-guarded, every session is wired to the shared job scheduler, and
+// any number of goroutines may create sessions and submit work at once.
 type System struct {
 	Machine  *arch.Machine
 	Runtime  *navm.Runtime
 	Database *auvm.Database
 	Metrics  *metrics.Collector
 	Trace    *trace.Trace
+	// Jobs is the system's asynchronous job service: a bounded worker
+	// pool with per-model serialization, shared by every session.
+	Jobs *job.Scheduler
 
+	mu       sync.RWMutex
 	sessions map[string]*auvm.Session
 }
 
-// NewSystem builds the full stack over a hardware configuration.
+// NewSystem builds the full stack over a hardware configuration, with
+// the job scheduler's worker pool bounded at GOMAXPROCS.
 func NewSystem(cfg arch.Config) (*System, error) {
+	return NewSystemWithWorkers(cfg, 0)
+}
+
+// NewSystemWithWorkers builds the full stack with the job scheduler's
+// worker pool bounded at workers goroutines (<= 0 selects GOMAXPROCS).
+// Workers start lazily on the first asynchronous submission.
+func NewSystemWithWorkers(cfg arch.Config, workers int) (*System, error) {
 	m, err := arch.New(cfg)
 	if err != nil {
 		return nil, err
@@ -226,25 +244,38 @@ func NewSystem(cfg arch.Config) (*System, error) {
 		Trace:    trace.NewCapped(1 << 16),
 		sessions: map[string]*auvm.Session{},
 	}
+	s.Jobs = job.NewScheduler(workers, s.Metrics)
 	s.Runtime.AttachInstrumentation(s.Metrics, s.Trace)
 	return s, nil
 }
 
 // Session returns the named user session, creating it on first use —
-// FEM-2's multi-user access.
+// FEM-2's multi-user access.  Safe for concurrent use: simultaneous
+// calls for one user all receive the same session.
 func (s *System) Session(user string) *auvm.Session {
-	if sess, ok := s.sessions[user]; ok {
+	s.mu.RLock()
+	sess, ok := s.sessions[user]
+	s.mu.RUnlock()
+	if ok {
 		return sess
 	}
-	sess := auvm.NewSession(user, s.Database)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[user]; ok { // lost the creation race
+		return sess
+	}
+	sess = auvm.NewSession(user, s.Database)
 	sess.RT = s.Runtime
 	sess.Metrics = s.Metrics
+	sess.Jobs = s.Jobs
 	s.sessions[user] = sess
 	return sess
 }
 
 // Users returns the active session names, sorted.
 func (s *System) Users() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.sessions))
 	for u := range s.sessions {
 		out = append(out, u)
@@ -252,6 +283,40 @@ func (s *System) Users() []string {
 	sort.Strings(out)
 	return out
 }
+
+// Sessions returns the active sessions, sorted by user name.
+func (s *System) Sessions() []*auvm.Session {
+	s.mu.RLock()
+	out := make([]*auvm.Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// CloseSession removes a user's session from the registry, cancelling
+// the user's queued and running jobs, and reports whether the session
+// existed.  The user's stored models stay in the shared database; a
+// later Session(user) starts fresh.  The cancel happens under the
+// registry lock, so a same-named session recreated immediately after
+// cannot have its fresh jobs swept up by this close.
+func (s *System) CloseSession(user string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[user]; !ok {
+		return false
+	}
+	delete(s.sessions, user)
+	s.Jobs.CancelOwner(user)
+	return true
+}
+
+// Close shuts the system's job service down: queued jobs are cancelled,
+// running jobs are interrupted, and the worker pool drains.  Sessions
+// remain usable synchronously afterwards.  Idempotent.
+func (s *System) Close() { s.Jobs.Close() }
 
 // ValidateDesign checks every layer specification against its formal
 // grammars — the design method's "firm up" step.

@@ -1,0 +1,208 @@
+// Package job is the asynchronous job service of the FEM-2 front end:
+// the concurrency story the paper's interactive multi-workstation
+// machine implies.  Many engineers share one model database over one
+// simulated multiprocessor, so the top-layer API must let many sessions
+// submit, monitor, and cancel long-running work concurrently instead of
+// blocking each caller's goroutine for the length of a solve.
+//
+// A Scheduler owns a bounded worker pool.  Submit enqueues a heavy
+// command (a solve) as a job and returns its JobID immediately; cheap
+// commands run inline on the caller's goroutine but still leave a job
+// record, so the submit→status→wait surface is uniform.  Per-model
+// locking serializes jobs that touch the same model name while jobs on
+// different models proceed in parallel across the pool.  Cancellation
+// rides the context plumbing every solver kernel already polls: Cancel
+// (or cancelling the context passed to Submit) cancels a queued job
+// outright and interrupts a running one mid-solve.
+//
+// The package sits between command (the typed AST and results it stores)
+// and auvm (whose Session satisfies Executor); it deliberately imports
+// neither auvm nor core, so the session and system layers can build on
+// it without a cycle.
+package job
+
+import (
+	"fmt"
+
+	"repro/internal/command"
+	"repro/internal/errs"
+)
+
+// JobID identifies one submitted job.  IDs are assigned by the scheduler
+// in submission order, starting at 1.
+type JobID int64
+
+// String renders the id as the command language displays and accepts it.
+func (id JobID) String() string { return fmt.Sprintf("job-%d", int64(id)) }
+
+// State is a job's lifecycle state.
+type State int
+
+// The job lifecycle: Queued → Running → one of the terminal states.
+// Cheap commands run inline and are first observable in a terminal
+// state; a queued job cancelled before a worker picks it up goes
+// straight to Cancelled.
+const (
+	// Queued means the job is waiting for a worker (or for its model's
+	// lock).
+	Queued State = iota
+	// Running means a worker is executing the job.
+	Running
+	// Done means the job finished and its Result is stored.
+	Done
+	// Failed means the job's command returned a non-cancellation error.
+	Failed
+	// Cancelled means the job was stopped — before it started, or
+	// mid-run through its context.
+	Cancelled
+)
+
+// String renders the canonical state name shared with the command layer.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return string(command.JobQueued)
+	case Running:
+		return string(command.JobRunning)
+	case Done:
+		return string(command.JobDone)
+	case Failed:
+		return string(command.JobFailed)
+	case Cancelled:
+		return string(command.JobCancelled)
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// ParseState maps a canonical state name back to its State.
+func ParseState(name string) (State, error) {
+	for _, s := range []State{Queued, Running, Done, Failed, Cancelled} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, errs.Usage("unknown job state %q", name)
+}
+
+// Heavy reports whether a command routes through the worker pool: the
+// long-running AUVM verbs — today the solves, the policy seam for
+// anything else (bulk assembly, experiment sweeps) that should never
+// block a front-end goroutine.  Cheap verbs run inline under the same
+// job bookkeeping.
+func Heavy(cmd command.Command) bool {
+	switch command.Value(cmd).(type) {
+	case command.Solve:
+		return true
+	default:
+		return false
+	}
+}
+
+// ModelOf returns the model name a command reads or writes — the
+// scheduler's serialization key.  Jobs whose commands touch the same
+// model name run one at a time; commands that touch no model ("" key,
+// e.g. list or help) never serialize against anything.
+func ModelOf(cmd command.Command) string {
+	switch c := command.Value(cmd).(type) {
+	case command.Define:
+		return c.Name
+	case command.GenerateGrid:
+		return c.Name
+	case command.GenerateTruss:
+		return c.Name
+	case command.GenerateBar:
+		return c.Name
+	case command.AddNode:
+		return c.Model
+	case command.AddBar:
+		return c.Model
+	case command.AddCST:
+		return c.Model
+	case command.FixNode:
+		return c.Model
+	case command.FixDOF:
+		return c.Model
+	case command.DefineLoadSet:
+		return c.Model
+	case command.AddLoad:
+		return c.Model
+	case command.EndLoad:
+		return c.Model
+	case command.Solve:
+		return c.Model
+	case command.Stresses:
+		return c.Model
+	case command.Display:
+		return c.Model
+	case command.Store:
+		return c.Model
+	case command.Retrieve:
+		return c.Name
+	case command.Delete:
+		return c.Name
+	default:
+		return ""
+	}
+}
+
+// Snapshot is an immutable view of one job, safe to hold after the job
+// moves on.
+type Snapshot struct {
+	// ID identifies the job; Owner is the submitting user.
+	ID    JobID
+	Owner string
+	// Cmd is the job's command.
+	Cmd command.Command
+	// Model is the serialization key, "" when the command touches no
+	// model.
+	Model string
+	// State is the lifecycle state at snapshot time.
+	State State
+	// Result and Err are the stored outcome of a terminal job: the
+	// command's typed result, and its error for failed or cancelled
+	// jobs.
+	Result command.Result
+	Err    error
+	// Ops, Flops, and Cycles attribute work to this job alone: AUVM
+	// operations charged while it ran, solver floating point operations,
+	// and simulated machine cycles (parallel solves only).
+	Ops, Flops, Cycles int64
+}
+
+// Filter selects jobs for List.  Zero fields match everything.
+type Filter struct {
+	// Owner, when non-empty, matches jobs submitted by that user.
+	Owner string
+	// Model, when non-empty, matches jobs whose serialization key is
+	// that model name.
+	Model string
+	// States, when non-empty, matches jobs in any of the given states.
+	States []State
+}
+
+// match reports whether a snapshot passes the filter.
+func (f Filter) match(s Snapshot) bool {
+	if f.Owner != "" && s.Owner != f.Owner {
+		return false
+	}
+	if f.Model != "" && s.Model != f.Model {
+		return false
+	}
+	if len(f.States) > 0 {
+		ok := false
+		for _, st := range f.States {
+			if s.State == st {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

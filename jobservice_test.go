@@ -1,0 +1,230 @@
+// Acceptance tests for the asynchronous job service: the facade-level
+// guarantees ISSUE 4 asks of the concurrent multi-tenant front end.
+package fem2_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	fem2 "repro"
+)
+
+// buildPlate builds one model + tip load set in a session, via the
+// synchronous cheap verbs.
+func buildPlate(t testing.TB, s *fem2.Session, model string, nx, ny int) {
+	t.Helper()
+	ctx := context.Background()
+	cmds := []fem2.Command{
+		fem2.GenerateGrid{Name: model, NX: nx, NY: ny, W: float64(nx), H: float64(ny), ClampLeft: true},
+		fem2.EndLoad{Model: model, Set: "tip", FY: -100},
+	}
+	for _, c := range cmds {
+		if _, err := s.Do(ctx, c); err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+	}
+}
+
+// TestConcurrentSessionsThroughScheduler is the acceptance criterion:
+// at least 16 concurrent sessions submitting solves on shared and
+// distinct models through the scheduler, every result identical to the
+// synchronous path.  go test -race runs this under the race detector.
+func TestConcurrentSessionsThroughScheduler(t *testing.T) {
+	const sessions = 20 // half on one shared model name, half distinct
+	sys, err := fem2.New(fem2.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+
+	// Reference results from the synchronous path on an isolated system
+	// — one reference session suffices since models are deterministic
+	// functions of their generate parameters.
+	refSys, err := fem2.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSys.Close()
+	ref := refSys.Session("ref")
+	want := make([]string, sessions)
+	models := make([]string, sessions)
+	for i := range models {
+		if i%2 == 0 {
+			models[i] = "shared" // same model name in every even session
+		} else {
+			models[i] = fmt.Sprintf("plate-%d", i)
+		}
+	}
+	seen := map[string]bool{}
+	for i, m := range models {
+		if !seen[m] {
+			buildPlate(t, ref, m, 6, 4)
+			seen[m] = true
+		}
+		res, err := ref.Do(ctx, fem2.SolveCommand{Model: m, Set: "tip"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.String()
+	}
+
+	// The concurrent run: one goroutine per session, each building its
+	// own workspace copy of its model and submitting the solve through
+	// the shared scheduler.  Solves on "shared" serialize on the model
+	// lock; distinct plates run in parallel across the pool.
+	got := make([]string, sessions)
+	errc := make(chan error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := sys.Session(fmt.Sprintf("user-%d", i))
+			buildPlate(t, s, models[i], 6, 4)
+			id, err := s.SubmitAsync(ctx, fem2.SolveCommand{Model: models[i], Set: "tip"})
+			if err != nil {
+				errc <- fmt.Errorf("user-%d submit: %w", i, err)
+				return
+			}
+			res, err := sys.Jobs.Wait(ctx, id)
+			if err != nil {
+				errc <- fmt.Errorf("user-%d wait: %w", i, err)
+				return
+			}
+			got[i] = res.String()
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("session %d (%s): async %q != sync %q", i, models[i], got[i], want[i])
+		}
+	}
+
+	// The scheduler saw every job and all of them finished.
+	done := sys.Jobs.List(fem2.JobFilter{States: []fem2.JobState{fem2.JobDone}})
+	if len(done) != sessions {
+		t.Errorf("done jobs = %d, want %d", len(done), sessions)
+	}
+	if n := len(sys.Users()); n != sessions {
+		t.Errorf("Users = %d, want %d", n, sessions)
+	}
+}
+
+// TestCancelMidSolveThroughFacade: a job cancelled mid-solve surfaces
+// ErrCancelled through the facade and the shared database is untouched.
+func TestCancelMidSolveThroughFacade(t *testing.T) {
+	sys, err := fem2.New(fem2.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	s := sys.Session("eng")
+	buildPlate(t, s, "big", 40, 40)
+	if _, err := s.Do(ctx, fem2.StoreCommand{Model: "big"}); err != nil {
+		t.Fatal(err)
+	}
+	namesBefore := fmt.Sprint(sys.Database.Names())
+
+	id, err := s.SubmitAsync(ctx, fem2.SolveCommand{Model: "big", Set: "tip", Method: fem2.SolveJacobi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it leave the queue, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap, err := sys.Jobs.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State != fem2.JobQueued || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := sys.Jobs.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Jobs.Wait(ctx, id); !errors.Is(err, fem2.ErrCancelled) {
+		t.Fatalf("cancelled job error = %v, want ErrCancelled", err)
+	}
+	snap, err := sys.Jobs.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != fem2.JobCancelled {
+		t.Errorf("state = %v, want cancelled", snap.State)
+	}
+	if got := fmt.Sprint(sys.Database.Names()); got != namesBefore {
+		t.Errorf("database changed across cancel: %s -> %s", namesBefore, got)
+	}
+	if s.WS.Solution("big") != nil {
+		t.Error("cancelled solve left a workspace solution")
+	}
+}
+
+// TestJobSurfaceThroughREPL drives the whole job API through the
+// command language alone, the way a workstation user would.
+func TestJobSurfaceThroughREPL(t *testing.T) {
+	sys, err := fem2.New(fem2.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	s := sys.Session("eng")
+	for _, line := range []string{
+		"generate grid wing 8 4 8 4 clamp-left",
+		"load wing cruise endload 0 -500",
+	} {
+		if _, err := s.Execute(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	syncOut, err := s.Execute("solve wing cruise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Execute("submit solve wing cruise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "submitted job-1 (queued): solve wing cruise"; out != want {
+		t.Errorf("submit = %q, want %q", out, want)
+	}
+	waitOut, err := s.Execute("wait job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitOut != syncOut {
+		t.Errorf("wait %q != sync solve %q", waitOut, syncOut)
+	}
+	statusOut, err := s.Execute("status job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `job-1 done (owner "eng"): solve wing cruise`; len(statusOut) < len(want) || statusOut[:len(want)] != want {
+		t.Errorf("status = %q", statusOut)
+	}
+	// The typed state-name constants drive the jobs filter.
+	res, err := s.Do(context.Background(), fem2.JobsCommand{State: fem2.JobDoneName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr := res.(*fem2.JobsResult); len(jr.Rows) != 1 || jr.Rows[0].State != fem2.JobDoneName {
+		t.Errorf("typed jobs filter = %+v", res)
+	}
+	// An unknown job is a NotFound, not a crash.
+	if _, err := s.Execute("status job-99"); !errors.Is(err, fem2.ErrNotFound) {
+		t.Errorf("status of unknown job: %v", err)
+	}
+}

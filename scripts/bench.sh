@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
-# bench.sh — run the perf-trajectory benchmarks and write BENCH_assembly.json.
+# bench.sh — run the perf-trajectory benchmarks and write the
+# machine-readable benchmark history: BENCH_assembly.json (assembly +
+# solver kernels) and BENCH_jobs.json (job-service throughput at 1/4/16
+# parallel sessions).
 #
-# The JSON file is the machine-readable benchmark history for this repo:
-# one entry per benchmark with iterations, ns/op, B/op, and allocs/op.
-# Re-run after perf work and commit the result so successive PRs carry a
-# before/after trail.
+# Each JSON file holds one entry per benchmark with iterations, ns/op,
+# B/op, allocs/op, and any custom metrics (jobs/s).  Re-run after perf
+# work and commit the results so successive PRs carry a before/after
+# trail.
 #
-#   BENCH=<regex>     benchmarks to run   (default: the assembly + solver set)
-#   BENCHTIME=<n>x|s  per-benchmark time  (default: 50x)
-#   OUT=<path>        output JSON         (default: BENCH_assembly.json)
+#   BENCH=<regex>         assembly benchmarks   (default: the assembly + solver set)
+#   BENCHTIME=<n>x|s      per-benchmark time    (default: 50x)
+#   JOBS_BENCH=<regex>    job benchmarks        (default: ConcurrentSolves)
+#   JOBS_BENCHTIME=<n>x|s per-benchmark time    (default: 20x)
+#   OUT=<path>            assembly output JSON  (default: BENCH_assembly.json)
+#   JOBS_OUT=<path>       jobs output JSON      (default: BENCH_jobs.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-Assemble|SubstructureSolve|SolveBackends}"
 BENCHTIME="${BENCHTIME:-50x}"
+JOBS_BENCH="${JOBS_BENCH:-ConcurrentSolves}"
+JOBS_BENCHTIME="${JOBS_BENCHTIME:-20x}"
 OUT="${OUT:-BENCH_assembly.json}"
-
-raw=$(go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" .)
-echo "$raw"
+JOBS_OUT="${JOBS_OUT:-BENCH_jobs.json}"
 
 # Go appends a "-<GOMAXPROCS>" suffix to benchmark names only when
 # GOMAXPROCS != 1; strip exactly that suffix so names are comparable
@@ -25,35 +31,48 @@ echo "$raw"
 # machines).
 procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
 
-{
-  echo '{'
-  echo "  \"date\": \"$(date -u +%FT%TZ)\","
-  echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
-  echo "  \"go\": \"$(go env GOVERSION)\","
-  echo "  \"cpus\": $(nproc 2>/dev/null || echo 1),"
-  echo "  \"bench\": ["
-  echo "$raw" | awk -v procs="$procs" '
-    /^Benchmark/ {
-      name = $1
-      if (procs != 1) sub("-" procs "$", "", name)
-      ns = ""; bytes = ""; allocs = ""
-      for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op") ns = $i
-        if ($(i+1) == "B/op") bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
+# write_json <raw go-test -bench output> <out path>
+write_json() {
+  local raw="$1" out="$2"
+  {
+    echo '{'
+    echo "  \"date\": \"$(date -u +%FT%TZ)\","
+    echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"cpus\": $(nproc 2>/dev/null || echo 1),"
+    echo "  \"bench\": ["
+    echo "$raw" | awk -v procs="$procs" '
+      /^Benchmark/ {
+        name = $1
+        if (procs != 1) sub("-" procs "$", "", name)
+        ns = ""; bytes = ""; allocs = ""; jobs = ""
+        for (i = 3; i < NF; i++) {
+          if ($(i+1) == "ns/op") ns = $i
+          if ($(i+1) == "B/op") bytes = $i
+          if ($(i+1) == "allocs/op") allocs = $i
+          if ($(i+1) == "jobs/s") jobs = $i
+        }
+        line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+        if (ns != "")     line = line sprintf(", \"ns_per_op\": %s", ns)
+        if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+        if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+        if (jobs != "")   line = line sprintf(", \"jobs_per_sec\": %s", jobs)
+        line = line "}"
+        if (n++) printf(",\n")
+        printf("%s", line)
       }
-      line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
-      if (ns != "")     line = line sprintf(", \"ns_per_op\": %s", ns)
-      if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
-      if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
-      line = line "}"
-      if (n++) printf(",\n")
-      printf("%s", line)
-    }
-    END { printf("\n") }
-  '
-  echo '  ]'
-  echo '}'
-} > "$OUT"
+      END { printf("\n") }
+    '
+    echo '  ]'
+    echo '}'
+  } > "$out"
+  echo "wrote $out"
+}
 
-echo "wrote $OUT"
+raw=$(go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" .)
+echo "$raw"
+write_json "$raw" "$OUT"
+
+raw=$(go test -run '^$' -bench "$JOBS_BENCH" -benchtime "$JOBS_BENCHTIME" .)
+echo "$raw"
+write_json "$raw" "$JOBS_OUT"
