@@ -485,6 +485,75 @@ func BenchmarkSubstructureSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkDirectSolve measures the factor-once split of the direct
+// solvers on the plate-16 fixture: cold is the full cholesky-rcm
+// pipeline per solve (symbolic + factor + solve, what every solve paid
+// before the plan layer), warm is a repeat solve riding a retained
+// factor (band and envelope storage), and refactor is the
+// values-changed path — in-place numeric refactorisation plus solve.
+// Warm and refactor run with zero steady-state allocations; the
+// ProfileNNZ metrics show band vs envelope storage.
+func BenchmarkDirectSolve(b *testing.B) {
+	k, rhs := benchSystem(b, 16)
+	newPlan := func(b *testing.B, opts linalg.PlanOpts) *linalg.DirectPlan {
+		b.Helper()
+		plan, err := linalg.NewDirectPlan(k, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := plan.Refactor(k, nil); err != nil {
+			b.Fatal(err)
+		}
+		return plan
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := linalg.SolveCholeskyRCM(k, rhs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		plan := newPlan(b, linalg.PlanOpts{Ordering: linalg.OrderRCM})
+		out := linalg.NewVector(k.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.SolveInto(rhs, out, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(plan.ProfileNNZ()), "profile-nnz")
+	})
+	b.Run("warm-env", func(b *testing.B) {
+		plan := newPlan(b, linalg.PlanOpts{Ordering: linalg.OrderRCM, Storage: linalg.StorageEnvelope})
+		out := linalg.NewVector(k.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.SolveInto(rhs, out, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(plan.ProfileNNZ()), "profile-nnz")
+	})
+	b.Run("refactor", func(b *testing.B) {
+		plan := newPlan(b, linalg.PlanOpts{Ordering: linalg.OrderRCM})
+		out := linalg.NewVector(k.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plan.Refactor(k, nil); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.SolveInto(rhs, out, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkMessageCodec measures SPVM message encode+decode.
 func BenchmarkMessageCodec(b *testing.B) {
 	m := &spvm.Message{

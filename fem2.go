@@ -238,6 +238,7 @@ type SolveMethod = command.Method
 const (
 	SolveCholesky    = command.MethodCholesky
 	SolveCholeskyRCM = command.MethodCholeskyRCM
+	SolveCholeskyEnv = command.MethodCholeskyEnv
 	SolveCG          = command.MethodCG
 	SolveSOR         = command.MethodSOR
 	SolveJacobi      = command.MethodJacobi
@@ -498,6 +499,51 @@ func SolveAssembled(ctx context.Context, m *Model, asm *Assembled, ls *LoadSet, 
 // Stresses recovers element stresses from a solution.
 func Stresses(m *Model, sol *Solution) ([][]float64, error) { return fem.Stresses(m, sol) }
 
+// The factor-once direct-solve layer.  Direct solves through Solve,
+// the REPL's solve verb, and the job service all consult a per-model
+// FactorCache automatically: the first solve of a topology plans and
+// factors, later solves of the unchanged model cost one triangular
+// solve (Solution.Refactored / SolveResult.Refactored report which
+// happened), and a model whose values changed is re-factored in place
+// with no allocation.  The cache never trades correctness for reuse —
+// a hit requires the assembled values to match the factored ones bit
+// for bit, and cached solutions are bit-identical to cold solves.
+
+// Factorization is a reusable direct factorisation: solve any number of
+// right-hand sides, re-factor in place when values change.
+type Factorization = linalg.Factorization
+
+// DirectPlan is the symbolic state of a direct solve — ordering,
+// band/envelope profile, preallocated storage — computed once per
+// sparsity pattern and reused across factorisations.
+type DirectPlan = linalg.DirectPlan
+
+// PlanOpts selects a DirectPlan's ordering (natural or RCM) and factor
+// storage (uniform band or skyline envelope).
+type PlanOpts = linalg.PlanOpts
+
+// The DirectPlan ordering and storage selections.
+const (
+	OrderNatural    = linalg.OrderNatural
+	OrderRCM        = linalg.OrderRCM
+	StorageBand     = linalg.StorageBand
+	StorageEnvelope = linalg.StorageEnvelope
+)
+
+// NewDirectPlan runs the symbolic phase of a direct solve over a
+// matrix's sparsity pattern; Refactor and SolveInto are the numeric
+// phase.
+func NewDirectPlan(a *linalg.CSR, opts PlanOpts) (*DirectPlan, error) {
+	return linalg.NewDirectPlan(a, opts)
+}
+
+// FactorCache retains one DirectPlan per direct backend.  Models carry
+// one (Model.Factors), the job scheduler keeps one per model name
+// (JobScheduler.FactorCache), and Solve consults them automatically —
+// reach for the type directly only to share factors across hand-built
+// systems.
+type FactorCache = linalg.FactorCache
+
 // The solver backend registry names, usable as SolveOpts.Backend, as a
 // SolveCommand.Method, and in the REPL's `solve ... method <name>`.
 const (
@@ -505,6 +551,9 @@ const (
 	BackendCholesky = linalg.BackendCholesky
 	// BackendCholeskyRCM is banded Cholesky after RCM renumbering.
 	BackendCholeskyRCM = linalg.BackendCholeskyRCM
+	// BackendCholeskyEnv is envelope (skyline) Cholesky after RCM: each
+	// row pays its own profile instead of the worst row's bandwidth.
+	BackendCholeskyEnv = linalg.BackendCholeskyEnv
 	// BackendCG is (optionally preconditioned) conjugate gradients.
 	BackendCG = linalg.BackendCG
 	// BackendJacobi is Jacobi iteration.

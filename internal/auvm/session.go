@@ -12,6 +12,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/fem"
 	"repro/internal/job"
+	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/navm"
 )
@@ -494,6 +495,16 @@ func (s *Session) doSolve(ctx context.Context, c command.Solve) (command.Result,
 		return nil, fmt.Errorf("auvm: no load set %q on model %q: %w",
 			c.Set, c.Model, errs.ErrNotFound)
 	}
+	// Cacheable direct solves ride the system's per-model-name factor
+	// cache when a front end is attached, so a REPL user's repeated
+	// solves, and jobs from any session on the same model, share one
+	// factorisation.  A job context already carries the scheduler's
+	// cache; the synchronous path attaches the same one here.
+	if s.Jobs != nil && job.CacheableSolve(c) {
+		if _, ok := linalg.FactorCacheFromContext(ctx); !ok {
+			ctx = linalg.NewFactorCacheContext(ctx, s.Jobs.FactorCache(c.Model))
+		}
+	}
 	// One context-aware solve path: the command maps onto SolveOpts and
 	// fem.Solve routes to sequential, distributed, or substructured
 	// execution through the solver registry.
@@ -512,7 +523,7 @@ func (s *Session) doSolve(ctx context.Context, c command.Solve) (command.Result,
 		Backend: sol.Backend, Precond: sol.Precond,
 		Substructures: c.Substructures,
 		Iterations:    sol.Iterations, Residual: sol.Residual,
-		Flops: sol.Stats.Flops,
+		Flops: sol.Stats.Flops, Refactored: sol.Refactored,
 	}
 	// Par is set exactly when the distributed path ran (a substructured
 	// request outranks parallel, so echo the worker count only then).

@@ -45,6 +45,7 @@ type Method string
 const (
 	MethodCholesky    Method = "cholesky"
 	MethodCholeskyRCM Method = "cholesky-rcm"
+	MethodCholeskyEnv Method = "cholesky-env"
 	MethodCG          Method = "cg"
 	MethodSOR         Method = "sor"
 	MethodJacobi      Method = "jacobi"

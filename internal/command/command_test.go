@@ -40,6 +40,7 @@ func TestParseEveryVerb(t *testing.T) {
 		{"solve m ls method sor", Solve{Model: "m", Set: "ls", Method: MethodSOR}},
 		{"solve m ls method jacobi", Solve{Model: "m", Set: "ls", Method: MethodJacobi}},
 		{"solve m ls method cholesky-rcm", Solve{Model: "m", Set: "ls", Method: MethodCholeskyRCM}},
+		{"solve m ls method cholesky-env", Solve{Model: "m", Set: "ls", Method: MethodCholeskyEnv}},
 		{"solve m ls method cg precond jacobi", Solve{Model: "m", Set: "ls", Method: MethodCG, Precond: PrecondJacobi}},
 		{"solve m ls method cg precond ssor parallel 8",
 			Solve{Model: "m", Set: "ls", Method: MethodCG, Precond: PrecondSSOR, Parallel: 8}},
@@ -171,6 +172,7 @@ func TestRoundTrip(t *testing.T) {
 		Solve{Model: "m", Set: "ls"},
 		Solve{Model: "m", Set: "ls", Method: MethodCG},
 		Solve{Model: "m", Set: "ls", Method: MethodCholeskyRCM},
+		Solve{Model: "m", Set: "ls", Method: MethodCholeskyEnv},
 		Solve{Model: "m", Set: "ls", Method: MethodCG, Precond: PrecondJacobi},
 		Solve{Model: "m", Set: "ls", Method: MethodCG, Precond: PrecondSSOR, Parallel: 2},
 		Solve{Model: "m", Set: "ls", Parallel: 8},

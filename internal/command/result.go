@@ -29,7 +29,7 @@ const HelpText = `FEM-2 workstation commands:
   loadset <model> <name>
   load <model> <set> <dof> <value>
   load <model> <set> endload <fx> <fy>   (grid models)
-  solve <model> <set> [method cholesky|cholesky-rcm|cg|sor|jacobi] [precond jacobi|ssor] [parallel <p>] [substructures <k>]
+  solve <model> <set> [method cholesky|cholesky-rcm|cholesky-env|cg|sor|jacobi] [precond jacobi|ssor] [parallel <p>] [substructures <k>]
   stresses <model>
   display model|displacements|stresses <model>
   store <model> | retrieve <name> | delete <name>
@@ -139,6 +139,11 @@ type SolveResult struct {
 	// Flops counts the solve's floating point work (assembly plus
 	// solver) — the per-job attribution the job service reports.
 	Flops int64
+	// Refactored reports whether a direct solve computed a fresh
+	// factorisation; false when the per-model factor cache served a warm
+	// factor, so the solve cost one triangular solve.  Iterative,
+	// parallel, and substructured solves always report true.
+	Refactored bool
 	// MaxDisp is the largest displacement magnitude, at dof MaxDOF.
 	MaxDisp float64
 	MaxDOF  int

@@ -380,3 +380,30 @@ func TestE15RCMFixesShuffledMesh(t *testing.T) {
 		}
 	}
 }
+
+// TestE16ColdWarmSplit checks the factor-once column: every direct
+// backend's warm repeat solve is far cheaper than its cold solve
+// (factor + solve), while iterative backends repeat at full cost.
+func TestE16ColdWarmSplit(t *testing.T) {
+	tab, err := E16SequentialBackends(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := map[string]bool{"cholesky": true, "cholesky-rcm": true, "cholesky-env": true}
+	seen := 0
+	for i, row := range tab.Rows {
+		cold := cell(t, tab, i, 2)
+		warm := cell(t, tab, i, 3)
+		if direct[row[0]] {
+			seen++
+			if warm >= cold/2 {
+				t.Errorf("%s: warm %g Mflops not well below cold %g", row[0], warm, cold)
+			}
+		} else if warm != cold {
+			t.Errorf("%s: warm %g differs from cold %g for an iterative backend", row[0], warm, cold)
+		}
+	}
+	if seen != len(direct) {
+		t.Errorf("found %d direct rows, want %d", seen, len(direct))
+	}
+}

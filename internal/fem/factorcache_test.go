@@ -1,0 +1,193 @@
+package fem
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// cachePlate builds the small plate fixture the cache tests solve.
+func cachePlate(t *testing.T) (*Model, *LoadSet) {
+	t.Helper()
+	o := RectGridOpts{NX: 6, NY: 4, W: 6, H: 4, Mat: Steel(), ClampLeft: true}
+	m, err := RectGrid("plate", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, EndLoad("tip", o, 0, -500)
+}
+
+// TestSolveFactorCacheWarmReuse pins the tentpole contract for every
+// direct backend: the second solve of an unchanged model rides the
+// cached factor (Refactored false, no second factorisation, fewer
+// flops) and its solution is bit-identical to the cold solve.
+func TestSolveFactorCacheWarmReuse(t *testing.T) {
+	for _, backend := range []string{"", linalg.BackendCholesky, linalg.BackendCholeskyRCM, linalg.BackendCholeskyEnv} {
+		t.Run("backend="+backend, func(t *testing.T) {
+			m, ls := cachePlate(t)
+			ctx := context.Background()
+			cold, err := Solve(ctx, m, ls, SolveOpts{Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cold.Refactored {
+				t.Error("cold solve did not report Refactored")
+			}
+			if g := m.Factors().Generation(); g != 1 {
+				t.Errorf("generation after cold solve = %d, want 1", g)
+			}
+			warm, err := Solve(ctx, m, ls, SolveOpts{Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Refactored {
+				t.Error("warm solve refactored despite unchanged model")
+			}
+			if g := m.Factors().Generation(); g != 1 {
+				t.Errorf("generation after warm solve = %d, want 1", g)
+			}
+			if warm.Stats.Flops >= cold.Stats.Flops {
+				t.Errorf("warm flops %d not below cold %d", warm.Stats.Flops, cold.Stats.Flops)
+			}
+			for i := range cold.U {
+				if warm.U[i] != cold.U[i] {
+					t.Fatalf("warm solution differs at dof %d", i)
+				}
+			}
+			// And against a model that never had a cache: bit-identical.
+			fresh, lsFresh := cachePlate(t)
+			ref, err := Solve(ctx, fresh, lsFresh, SolveOpts{Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref.U {
+				if warm.U[i] != ref.U[i] {
+					t.Fatalf("cached solution differs from fresh-model solve at dof %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSolveFactorCacheInvalidation covers the satellite: reassembling
+// after an element property change must refactor (generation bump) and
+// produce exactly the fresh-model answer — even though the mutation
+// went through an exported field the model could not observe.
+func TestSolveFactorCacheInvalidation(t *testing.T) {
+	m, ls := cachePlate(t)
+	ctx := context.Background()
+	if _, err := Solve(ctx, m, ls, SolveOpts{Backend: linalg.BackendCholeskyRCM}); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Factors().Generation(); g != 1 {
+		t.Fatalf("generation after first solve = %d, want 1", g)
+	}
+	// Soften one element behind the model's back.
+	cst, ok := m.Elements[3].(*CST)
+	if !ok {
+		t.Fatalf("element 3 is %T, want *CST", m.Elements[3])
+	}
+	cst.Mat.E /= 2
+	changed, err := Solve(ctx, m, ls, SolveOpts{Backend: linalg.BackendCholeskyRCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed.Refactored {
+		t.Error("solve after property change did not refactor")
+	}
+	if g := m.Factors().Generation(); g != 2 {
+		t.Errorf("generation after property change = %d, want 2", g)
+	}
+	// The refactored answer equals a never-cached solve of the changed
+	// model bit for bit.
+	fresh, lsFresh := cachePlate(t)
+	fresh.Elements[3].(*CST).Mat.E /= 2
+	ref, err := Solve(ctx, fresh, lsFresh, SolveOpts{Backend: linalg.BackendCholeskyRCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.U {
+		if changed.U[i] != ref.U[i] {
+			t.Fatalf("refactored solution differs from fresh solve at dof %d", i)
+		}
+	}
+	// Topology change: the plan is rebuilt, not refactored in place.
+	// The new node hangs off two existing grid nodes so the system stays
+	// positive definite.
+	nn := m.AddNode(7, 0)
+	for _, other := range []int{len(m.Nodes) - 2, len(m.Nodes) - 3} {
+		if err := m.AddElement(&Bar{N1: nn, N2: other, Mat: Steel()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown, err := Solve(ctx, m, ls, SolveOpts{Backend: linalg.BackendCholeskyRCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grown.Refactored {
+		t.Error("solve after topology change did not refactor")
+	}
+	if len(grown.U) != m.NumDOF() {
+		t.Errorf("solution length %d, want %d", len(grown.U), m.NumDOF())
+	}
+	// Touch releases the cache; the next solve factors again.
+	m.Touch()
+	after, err := Solve(ctx, m, ls, SolveOpts{Backend: linalg.BackendCholeskyRCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Refactored {
+		t.Error("solve after Touch did not refactor")
+	}
+}
+
+// TestSolveContextCarriedCache checks a context-carried cache outranks
+// the model's own — the channel the job scheduler shares one cache per
+// model name across sessions.
+func TestSolveContextCarriedCache(t *testing.T) {
+	m, ls := cachePlate(t)
+	shared := &linalg.FactorCache{}
+	ctx := linalg.NewFactorCacheContext(context.Background(), shared)
+	if _, err := Solve(ctx, m, ls, SolveOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if g := shared.Generation(); g != 1 {
+		t.Errorf("shared cache generation = %d, want 1", g)
+	}
+	if g := m.Factors().Generation(); g != 0 {
+		t.Errorf("model cache generation = %d, want 0 (context cache should have served)", g)
+	}
+	// A second model with identical assembly shares the factor through
+	// the same context cache.
+	m2, ls2 := cachePlate(t)
+	sol, err := Solve(ctx, m2, ls2, SolveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Refactored {
+		t.Error("identical model through shared cache refactored")
+	}
+	if g := shared.Generation(); g != 1 {
+		t.Errorf("shared cache generation after second model = %d, want 1", g)
+	}
+}
+
+// TestSolveCachedPathOptionGuards pins the cached path's error
+// behaviour to the registry backends': preconditioners are rejected,
+// unknown backends are usage errors, cancellation is honoured.
+func TestSolveCachedPathOptionGuards(t *testing.T) {
+	m, ls := cachePlate(t)
+	ctx := context.Background()
+	if _, err := Solve(ctx, m, ls, SolveOpts{Backend: linalg.BackendCholesky, Precond: "jacobi"}); err == nil {
+		t.Error("direct solve accepted a preconditioner")
+	}
+	if _, err := Solve(ctx, m, ls, SolveOpts{Backend: "no-such"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := Solve(cancelled, m, ls, SolveOpts{}); err == nil {
+		t.Error("cancelled direct solve succeeded")
+	}
+}

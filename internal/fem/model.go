@@ -80,6 +80,9 @@ type Model struct {
 	Elements []Element
 
 	fixed map[int]bool
+	// factors caches direct-solve factorisations of this model's
+	// assembled system; see Factors.
+	factors linalg.FactorCache
 }
 
 // NewModel returns an empty model.
@@ -103,6 +106,21 @@ func (m *Model) AddElement(e Element) error {
 	m.Elements = append(m.Elements, e)
 	return nil
 }
+
+// Factors returns the model's direct-solve factor cache: one retained
+// DirectPlan per direct backend, so repeated solves of an unchanged
+// model reuse the factorisation (Solve consults it automatically).  A
+// cache hit requires the freshly assembled values to equal the factored
+// ones bit for bit, so mutating the model — through its methods or its
+// exported fields — always triggers an in-place refactor on the next
+// solve rather than a stale answer.  Safe for concurrent use.
+func (m *Model) Factors() *linalg.FactorCache { return &m.factors }
+
+// Touch drops the model's cached factorisations outright, forcing the
+// next direct solve to replan.  Mutations are detected by value
+// comparison anyway, so Touch is only needed to release the cache's
+// memory early.
+func (m *Model) Touch() { m.factors.Invalidate() }
 
 // NumDOF returns the total degree-of-freedom count.
 func (m *Model) NumDOF() int { return DOFPerNode * len(m.Nodes) }

@@ -79,6 +79,12 @@ type Solution struct {
 	Residual float64
 	// Stats accumulates assembly and solver flops.
 	Stats linalg.Stats
+	// Refactored reports whether a direct solve computed a fresh
+	// factorisation; false when the model's factor cache served a warm
+	// factor, in which case the solve cost one triangular solve and
+	// Stats carries no factorisation flops.  Iterative and substructured
+	// paths never factor a cached plan and always report true.
+	Refactored bool
 	// Par carries the simulated-machine statistics of a distributed
 	// solve; nil for sequential and substructured paths.
 	Par *navm.SolveStats
@@ -133,13 +139,24 @@ func SolveAssembled(ctx context.Context, m *Model, asm *Assembled, ls *LoadSet, 
 		return nil, err
 	}
 	if opts.Parallel > 0 {
-		return solveParallel(ctx, asm, b, opts)
+		sol, err := solveParallel(ctx, asm, b, opts)
+		if err != nil {
+			return nil, err
+		}
+		sol.Refactored = true
+		return sol, nil
+	}
+	// Direct backends route through the model's factor cache (or a
+	// context-carried one — the job scheduler's per-model cache), so the
+	// production pattern of many solves on one model factors once.
+	if _, direct := linalg.PlanOptsFor(opts.backendName()); direct {
+		return solveDirectCached(ctx, m, asm, b, opts)
 	}
 	solver, err := linalg.Backend(opts.Backend)
 	if err != nil {
 		return nil, err
 	}
-	sol := &Solution{}
+	sol := &Solution{Refactored: true}
 	sol.Stats.Merge(asm.Stats)
 	x, info, err := solver.Solve(ctx, asm.K, b, opts.iterOpts())
 	sol.Backend = info.Backend
@@ -151,6 +168,43 @@ func SolveAssembled(ctx context.Context, m *Model, asm *Assembled, ls *LoadSet, 
 	if err != nil {
 		return nil, err
 	}
+	sol.U = asm.Expand(x)
+	return sol, nil
+}
+
+// solveDirectCached is the sequential direct path: solve through a
+// cached DirectPlan, factoring only when the assembled values changed
+// since the factor was computed.  The cache is the context-carried one
+// when present (the job scheduler threads its per-model cache through
+// the job context so queued solves on one model share a factorisation,
+// whichever session submitted them), the model's own otherwise.  A warm
+// result is bit-identical to the cold solve the registry backend would
+// have produced.
+func solveDirectCached(ctx context.Context, m *Model, asm *Assembled, b linalg.Vector, opts SolveOpts) (*Solution, error) {
+	name := opts.backendName()
+	if err := linalg.RejectDirectPrecond(name, opts.Precond); err != nil {
+		return nil, err
+	}
+	if err := linalg.CheckCancel(ctx, 1); err != nil {
+		return nil, err
+	}
+	fc, ok := linalg.FactorCacheFromContext(ctx)
+	if !ok {
+		fc = m.Factors()
+	}
+	sol := &Solution{}
+	sol.Stats.Merge(asm.Stats)
+	st := &linalg.Stats{}
+	x, refactored, err := fc.SolveCached(name, asm.K, b, st)
+	if err != nil {
+		return nil, err
+	}
+	info := linalg.DirectSolveInfo(name, asm.K, x, b, st)
+	info.Refactored = refactored
+	sol.Backend = info.Backend
+	sol.Residual = info.Residual
+	sol.Stats.Flops += info.Flops
+	sol.Refactored = info.Refactored
 	sol.U = asm.Expand(x)
 	return sol, nil
 }

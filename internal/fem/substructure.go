@@ -395,5 +395,6 @@ func SolveSubstructuredWorkers(ctx context.Context, m *Model, s *Substructured, 
 			u[d] = ui[i]
 		}
 	}
-	return &Solution{U: u}, nil
+	// Condensation factors every interior block afresh each call.
+	return &Solution{U: u, Refactored: true}, nil
 }

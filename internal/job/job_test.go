@@ -558,3 +558,27 @@ func TestRetentionEvictsOldTerminalJobs(t *testing.T) {
 		t.Errorf("oldest job retained: %v", err)
 	}
 }
+
+// TestCacheableSolve pins which commands get a per-model factor cache
+// attached: only sequential direct-backend solves without a
+// preconditioner — everything else would just crowd the bounded cache
+// map with entries it never reads.
+func TestCacheableSolve(t *testing.T) {
+	for _, tc := range []struct {
+		cmd  command.Command
+		want bool
+	}{
+		{command.Solve{Model: "m", Set: "s"}, true},
+		{command.Solve{Model: "m", Set: "s", Method: command.MethodCholeskyRCM}, true},
+		{command.Solve{Model: "m", Set: "s", Method: command.MethodCholeskyEnv}, true},
+		{command.Solve{Model: "m", Set: "s", Method: command.MethodCG}, false},
+		{command.Solve{Model: "m", Set: "s", Parallel: 4}, false},
+		{command.Solve{Model: "m", Set: "s", Substructures: 4}, false},
+		{command.Solve{Model: "m", Set: "s", Precond: command.PrecondJacobi}, false},
+		{command.Display{What: command.DisplayModel, Model: "m"}, false},
+	} {
+		if got := CacheableSolve(tc.cmd); got != tc.want {
+			t.Errorf("CacheableSolve(%v) = %v, want %v", tc.cmd, got, tc.want)
+		}
+	}
+}

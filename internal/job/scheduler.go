@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/command"
 	"repro/internal/errs"
+	"repro/internal/linalg"
 	"repro/internal/metrics"
 )
 
@@ -70,8 +71,20 @@ type Scheduler struct {
 	// busy holds the model names currently locked by a running job; a
 	// queued job whose key is busy is skipped until the key frees.
 	busy map[string]bool
-	wg   sync.WaitGroup
+	// caches carries one direct-solve factor cache per model name —
+	// the companion of the per-model lock: the lock serializes solves on
+	// one model, the cache makes every solve after the first warm,
+	// whichever session submitted it.  cacheOrder remembers creation
+	// order for eviction past maxModelCaches.
+	caches     map[string]*linalg.FactorCache
+	cacheOrder []string
+	wg         sync.WaitGroup
 }
+
+// maxModelCaches bounds the per-model factor caches a scheduler keeps;
+// past it, the oldest cache whose model is not busy is dropped (a
+// dropped cache only costs the next solve a refactor).
+const maxModelCaches = 64
 
 // DefaultRetainedJobs bounds the job history a scheduler keeps by
 // default — enough for any interactive or test workload while keeping a
@@ -302,13 +315,66 @@ func (s *Scheduler) runInline(j *job) {
 	s.mu.Unlock()
 }
 
+// FactorCache returns the scheduler's shared direct-solve factor cache
+// for one model name, creating it on first use.  Every heavy job on
+// that model runs under a context carrying this cache, so N queued
+// solves on one model factor once and the rest ride the warm factor —
+// across sessions, since the key is the model name, not the workspace
+// copy.
+func (s *Scheduler) FactorCache(model string) *linalg.FactorCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.caches == nil {
+		s.caches = map[string]*linalg.FactorCache{}
+	}
+	fc, ok := s.caches[model]
+	if !ok {
+		if len(s.caches) >= maxModelCaches {
+			for i, name := range s.cacheOrder {
+				if !s.busy[name] {
+					delete(s.caches, name)
+					s.cacheOrder = append(s.cacheOrder[:i], s.cacheOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		fc = &linalg.FactorCache{}
+		s.caches[model] = fc
+		s.cacheOrder = append(s.cacheOrder, model)
+	}
+	return fc
+}
+
+// CacheableSolve reports whether cmd is a solve the per-model factor
+// cache can serve: a sequential direct-backend solve with no
+// preconditioner.  Iterative, parallel, and substructured solves have
+// no factor to retain, so attaching a cache for them would only create
+// empty entries that crowd warm ones out of the bounded cache map.
+func CacheableSolve(cmd command.Command) bool {
+	sc, ok := command.Value(cmd).(command.Solve)
+	if !ok || sc.Parallel > 0 || sc.Substructures > 0 {
+		return false
+	}
+	if sc.Precond != "" && sc.Precond != "none" {
+		return false
+	}
+	_, direct := linalg.PlanOptsFor(string(sc.Method))
+	return direct
+}
+
 // execute runs the job's command and stores its terminal state.  The
 // executor sees a context carrying a per-job Tee collector, so AUVM
 // operation counts land on the job and on the shared system collector
 // alike; solver flops and machine cycles come back on the typed result.
+// Cacheable direct solves additionally carry the model's shared factor
+// cache.
 func (s *Scheduler) execute(j *job) {
 	mc := metrics.Tee(s.shared)
-	res, err := j.ex.Do(metrics.NewContext(j.ctx, mc), j.cmd)
+	ctx := metrics.NewContext(j.ctx, mc)
+	if j.model != "" && CacheableSolve(j.cmd) {
+		ctx = linalg.NewFactorCacheContext(ctx, s.FactorCache(j.model))
+	}
+	res, err := j.ex.Do(ctx, j.cmd)
 	j.cancel()
 
 	state := Done

@@ -128,6 +128,17 @@ func (b *Banded) ToDense() *Dense {
 // definite.  Flop counts are recorded in st.
 func (b *Banded) CholeskyFactor(st *Stats) (*Banded, error) {
 	l := b.Clone()
+	if err := l.CholeskyFactorInPlace(st); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CholeskyFactorInPlace overwrites the receiver with its Cholesky
+// factor — the allocation-free form DirectPlan refactors through; the
+// arithmetic is identical to CholeskyFactor.
+func (b *Banded) CholeskyFactorInPlace(st *Stats) error {
+	l := b
 	w := l.Bandwidth
 	var flops int64
 	for j := 0; j < l.N; j++ {
@@ -143,7 +154,7 @@ func (b *Banded) CholeskyFactor(st *Stats) (*Banded, error) {
 			flops += 2
 		}
 		if s <= 0 {
-			return nil, fmt.Errorf("linalg: matrix not positive definite at row %d (pivot %g)", j, s)
+			return fmt.Errorf("linalg: matrix not positive definite at row %d (pivot %g)", j, s)
 		}
 		d := math.Sqrt(s)
 		flops++
@@ -171,7 +182,7 @@ func (b *Banded) CholeskyFactor(st *Stats) (*Banded, error) {
 		}
 	}
 	st.addFlops(flops)
-	return l, nil
+	return nil
 }
 
 // CholeskySolve solves B*x = rhs given the factor L from CholeskyFactor,

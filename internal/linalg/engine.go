@@ -35,6 +35,11 @@ type Info struct {
 	// Direct reports whether the backend factorises rather than
 	// iterates.
 	Direct bool
+	// Refactored reports whether a direct solve computed a fresh
+	// factorisation (always true for the stateless registry backends);
+	// false when a factor cache served the solve from a warm factor.
+	// Meaningless for iterative backends.
+	Refactored bool
 }
 
 // Solver is one solution engine for symmetric positive definite sparse
@@ -57,6 +62,10 @@ const (
 	// BackendCholeskyRCM is banded Cholesky after reverse Cuthill–McKee
 	// bandwidth reduction — the full 1980s direct-solve pipeline.
 	BackendCholeskyRCM = "cholesky-rcm"
+	// BackendCholeskyEnv is envelope (skyline) Cholesky after RCM: each
+	// row pays for its own profile instead of the worst row's bandwidth,
+	// so irregular meshes stop subsidising their widest row.
+	BackendCholeskyEnv = "cholesky-env"
 	// BackendCG is (optionally preconditioned) conjugate gradients.
 	BackendCG = "cg"
 	// BackendJacobi is Jacobi iteration.
@@ -123,8 +132,9 @@ func HasBackend(name string) bool {
 }
 
 func init() {
-	RegisterSolver(choleskySolver{rcm: false})
-	RegisterSolver(choleskySolver{rcm: true})
+	RegisterSolver(choleskySolver{name: BackendCholesky})
+	RegisterSolver(choleskySolver{name: BackendCholeskyRCM, opts: PlanOpts{Ordering: OrderRCM}})
+	RegisterSolver(choleskySolver{name: BackendCholeskyEnv, opts: PlanOpts{Ordering: OrderRCM, Storage: StorageEnvelope}})
 	RegisterSolver(cgSolver{})
 	RegisterSolver(jacobiSolver{})
 	RegisterSolver(sorSolver{})
@@ -136,22 +146,29 @@ func init() {
 // returned solution, and concurrent solves each draw their own workspace.
 var iterWorkPool = sync.Pool{New: func() any { return new(IterWork) }}
 
-// rejectPrecond is the direct backends' guard: a preconditioner only
-// means something to an iterative method.
-func rejectPrecond(backend string, opts IterOpts) error {
-	if opts.Precond != "" && opts.Precond != "none" {
+// RejectDirectPrecond is the direct solvers' guard: a preconditioner
+// only means something to an iterative method.  The fem layer's cached
+// direct path shares it so both routes reject with one message.
+func RejectDirectPrecond(backend, precond string) error {
+	if precond != "" && precond != "none" {
 		return errs.Usage("backend %q is direct and takes no preconditioner (%q requested)",
-			backend, opts.Precond)
+			backend, precond)
 	}
 	return nil
 }
 
-// directInfo measures the residual of a direct solve and assembles its
-// Info.  The verification SpMV is measured with a throwaway Stats so
-// Info.Flops reports the factorisation work alone — keeping the
+// rejectPrecond adapts RejectDirectPrecond to IterOpts.
+func rejectPrecond(backend string, opts IterOpts) error {
+	return RejectDirectPrecond(backend, opts.Precond)
+}
+
+// DirectSolveInfo measures the residual of a direct solve and assembles
+// its Info.  The verification SpMV is measured with a throwaway Stats
+// so Info.Flops reports the factorisation work alone — keeping the
 // experiment tables' direct-solve cost figures comparable with the
-// pre-registry measurements.
-func directInfo(backend string, a *CSR, x, b Vector, st *Stats) Info {
+// pre-registry measurements.  The fem layer's cached path builds its
+// Info through the same helper so cold and warm solves report alike.
+func DirectSolveInfo(backend string, a *CSR, x, b Vector, st *Stats) Info {
 	verify := &Stats{}
 	resid := Residual(a, x, b, verify)
 	if bnorm := Norm2(b, verify); bnorm > 0 {
@@ -160,41 +177,42 @@ func directInfo(backend string, a *CSR, x, b Vector, st *Stats) Info {
 	return Info{Backend: backend, Residual: resid, Flops: st.Flops, Direct: true}
 }
 
-// choleskySolver is the banded direct backend, with or without RCM
-// renumbering.
+// choleskySolver is the direct backend family: banded or envelope
+// storage, natural or RCM ordering, selected by its PlanOpts.  Each
+// Solve is a one-shot DirectPlan — the registry backends are stateless;
+// the factor caches above this layer are what make solves warm.
 type choleskySolver struct {
-	rcm bool
+	name string
+	opts PlanOpts
 }
 
 // Name returns the registry name.
-func (s choleskySolver) Name() string {
-	if s.rcm {
-		return BackendCholeskyRCM
-	}
-	return BackendCholesky
-}
+func (s choleskySolver) Name() string { return s.name }
 
 // Solve factorises and back-substitutes.  A direct solve is one
 // indivisible step, so ctx is honoured only before the factorisation.
 func (s choleskySolver) Solve(ctx context.Context, a *CSR, b Vector, opts IterOpts) (Vector, Info, error) {
-	if err := rejectPrecond(s.Name(), opts); err != nil {
-		return nil, Info{Backend: s.Name(), Direct: true}, err
+	if err := rejectPrecond(s.name, opts); err != nil {
+		return nil, Info{Backend: s.name, Direct: true}, err
 	}
 	if err := CheckCancel(ctx, 1); err != nil {
-		return nil, Info{Backend: s.Name(), Direct: true}, err
+		return nil, Info{Backend: s.name, Direct: true}, err
 	}
 	st := &Stats{}
-	var x Vector
-	var err error
-	if s.rcm {
-		x, err = SolveCholeskyRCM(a, b, st)
-	} else {
-		x, err = a.ToBanded().SolveCholesky(b, st)
-	}
+	plan, err := NewDirectPlan(a, s.opts)
 	if err != nil {
-		return nil, Info{Backend: s.Name(), Flops: st.Flops, Direct: true}, err
+		return nil, Info{Backend: s.name, Direct: true}, err
 	}
-	return x, directInfo(s.Name(), a, x, b, st), nil
+	if err := plan.Refactor(a, st); err != nil {
+		return nil, Info{Backend: s.name, Flops: st.Flops, Direct: true, Refactored: true}, err
+	}
+	x, err := plan.SolveInto(b, nil, st)
+	if err != nil {
+		return nil, Info{Backend: s.name, Flops: st.Flops, Direct: true, Refactored: true}, err
+	}
+	info := DirectSolveInfo(s.name, a, x, b, st)
+	info.Refactored = true
+	return x, info, nil
 }
 
 // IterDefaults fills the zero-value fields of opts for an iterative

@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Envelope is a symmetric positive-definite matrix in lower envelope
+// (skyline) storage: row i keeps the contiguous run of columns
+// first[i]..i, where first[i] is the row's first structural non-zero.
+// Uniform banded storage charges every row for the worst row's
+// bandwidth; the envelope charges each row for its own profile, which
+// is what makes the direct baseline competitive on irregular meshes
+// where a handful of wide rows would otherwise inflate the whole band.
+// Cholesky fill is confined to the envelope (a row's first non-zero
+// never moves left during factorisation), so the factor lives in the
+// same storage the matrix does.
+type Envelope struct {
+	N int
+	// first[i] is the first stored column of row i (first[i] <= i).
+	first []int
+	// ptr[i] is the offset of row i's run in env; the run is
+	// env[ptr[i] : ptr[i+1]], ordered by column, diagonal last.
+	ptr []int
+	env []float64
+}
+
+// NewEnvelope returns a zero matrix of order len(first) with the given
+// row profile.  first[i] must lie in [0, i].
+func NewEnvelope(first []int) *Envelope {
+	n := len(first)
+	e := &Envelope{N: n, first: append([]int(nil), first...), ptr: make([]int, n+1)}
+	for i, f := range e.first {
+		if f < 0 || f > i {
+			panic(fmt.Errorf("%w: envelope row %d starts at %d", ErrDimension, i, f))
+		}
+		e.ptr[i+1] = e.ptr[i] + (i - f + 1)
+	}
+	e.env = make([]float64, e.ptr[n])
+	return e
+}
+
+// NNZ returns the number of stored entries (the envelope profile size,
+// lower triangle including the diagonal).
+func (e *Envelope) NNZ() int { return len(e.env) }
+
+// First returns the first stored column of row i.
+func (e *Envelope) First(i int) int { return e.first[i] }
+
+// At returns element (i,j), exploiting symmetry; outside the envelope
+// it is 0.
+func (e *Envelope) At(i, j int) float64 {
+	if i < j {
+		i, j = j, i
+	}
+	if j < e.first[i] {
+		return 0
+	}
+	return e.env[e.ptr[i]+j-e.first[i]]
+}
+
+// Set assigns element (i,j) (and by symmetry (j,i)).  Setting outside
+// the envelope panics: the profile is fixed at construction.
+func (e *Envelope) Set(i, j int, v float64) {
+	if i < j {
+		i, j = j, i
+	}
+	if j < e.first[i] {
+		panic(fmt.Errorf("linalg: Envelope.Set(%d,%d) outside profile (row starts at %d)", i, j, e.first[i]))
+	}
+	e.env[e.ptr[i]+j-e.first[i]] = v
+}
+
+// Fill zeroes every stored entry, keeping the profile.
+func (e *Envelope) Fill(x float64) {
+	for i := range e.env {
+		e.env[i] = x
+	}
+}
+
+// CholeskyFactorInPlace overwrites the stored values with the Cholesky
+// factor L (the matrix equals L·Lᵀ).  It fails if the matrix is not
+// positive definite.  Flop counts are recorded in st.  The inner sums
+// run over exactly the columns both rows store, ascending; the terms
+// skipped relative to uniform banded Cholesky are products with exact
+// zeros, so the factor agrees with the banded factor bitwise (the
+// solves differ in summation order, so solutions agree to rounding).
+func (e *Envelope) CholeskyFactorInPlace(st *Stats) error {
+	var flops int64
+	for i := 0; i < e.N; i++ {
+		fi := e.first[i]
+		base := e.ptr[i]
+		for j := fi; j < i; j++ {
+			s := e.env[base+j-fi]
+			fj := e.first[j]
+			klo := fi
+			if fj > klo {
+				klo = fj
+			}
+			rj := e.ptr[j] - fj
+			ri := base - fi
+			for k := klo; k < j; k++ {
+				s -= e.env[ri+k] * e.env[rj+k]
+				flops += 2
+			}
+			e.env[base+j-fi] = s / e.env[e.ptr[j+1]-1]
+			flops++
+		}
+		// Diagonal pivot.
+		s := e.env[e.ptr[i+1]-1]
+		for k := base; k < e.ptr[i+1]-1; k++ {
+			v := e.env[k]
+			s -= v * v
+			flops += 2
+		}
+		if s <= 0 {
+			st.addFlops(flops)
+			return fmt.Errorf("linalg: matrix not positive definite at row %d (pivot %g)", i, s)
+		}
+		e.env[e.ptr[i+1]-1] = math.Sqrt(s)
+		flops++
+	}
+	st.addFlops(flops)
+	return nil
+}
+
+// CholeskySolveInto solves L·Lᵀ·x = rhs given the factor from
+// CholeskyFactorInPlace, writing into out (allocated when nil; may
+// alias rhs to solve in place).
+func (e *Envelope) CholeskySolveInto(rhs, out Vector, st *Stats) Vector {
+	if len(rhs) != e.N {
+		panic(fmt.Errorf("%w: Envelope.CholeskySolveInto order %d with rhs %d", ErrDimension, e.N, len(rhs)))
+	}
+	y := out
+	if y == nil {
+		y = NewVector(e.N)
+	}
+	if len(y) != e.N {
+		panic(fmt.Errorf("%w: Envelope.CholeskySolveInto order %d into %d", ErrDimension, e.N, len(y)))
+	}
+	if e.N > 0 && &y[0] != &rhs[0] {
+		copy(y, rhs)
+	}
+	var flops int64
+	// Forward: L·y = rhs, row-oriented.
+	for i := 0; i < e.N; i++ {
+		fi := e.first[i]
+		base := e.ptr[i] - fi
+		s := y[i]
+		for k := fi; k < i; k++ {
+			s -= e.env[base+k] * y[k]
+			flops += 2
+		}
+		y[i] = s / e.env[e.ptr[i+1]-1]
+		flops++
+	}
+	// Backward: Lᵀ·x = y, column-oriented over the row-stored factor.
+	for i := e.N - 1; i >= 0; i-- {
+		fi := e.first[i]
+		base := e.ptr[i] - fi
+		x := y[i] / e.env[e.ptr[i+1]-1]
+		flops++
+		y[i] = x
+		for k := fi; k < i; k++ {
+			y[k] -= e.env[base+k] * x
+			flops += 2
+		}
+	}
+	st.addFlops(flops)
+	return y
+}

@@ -2,7 +2,6 @@ package linalg
 
 import (
 	"fmt"
-	"sort"
 )
 
 // RCM computes the reverse Cuthill–McKee ordering of a structurally
@@ -12,12 +11,16 @@ import (
 // so a good numbering decides whether the direct baseline is viable.
 func RCM(a *CSR) []int {
 	n := a.N
+	// perm doubles as the BFS queue: a vertex is appended when
+	// discovered and processed when head reaches it, so the slice is the
+	// Cuthill–McKee order with no separate queue allocation.
 	perm := make([]int, 0, n)
 	visited := make([]bool, n)
 	deg := func(i int) int { return a.RowNNZ(i) }
+	var nbrs []int
 
 	// Process each connected component from a minimum-degree start.
-	for len(perm) < n {
+	for head := 0; len(perm) < n; {
 		start := -1
 		for i := 0; i < n; i++ {
 			if !visited[i] && (start == -1 || deg(i) < deg(start)) {
@@ -25,27 +28,32 @@ func RCM(a *CSR) []int {
 			}
 		}
 		// BFS in degree order (Cuthill–McKee).
-		queue := []int{start}
+		perm = append(perm, start)
 		visited[start] = true
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			perm = append(perm, v)
-			var nbrs []int
+		for ; head < len(perm); head++ {
+			v := perm[head]
+			nbrs = nbrs[:0]
 			for _, j := range a.RowColumns(v) {
 				if j != v && !visited[j] {
 					visited[j] = true
 					nbrs = append(nbrs, j)
 				}
 			}
-			sort.Slice(nbrs, func(x, y int) bool {
-				dx, dy := deg(nbrs[x]), deg(nbrs[y])
-				if dx != dy {
-					return dx < dy
+			// Insertion sort by (degree, index) — a strict total order,
+			// so the result is identical to any comparison sort, without
+			// sort.Slice's per-call allocations (neighbour lists are
+			// element-arity small).
+			for x := 1; x < len(nbrs); x++ {
+				for y := x; y > 0; y-- {
+					dy, dp := deg(nbrs[y]), deg(nbrs[y-1])
+					if dy < dp || (dy == dp && nbrs[y] < nbrs[y-1]) {
+						nbrs[y], nbrs[y-1] = nbrs[y-1], nbrs[y]
+						continue
+					}
+					break
 				}
-				return nbrs[x] < nbrs[y]
-			})
-			queue = append(queue, nbrs...)
+			}
+			perm = append(perm, nbrs...)
 		}
 	}
 	// Reverse (the "R" in RCM).
@@ -100,17 +108,19 @@ func UnpermuteVector(v Vector, perm []int) Vector {
 
 // SolveCholeskyRCM solves A*x = b by banded Cholesky after RCM
 // reordering, returning the solution in the original ordering — the full
-// 1980s production direct-solve pipeline.
+// 1980s production direct-solve pipeline.  It is a one-shot DirectPlan:
+// the permuted values scatter straight into banded storage through the
+// plan's index map instead of materialising a permuted CSR from
+// triplets, which is where the old pipeline's hundreds of allocations
+// per solve went.  Callers that solve one topology repeatedly should
+// retain the plan (NewDirectPlan) or go through a FactorCache instead.
 func SolveCholeskyRCM(a *CSR, b Vector, st *Stats) (Vector, error) {
-	perm := RCM(a)
-	pa, err := a.Permute(perm)
+	plan, err := NewDirectPlan(a, PlanOpts{Ordering: OrderRCM})
 	if err != nil {
 		return nil, err
 	}
-	pb := PermuteVector(b, perm)
-	px, err := pa.ToBanded().SolveCholesky(pb, st)
-	if err != nil {
+	if err := plan.Refactor(a, st); err != nil {
 		return nil, err
 	}
-	return UnpermuteVector(px, perm), nil
+	return plan.SolveInto(b, nil, st)
 }

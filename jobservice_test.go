@@ -228,3 +228,79 @@ func TestJobSurfaceThroughREPL(t *testing.T) {
 		t.Errorf("status of unknown job: %v", err)
 	}
 }
+
+// TestConcurrentJobsShareFactorization is the factor-once guarantee of
+// ISSUE 5: N jobs submitted concurrently against one model serialize on
+// the per-model lock and share the scheduler's per-model factor cache,
+// so exactly one of them factors and the rest ride the warm factor with
+// identical displays.  go test -race runs this under the race detector.
+func TestConcurrentJobsShareFactorization(t *testing.T) {
+	const jobs = 8
+	sys, err := fem2.New(fem2.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	s := sys.Session("eng")
+	buildPlate(t, s, "wing", 8, 6)
+	ctx := context.Background()
+
+	ids := make([]fem2.JobID, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i], errs[i] = s.SubmitAsync(ctx, fem2.SolveCommand{
+				Model: "wing", Set: "tip", Method: fem2.SolveCholeskyRCM,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	refactored := 0
+	var display string
+	for i, id := range ids {
+		res, err := sys.Jobs.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("job %v: %v", id, err)
+		}
+		sr, ok := res.(*fem2.SolveResult)
+		if !ok {
+			t.Fatalf("job %v result %T", id, res)
+		}
+		if sr.Refactored {
+			refactored++
+		}
+		if i == 0 {
+			display = sr.String()
+		} else if got := sr.String(); got != display {
+			t.Errorf("job %v display %q differs from %q", id, got, display)
+		}
+	}
+	if refactored != 1 {
+		t.Errorf("%d of %d jobs refactored, want exactly 1", refactored, jobs)
+	}
+	if g := sys.Jobs.FactorCache("wing").Generation(); g != 1 {
+		t.Errorf("scheduler cache generation = %d, want 1", g)
+	}
+
+	// The synchronous solve verb shares the same per-model-name cache:
+	// it rides the factor the jobs computed.
+	res, err := s.Do(ctx, fem2.SolveCommand{Model: "wing", Set: "tip", Method: fem2.SolveCholeskyRCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr := res.(*fem2.SolveResult); sr.Refactored {
+		t.Error("synchronous solve after warm jobs refactored")
+	}
+	if got := res.String(); got != display {
+		t.Errorf("synchronous display %q differs from job display %q", got, display)
+	}
+}

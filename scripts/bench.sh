@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-trajectory benchmarks and write the
 # machine-readable benchmark history: BENCH_assembly.json (assembly +
-# solver kernels) and BENCH_jobs.json (job-service throughput at 1/4/16
-# parallel sessions).
+# solver kernels), BENCH_jobs.json (job-service throughput at 1/4/16
+# parallel sessions), and BENCH_direct.json (cold/warm/refactor direct
+# solves through the factor-once plan layer).
 #
 # Each JSON file holds one entry per benchmark with iterations, ns/op,
-# B/op, allocs/op, and any custom metrics (jobs/s).  Re-run after perf
-# work and commit the results so successive PRs carry a before/after
-# trail.
+# B/op, allocs/op, and any custom metrics (jobs/s, profile-nnz).
+# Re-run after perf work and commit the results so successive PRs carry
+# a before/after trail.
 #
-#   BENCH=<regex>         assembly benchmarks   (default: the assembly + solver set)
-#   BENCHTIME=<n>x|s      per-benchmark time    (default: 50x)
-#   JOBS_BENCH=<regex>    job benchmarks        (default: ConcurrentSolves)
-#   JOBS_BENCHTIME=<n>x|s per-benchmark time    (default: 20x)
-#   OUT=<path>            assembly output JSON  (default: BENCH_assembly.json)
-#   JOBS_OUT=<path>       jobs output JSON      (default: BENCH_jobs.json)
+#   BENCH=<regex>           assembly benchmarks   (default: the assembly + solver set)
+#   BENCHTIME=<n>x|s        per-benchmark time    (default: 50x)
+#   JOBS_BENCH=<regex>      job benchmarks        (default: ConcurrentSolves)
+#   JOBS_BENCHTIME=<n>x|s   per-benchmark time    (default: 20x)
+#   DIRECT_BENCH=<regex>    direct-solve benches  (default: DirectSolve)
+#   DIRECT_BENCHTIME=<n>x|s per-benchmark time    (default: 100x)
+#   OUT=<path>              assembly output JSON  (default: BENCH_assembly.json)
+#   JOBS_OUT=<path>         jobs output JSON      (default: BENCH_jobs.json)
+#   DIRECT_OUT=<path>       direct output JSON    (default: BENCH_direct.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,8 +26,11 @@ BENCH="${BENCH:-Assemble|SubstructureSolve|SolveBackends}"
 BENCHTIME="${BENCHTIME:-50x}"
 JOBS_BENCH="${JOBS_BENCH:-ConcurrentSolves}"
 JOBS_BENCHTIME="${JOBS_BENCHTIME:-20x}"
+DIRECT_BENCH="${DIRECT_BENCH:-DirectSolve}"
+DIRECT_BENCHTIME="${DIRECT_BENCHTIME:-100x}"
 OUT="${OUT:-BENCH_assembly.json}"
 JOBS_OUT="${JOBS_OUT:-BENCH_jobs.json}"
+DIRECT_OUT="${DIRECT_OUT:-BENCH_direct.json}"
 
 # Go appends a "-<GOMAXPROCS>" suffix to benchmark names only when
 # GOMAXPROCS != 1; strip exactly that suffix so names are comparable
@@ -40,23 +47,26 @@ write_json() {
     echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"go\": \"$(go env GOVERSION)\","
     echo "  \"cpus\": $(nproc 2>/dev/null || echo 1),"
+    echo "  \"gomaxprocs\": $procs,"
     echo "  \"bench\": ["
     echo "$raw" | awk -v procs="$procs" '
       /^Benchmark/ {
         name = $1
         if (procs != 1) sub("-" procs "$", "", name)
-        ns = ""; bytes = ""; allocs = ""; jobs = ""
+        ns = ""; bytes = ""; allocs = ""; jobs = ""; nnz = ""
         for (i = 3; i < NF; i++) {
           if ($(i+1) == "ns/op") ns = $i
           if ($(i+1) == "B/op") bytes = $i
           if ($(i+1) == "allocs/op") allocs = $i
           if ($(i+1) == "jobs/s") jobs = $i
+          if ($(i+1) == "profile-nnz") nnz = $i
         }
         line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
         if (ns != "")     line = line sprintf(", \"ns_per_op\": %s", ns)
         if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
         if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
         if (jobs != "")   line = line sprintf(", \"jobs_per_sec\": %s", jobs)
+        if (nnz != "")    line = line sprintf(", \"profile_nnz\": %s", nnz)
         line = line "}"
         if (n++) printf(",\n")
         printf("%s", line)
@@ -76,3 +86,7 @@ write_json "$raw" "$OUT"
 raw=$(go test -run '^$' -bench "$JOBS_BENCH" -benchtime "$JOBS_BENCHTIME" .)
 echo "$raw"
 write_json "$raw" "$JOBS_OUT"
+
+raw=$(go test -run '^$' -bench "$DIRECT_BENCH" -benchmem -benchtime "$DIRECT_BENCHTIME" .)
+echo "$raw"
+write_json "$raw" "$DIRECT_OUT"
