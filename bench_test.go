@@ -9,7 +9,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"strconv"
+	"sync"
 	"testing"
 
 	fem2 "repro"
@@ -730,6 +732,78 @@ func BenchmarkConcurrentSolves(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N*sessions)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkServerThroughput is BenchmarkConcurrentSolves pushed through
+// the wire: N network clients against one fem2d-style server, each
+// submitting a solve on its own model and waiting for the result, so
+// the headline jobs/s at 1/4/16 clients carries the full protocol cost
+// — frame codec, per-connection session, scheduler admission, and the
+// notification fan-out — on top of the solve itself.
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			sys, err := fem2.New(fem2.WithWorkers(clients))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := fem2.NewServer(sys, fem2.ServerConfig{})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			defer srv.Shutdown(context.Background())
+
+			ctx := context.Background()
+			cls := make([]*fem2.Client, clients)
+			cmds := make([]fem2.Command, clients)
+			for i := range cls {
+				cl, err := fem2.Dial(ln.Addr().String(), fmt.Sprintf("user-%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				cls[i] = cl
+				model := fmt.Sprintf("plate-%d", i)
+				for _, cmd := range []fem2.Command{
+					fem2.GenerateGrid{Name: model, NX: 8, NY: 6, W: 8, H: 6, ClampLeft: true},
+					fem2.EndLoad{Model: model, Set: "tip", FY: -100},
+				} {
+					if _, err := cl.Do(ctx, cmd); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cmds[i] = fem2.SolveCommand{Model: model, Set: "tip"}
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				errc := make(chan error, clients)
+				var wg sync.WaitGroup
+				for i := range cls {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						res, err := cls[i].Do(ctx, fem2.SubmitCommand{Cmd: cmds[i]})
+						if err != nil {
+							errc <- err
+							return
+						}
+						if _, err := cls[i].Do(ctx, fem2.WaitCommand{ID: res.(*fem2.SubmitResult).ID}); err != nil {
+							errc <- err
+						}
+					}(i)
+				}
+				wg.Wait()
+				close(errc)
+				for err := range errc {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*clients)/b.Elapsed().Seconds(), "jobs/s")
 		})
 	}
 }

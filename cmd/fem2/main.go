@@ -7,19 +7,32 @@
 // Usage:
 //
 //	fem2 [-clusters N] [-pes N] [-workers N] [-script file]
+//	fem2 -connect host:port [-notify] [-script file]
 //
 // Without -script it reads commands from stdin; type `help` for the
 // command language.  Long-running solves can run asynchronously on the
 // system's job scheduler: `submit solve ...` returns a job id at once,
 // and `status`, `wait`, `cancel`, and `jobs` monitor and control it.
+//
+// With -connect the REPL runs against a fem2d daemon instead of an
+// in-process system: the same command language, the same output lines,
+// with jobs running server-side.  -notify additionally prints the
+// server's job-state notifications as they arrive.  In both modes
+// SIGINT/SIGTERM cancels the in-flight command (and, connected, the
+// session's server-side jobs) cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	fem2 "repro"
+	"repro/internal/client"
 )
 
 func main() {
@@ -29,7 +42,45 @@ func main() {
 	script := flag.String("script", "", "command script to run instead of stdin")
 	user := flag.String("user", "engineer", "user name for the session")
 	report := flag.Bool("report", false, "print the machine report on exit")
+	connect := flag.String("connect", "", "serve the REPL from a fem2d daemon at host:port")
+	notify := flag.Bool("notify", false, "with -connect: print job-state notifications")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the root context: the in-flight solve (local
+	// or remote) stops through the ordinary context plumbing instead of
+	// the process dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	in := io.Reader(os.Stdin)
+	banner := *script == ""
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fem2:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	if *connect != "" {
+		cl, err := client.Dial(*connect, *user)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fem2:", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		if banner {
+			fmt.Printf("FEM-2 workstation connected to %s (session %s). Type help for commands.\n",
+				*connect, cl.Session())
+		}
+		if err := cl.Run(ctx, in, os.Stdout, *notify); err != nil {
+			fmt.Fprintln(os.Stderr, "fem2:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes),
 		fem2.WithWorkers(*workers))
@@ -40,20 +91,11 @@ func main() {
 	defer sys.Close()
 	sess := sys.Session(*user)
 
-	in := os.Stdin
-	if *script != "" {
-		f, err := os.Open(*script)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fem2:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		in = f
-	} else {
+	if banner {
 		fmt.Printf("FEM-2 workstation (%d clusters × %d PEs). Type help for commands.\n",
 			*clusters, *pes)
 	}
-	if err := sess.Run(in, os.Stdout); err != nil {
+	if err := sess.RunContext(ctx, in, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fem2:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,96 @@
+// Command fem2d is the FEM-2 daemon: it serves one simulated FEM-2
+// system over TCP to any number of concurrent network clients, each
+// getting a private session over the shared database, scheduler, and
+// simulated machine.  The protocol is length-prefixed JSON carrying the
+// typed command language — see docs/protocol.md; `fem2 -connect
+// host:port` is the matching interactive client.
+//
+// Usage:
+//
+//	fem2d [-addr :7432] [-clusters N] [-pes N] [-workers N]
+//	      [-max-jobs N] [-quota-policy reject|queue]
+//	      [-drain-timeout 30s]
+//
+// Each connection is one tenant: -max-jobs bounds its in-flight jobs,
+// with -quota-policy choosing whether a saturated connection's submits
+// fail fast or block for a slot.  On SIGINT/SIGTERM the daemon drains
+// gracefully: it stops accepting, refuses new mutating commands while
+// job control still answers, waits up to -drain-timeout for running
+// jobs (then cancels the rest), flushes pending notifications, and
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fem2 "repro"
+	"repro/internal/job"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7432", "TCP address to listen on")
+	clusters := flag.Int("clusters", 4, "number of PE clusters")
+	pes := flag.Int("pes", 8, "PEs per cluster (including the kernel PE)")
+	workers := flag.Int("workers", 0, "job scheduler worker pool bound (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("max-jobs", 16, "max in-flight jobs per connection (0 = unlimited)")
+	policy := flag.String("quota-policy", "reject", "at the per-connection job bound: reject | queue")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for running jobs before cancelling them")
+	quiet := flag.Bool("quiet", false, "suppress per-connection log lines")
+	flag.Parse()
+
+	qp, err := job.ParseQuotaPolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fem2d:", err)
+		os.Exit(2)
+	}
+	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes),
+		fem2.WithWorkers(*workers))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fem2d:", err)
+		os.Exit(1)
+	}
+
+	logger := log.New(os.Stderr, "fem2d: ", log.LstdFlags)
+	cfg := server.Config{MaxJobsPerSession: *maxJobs, QuotaPolicy: qp}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv := server.New(sys, cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fem2d:", err)
+		os.Exit(1)
+	}
+	logger.Printf("serving FEM-2 (%d clusters × %d PEs) on %s", *clusters, *pes, ln.Addr())
+
+	// Serve until a signal arrives, then drain gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "fem2d:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received; draining (timeout %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		logger.Printf("drain incomplete, remaining jobs cancelled: %v", err)
+	}
+	logger.Printf("bye")
+}

@@ -70,6 +70,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/auvm"
+	"repro/internal/client"
 	"repro/internal/command"
 	"repro/internal/core"
 	"repro/internal/errs"
@@ -80,6 +81,8 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/navm"
+	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // Config describes a FEM-2 hardware configuration: cluster count, PEs per
@@ -176,6 +179,11 @@ func Parse(line string) (Command, error) { return command.Parse(line) }
 type (
 	// HelpCommand requests the command-language summary.
 	HelpCommand = command.Help
+	// PingCommand is the round-trip health check; it answers "pong".
+	PingCommand = command.Ping
+	// VersionCommand reports the software release and wire protocol
+	// revision.
+	VersionCommand = command.Version
 	// QuitCommand ends a session (Do answers with auvm.ErrQuit).
 	QuitCommand = command.Quit
 	// Define creates an empty structure model in the workspace.
@@ -272,6 +280,10 @@ const (
 type (
 	// HelpResult is the command-language summary.
 	HelpResult = command.HelpResult
+	// PingResult renders "pong".
+	PingResult = command.PingResult
+	// VersionResult reports server name, release, and protocol revision.
+	VersionResult = command.VersionResult
 	// QuitResult accompanies ErrQuit on a clean shutdown.
 	QuitResult = command.QuitResult
 	// DefineResult reports a newly defined model.
@@ -377,6 +389,71 @@ type JobFilter = job.Filter
 
 // ErrSchedulerClosed is returned by Submit after the system closes.
 var ErrSchedulerClosed = job.ErrClosed
+
+// ErrJobQuota is returned by Submit when a tenant is at its in-flight
+// job bound under the reject policy.
+var ErrJobQuota = job.ErrQuota
+
+// QuotaPolicy selects what Submit does when a tenant is at its
+// in-flight job bound: fail fast or block for a slot.
+type QuotaPolicy = job.QuotaPolicy
+
+// The quota policies.
+const (
+	// QuotaReject fails an over-quota submission with ErrJobQuota.
+	QuotaReject = job.QuotaReject
+	// QuotaQueue blocks an over-quota submission until a slot frees.
+	QuotaQueue = job.QuotaQueue
+)
+
+// The network layer: fem2d serves a System over TCP (length-prefixed
+// JSON frames carrying the typed command language — docs/protocol.md),
+// and Client speaks the same typed Do surface back, rendering results
+// byte-identically to local execution.
+
+// Release is the FEM-2 software release the version verb reports.
+const Release = command.Release
+
+// ProtocolVersion is the wire protocol revision; client and server
+// must agree exactly.
+const ProtocolVersion = command.ProtocolVersion
+
+// Server serves one System over TCP; see internal/server.
+type Server = server.Server
+
+// ServerConfig parameterises a Server: per-connection job quota,
+// quota policy, default user, and logging.
+type ServerConfig = server.Config
+
+// NewServer builds a network front end over a system, installing the
+// per-tenant quota on the system's scheduler.
+func NewServer(sys *System, cfg ServerConfig) *Server { return server.New(sys, cfg) }
+
+// ErrServerClosed is returned by Server.Serve after Shutdown.
+var ErrServerClosed = server.ErrServerClosed
+
+// Client is one connection to a fem2d daemon: the typed Do surface
+// over the wire.
+type Client = client.Client
+
+// Dial connects to a fem2d daemon and completes the handshake as user.
+func Dial(addr, user string) (*Client, error) { return client.Dial(addr, user) }
+
+// RemoteError is a server-reported failure: the server's error text
+// verbatim, plus a wire code errors.Is maps back onto the shared
+// sentinels.
+type RemoteError = client.RemoteError
+
+// JobEvent is one server-pushed job lifecycle notification.
+type JobEvent = wire.JobEvent
+
+// MarshalCommand and UnmarshalCommand are the typed command wire
+// codec; MarshalResult and UnmarshalResult the result codec.  Both
+// directions are strict and round-trip to identical structs.
+func MarshalCommand(cmd Command) ([]byte, error)    { return command.MarshalCommand(cmd) }
+func UnmarshalCommand(data []byte) (Command, error) { return command.UnmarshalCommand(data) }
+func MarshalResult(r Result) ([]byte, error)        { return command.MarshalResult(r) }
+func UnmarshalResult(data []byte) (Result, error)   { return command.UnmarshalResult(data) }
 
 // The shared error taxonomy.  Missing objects, malformed or ineligible
 // requests, and cancelled contexts wrap these sentinels across auvm,

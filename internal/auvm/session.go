@@ -172,6 +172,11 @@ func (s *Session) Do(ctx context.Context, cmd command.Command) (command.Result, 
 	switch c := cmd.(type) {
 	case command.Help:
 		return &command.HelpResult{}, nil
+	case command.Ping:
+		return &command.PingResult{}, nil
+	case command.Version:
+		return &command.VersionResult{Server: "fem2", Release: command.Release,
+			Protocol: command.ProtocolVersion}, nil
 	case command.Quit:
 		return &command.QuitResult{}, ErrQuit
 	case command.Define:
@@ -641,12 +646,21 @@ func (s *Session) doList(c command.List) (command.Result, error) {
 }
 
 // Run drives the session as a REPL: one command per line, output and
-// errors written to w, until EOF or quit.
+// errors written to w, until EOF or quit.  It is RunContext under
+// context.Background().
 func (s *Session) Run(r io.Reader, w io.Writer) error {
+	return s.RunContext(context.Background(), r, w)
+}
+
+// RunContext drives the REPL under a context: every command executes
+// under ctx, so cancelling it (a SIGINT, a server shutdown) interrupts
+// an in-flight solve, and the loop itself stops — returning an error
+// wrapping ErrCancelled — once ctx is done.
+func (s *Session) RunContext(ctx context.Context, r io.Reader, w io.Writer) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		out, err := s.Execute(sc.Text())
+		out, err := s.ExecuteContext(ctx, sc.Text())
 		if out != "" {
 			fmt.Fprintln(w, out)
 		}
@@ -655,6 +669,9 @@ func (s *Session) Run(r io.Reader, w io.Writer) error {
 		}
 		if err != nil {
 			fmt.Fprintf(w, "error: %v\n", err)
+		}
+		if ctx.Err() != nil {
+			return cancelled(ctx)
 		}
 	}
 	return sc.Err()

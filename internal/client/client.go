@@ -1,0 +1,322 @@
+// Package client is the network counterpart of internal/server: it
+// speaks the wire protocol to a fem2d daemon and exposes the same
+// typed Do(ctx, Command) (Result, error) surface as a local
+// auvm.Session — decoded results are the identical structs, so their
+// String renderings are byte-identical to local execution, and remote
+// errors carry the server's error text verbatim plus a code that maps
+// errors.Is back onto the shared sentinels.
+//
+// A Client is safe for concurrent use: requests are correlated by id,
+// so goroutines may pipeline commands (a blocking wait does not stall
+// a concurrent cancel).  Server-pushed job-state notifications arrive
+// on Events.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/auvm"
+	"repro/internal/command"
+	"repro/internal/errs"
+	"repro/internal/job"
+	"repro/internal/wire"
+)
+
+// RemoteError is a server-reported failure.  Error() is the server's
+// error text verbatim — the remote REPL line prints byte-identical to
+// the local one — and Is maps the wire code back onto the shared error
+// taxonomy, so errors.Is(err, fem2.ErrNotFound) classifies remote
+// errors exactly like local ones.
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+// Error returns the server-side error text.
+func (e *RemoteError) Error() string { return e.Message }
+
+// Is maps the wire code onto the sentinel taxonomy.
+func (e *RemoteError) Is(target error) bool {
+	switch e.Code {
+	case wire.CodeUsage:
+		return target == errs.ErrUsage
+	case wire.CodeNotFound:
+		return target == errs.ErrNotFound
+	case wire.CodeCancelled:
+		return target == errs.ErrCancelled
+	case wire.CodeQuota:
+		return target == job.ErrQuota
+	case wire.CodeClosed:
+		return target == job.ErrClosed
+	case wire.CodeQuit:
+		return target == auvm.ErrQuit
+	default:
+		return false
+	}
+}
+
+// ErrClientClosed is returned by Do once the connection is gone; the
+// underlying cause (a read error, Close) is wrapped alongside it.
+var ErrClientClosed = errors.New("client: connection closed")
+
+// Client is one connection to a fem2d daemon.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Response
+	readErr error
+	done    chan struct{}
+
+	events  chan *wire.JobEvent
+	welcome *wire.Welcome
+}
+
+// eventQueue bounds the notification buffer; a client that never reads
+// Events drops the overflow rather than stalling the read loop.
+const eventQueue = 256
+
+// Dial connects to a fem2d daemon at addr and completes the handshake
+// as user.
+func Dial(addr, user string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc: nc, bw: bufio.NewWriter(nc),
+		pending: map[uint64]chan *wire.Response{},
+		done:    make(chan struct{}),
+		events:  make(chan *wire.JobEvent, eventQueue),
+	}
+	go c.readLoop()
+	resp, err := c.roundTrip(context.Background(), &wire.Request{
+		Hello: &wire.Hello{User: user, Proto: command.ProtocolVersion}})
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if resp.Error != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake refused: %s", resp.Error.Message)
+	}
+	if resp.Welcome == nil || resp.Welcome.Proto != command.ProtocolVersion {
+		nc.Close()
+		return nil, fmt.Errorf("client: bad handshake reply from %s", addr)
+	}
+	c.mu.Lock()
+	c.welcome = resp.Welcome
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Session returns the server-assigned session name — the owner of every
+// job this connection submits.
+func (c *Client) Session() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.welcome == nil {
+		return ""
+	}
+	return c.welcome.Session
+}
+
+// Events is the notification stream: one JobEvent per lifecycle
+// transition of this connection's jobs.  The channel closes when the
+// connection dies.  Events are best-effort (a full buffer drops);
+// status and wait are the authoritative record.
+func (c *Client) Events() <-chan *wire.JobEvent { return c.events }
+
+// Close tears the connection down.  In-flight Do calls fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	c.fail(ErrClientClosed)
+	return err
+}
+
+// readLoop dispatches inbound frames: notifications to events,
+// responses to their waiting callers.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		resp, err := wire.DecodeResponse(br)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %w", ErrClientClosed, err))
+			return
+		}
+		if resp.ID == 0 {
+			if resp.Event != nil {
+				select {
+				case c.events <- resp.Event:
+				default:
+				}
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// fail marks the connection dead and releases every waiter, once.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+		close(c.done)
+		close(c.events)
+		c.pending = nil
+	}
+	c.mu.Unlock()
+}
+
+// closedErr returns the recorded failure.
+func (c *Client) closedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return ErrClientClosed
+}
+
+// roundTrip sends one request and waits for its response.
+func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	ch := make(chan *wire.Response, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := wire.EncodeRequest(c.bw, req)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %w", ErrClientClosed, err)
+	}
+
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-c.done:
+		return nil, c.closedErr()
+	case <-ctx.Done():
+		c.mu.Lock()
+		if c.pending != nil {
+			delete(c.pending, req.ID)
+		}
+		c.mu.Unlock()
+		return nil, errs.Cancelled(ctx)
+	}
+}
+
+// Do executes one typed command on the server and returns its typed
+// result — the same surface as auvm.Session.Do, over the wire.  The
+// result struct round-trips the codec, so its String rendering is
+// byte-identical to local execution; a server-side failure comes back
+// as a *RemoteError.
+func (c *Client) Do(ctx context.Context, cmd command.Command) (command.Result, error) {
+	data, err := command.MarshalCommand(cmd)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(ctx, &wire.Request{Command: data})
+	if err != nil {
+		return nil, err
+	}
+	var res command.Result
+	if len(resp.Result) > 0 {
+		if res, err = command.UnmarshalResult(resp.Result); err != nil {
+			return nil, err
+		}
+	}
+	if resp.Error != nil {
+		return res, &RemoteError{Code: resp.Error.Code, Message: resp.Error.Message}
+	}
+	return res, nil
+}
+
+// Execute interprets one command line remotely: parse locally (the
+// identical parser, so usage errors match local ones), Do on the
+// server, render the result — the network twin of
+// auvm.Session.Execute.
+func (c *Client) Execute(ctx context.Context, line string) (string, error) {
+	cmd, err := command.Parse(line)
+	if err != nil {
+		return "", err
+	}
+	if cmd == nil { // blank line or comment
+		return "", nil
+	}
+	res, err := c.Do(ctx, cmd)
+	if res == nil {
+		return "", err
+	}
+	return res.String(), err
+}
+
+// Run drives the remote session as a REPL, mirroring auvm.Session.Run
+// line for line: output then `error: ...` lines, quit returns nil.
+// When notify is true, job-state notifications print as they arrive,
+// interleaved between command outputs.
+func (c *Client) Run(ctx context.Context, r io.Reader, w io.Writer, notify bool) error {
+	var wmu sync.Mutex
+	if notify {
+		go func() {
+			for ev := range c.Events() {
+				wmu.Lock()
+				fmt.Fprintln(w, ev)
+				wmu.Unlock()
+			}
+		}()
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		out, err := c.Execute(ctx, sc.Text())
+		wmu.Lock()
+		if out != "" {
+			fmt.Fprintln(w, out)
+		}
+		if errors.Is(err, auvm.ErrQuit) {
+			wmu.Unlock()
+			return nil
+		}
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+		wmu.Unlock()
+		if ctx.Err() != nil {
+			return errs.Cancelled(ctx)
+		}
+	}
+	return sc.Err()
+}

@@ -64,6 +64,15 @@ const (
 // Help requests the command-language summary.
 type Help struct{}
 
+// Ping is the round-trip health check: the interpreter answers "pong"
+// immediately, touching no state.  Network clients and CI probes use it
+// to confirm a live session end to end.
+type Ping struct{}
+
+// Version reports the software release and wire protocol revision the
+// serving side speaks.
+type Version struct{}
+
 // Quit ends the session; the interpreter answers with ErrQuit.
 type Quit struct{}
 
@@ -315,6 +324,8 @@ type Jobs struct {
 }
 
 func (Help) isCommand()          {}
+func (Ping) isCommand()          {}
+func (Version) isCommand()       {}
 func (Quit) isCommand()          {}
 func (Define) isCommand()        {}
 func (SetMaterial) isCommand()   {}
@@ -360,6 +371,12 @@ func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // String renders the canonical command line.
 func (Help) String() string { return "help" }
+
+// String renders the canonical command line.
+func (Ping) String() string { return "ping" }
+
+// String renders the canonical command line.
+func (Version) String() string { return "version" }
 
 // String renders the canonical command line.
 func (Quit) String() string { return "quit" }

@@ -15,6 +15,8 @@ func TestParseEveryVerb(t *testing.T) {
 		want Command
 	}{
 		{"help", Help{}},
+		{"ping", Ping{}},
+		{"version", Version{}},
 		{"quit", Quit{}},
 		{"exit", Quit{}},
 		{"QUIT", Quit{}}, // verbs are case-insensitive
@@ -85,6 +87,8 @@ func TestParseBlankAndComment(t *testing.T) {
 func TestParseUsageErrors(t *testing.T) {
 	bad := []string{
 		"frobnicate",                           // unknown verb
+		"ping now",                             // extra arg
+		"version 2",                            // extra arg
 		"define wing",                          // missing keyword
 		"define structure",                     // missing name
 		"define structure a b",                 // extra arg
@@ -153,6 +157,8 @@ func TestParseUsageErrors(t *testing.T) {
 func TestRoundTrip(t *testing.T) {
 	cmds := []Command{
 		Help{},
+		Ping{},
+		Version{},
 		Quit{},
 		Define{Name: "wing"},
 		SetMaterial{E: 200000, Nu: 0.3, T: 10, A: 2000},
@@ -208,6 +214,9 @@ func TestResultRenderings(t *testing.T) {
 		res  Result
 		want string
 	}{
+		{PingResult{}, "pong"},
+		{VersionResult{Server: "fem2", Release: "0.6.0", Protocol: 1},
+			"fem2 0.6.0 (protocol 1)"},
 		{QuitResult{}, "bye"},
 		{DefineResult{Name: "wing"}, `defined structure "wing"`},
 		{GenerateResult{Kind: "grid", Name: "g", Nodes: 25, Elements: 32},

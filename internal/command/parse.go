@@ -29,6 +29,16 @@ func Parse(line string) (Command, error) {
 	switch verb {
 	case "help":
 		return Help{}, nil
+	case "ping":
+		if len(args) != 0 {
+			return nil, usage("ping")
+		}
+		return Ping{}, nil
+	case "version":
+		if len(args) != 0 {
+			return nil, usage("version")
+		}
+		return Version{}, nil
 	case "quit", "exit":
 		return Quit{}, nil
 	case "define":

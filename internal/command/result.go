@@ -37,10 +37,25 @@ const HelpText = `FEM-2 workstation commands:
   submit <command>                       (run asynchronously, returns a job id)
   status <job> | wait <job> | cancel <job>
   jobs [user <name>] [state queued|running|done|failed|cancelled]
+  ping | version
   help | quit`
 
 // HelpResult is the reply to Help.
 type HelpResult struct{}
+
+// PingResult is the reply to Ping.
+type PingResult struct{}
+
+// VersionResult is the reply to Version.
+type VersionResult struct {
+	// Server names the serving program ("fem2" for a local session, the
+	// daemon echoes the same — the command surface is identical).
+	Server string
+	// Release is the software release.
+	Release string
+	// Protocol is the wire protocol revision (see ProtocolVersion).
+	Protocol int
+}
 
 // QuitResult is the reply to Quit (delivered alongside ErrQuit).
 type QuitResult struct{}
@@ -289,6 +304,8 @@ type CancelResult struct {
 }
 
 func (HelpResult) isResult()          {}
+func (PingResult) isResult()          {}
+func (VersionResult) isResult()       {}
 func (QuitResult) isResult()          {}
 func (DefineResult) isResult()        {}
 func (MaterialResult) isResult()      {}
@@ -315,6 +332,14 @@ func (CancelResult) isResult()        {}
 
 // String renders the REPL display line.
 func (HelpResult) String() string { return HelpText }
+
+// String renders the REPL display line.
+func (PingResult) String() string { return "pong" }
+
+// String renders the REPL display line.
+func (r VersionResult) String() string {
+	return fmt.Sprintf("%s %s (protocol %d)", r.Server, r.Release, r.Protocol)
+}
 
 // String renders the REPL display line.
 func (QuitResult) String() string { return "bye" }

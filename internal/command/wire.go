@@ -1,0 +1,228 @@
+package command
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+)
+
+// The typed command AST is also the wire schema: a Command or Result
+// crosses a connection as a JSON envelope tagging the verb (or result
+// kind) plus the struct's own fields.  MarshalCommand/UnmarshalCommand
+// and MarshalResult/UnmarshalResult are the codec; both directions are
+// strict (unknown fields and unknown kinds are errors), and a decoded
+// value round-trips to the identical struct, so a network client's
+// Result.String() rendering is byte-identical to local execution.
+
+// Release is the FEM-2 software release the version verb reports.
+const Release = "0.6.0"
+
+// ProtocolVersion is the wire protocol revision.  A client and server
+// must agree on it exactly; the version verb and the connection
+// handshake both carry it.
+const ProtocolVersion = 1
+
+// cmdEnvelope is the wire form of one Command.  Submit nests its wrapped
+// command as another envelope under "cmd"; every other verb carries its
+// struct fields under "body".
+type cmdEnvelope struct {
+	Verb string          `json:"verb"`
+	Body json.RawMessage `json:"body,omitempty"`
+	Cmd  json.RawMessage `json:"cmd,omitempty"`
+}
+
+// resEnvelope is the wire form of one Result.
+type resEnvelope struct {
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// commandVerbs maps wire verb names onto command struct types.  Submit
+// is absent: its nested command field is an interface, so the codec
+// handles it explicitly.
+var commandVerbs = map[string]reflect.Type{
+	"help":           reflect.TypeOf(Help{}),
+	"ping":           reflect.TypeOf(Ping{}),
+	"version":        reflect.TypeOf(Version{}),
+	"quit":           reflect.TypeOf(Quit{}),
+	"define":         reflect.TypeOf(Define{}),
+	"material":       reflect.TypeOf(SetMaterial{}),
+	"generate-grid":  reflect.TypeOf(GenerateGrid{}),
+	"generate-truss": reflect.TypeOf(GenerateTruss{}),
+	"generate-bar":   reflect.TypeOf(GenerateBar{}),
+	"node":           reflect.TypeOf(AddNode{}),
+	"element-bar":    reflect.TypeOf(AddBar{}),
+	"element-cst":    reflect.TypeOf(AddCST{}),
+	"fix-node":       reflect.TypeOf(FixNode{}),
+	"fix-dof":        reflect.TypeOf(FixDOF{}),
+	"loadset":        reflect.TypeOf(DefineLoadSet{}),
+	"load":           reflect.TypeOf(AddLoad{}),
+	"endload":        reflect.TypeOf(EndLoad{}),
+	"solve":          reflect.TypeOf(Solve{}),
+	"stresses":       reflect.TypeOf(Stresses{}),
+	"display":        reflect.TypeOf(Display{}),
+	"store":          reflect.TypeOf(Store{}),
+	"retrieve":       reflect.TypeOf(Retrieve{}),
+	"delete":         reflect.TypeOf(Delete{}),
+	"list":           reflect.TypeOf(List{}),
+	"status":         reflect.TypeOf(Status{}),
+	"wait":           reflect.TypeOf(Wait{}),
+	"cancel":         reflect.TypeOf(Cancel{}),
+	"jobs":           reflect.TypeOf(Jobs{}),
+}
+
+// resultKinds maps wire result kinds onto result struct types.
+var resultKinds = map[string]reflect.Type{
+	"help":           reflect.TypeOf(HelpResult{}),
+	"ping":           reflect.TypeOf(PingResult{}),
+	"version":        reflect.TypeOf(VersionResult{}),
+	"quit":           reflect.TypeOf(QuitResult{}),
+	"define":         reflect.TypeOf(DefineResult{}),
+	"material":       reflect.TypeOf(MaterialResult{}),
+	"generate":       reflect.TypeOf(GenerateResult{}),
+	"node":           reflect.TypeOf(NodeResult{}),
+	"element":        reflect.TypeOf(ElementResult{}),
+	"fix":            reflect.TypeOf(FixResult{}),
+	"loadset":        reflect.TypeOf(LoadSetResult{}),
+	"load":           reflect.TypeOf(LoadResult{}),
+	"endload":        reflect.TypeOf(EndLoadResult{}),
+	"solve":          reflect.TypeOf(SolveResult{}),
+	"stresses":       reflect.TypeOf(StressesResult{}),
+	"model-info":     reflect.TypeOf(ModelInfoResult{}),
+	"displacements":  reflect.TypeOf(DisplacementsResult{}),
+	"stress-summary": reflect.TypeOf(StressSummaryResult{}),
+	"store":          reflect.TypeOf(StoreResult{}),
+	"retrieve":       reflect.TypeOf(RetrieveResult{}),
+	"delete":         reflect.TypeOf(DeleteResult{}),
+	"list":           reflect.TypeOf(ListResult{}),
+	"submit":         reflect.TypeOf(SubmitResult{}),
+	"job-status":     reflect.TypeOf(JobStatusResult{}),
+	"jobs":           reflect.TypeOf(JobsResult{}),
+	"cancel":         reflect.TypeOf(CancelResult{}),
+}
+
+// verbOfCommand and kindOfResult are the marshal-direction inverses.
+var (
+	verbOfCommand = invert(commandVerbs)
+	kindOfResult  = invert(resultKinds)
+)
+
+func invert(m map[string]reflect.Type) map[reflect.Type]string {
+	out := make(map[reflect.Type]string, len(m))
+	for k, t := range m {
+		out[t] = k
+	}
+	return out
+}
+
+// MarshalCommand encodes a command as its wire envelope.  Pointer
+// commands are dereferenced first, exactly as Do dispatches them.
+func MarshalCommand(cmd Command) ([]byte, error) {
+	if cmd == nil {
+		return nil, usage("wire: nil command")
+	}
+	cmd = Value(cmd)
+	if sub, ok := cmd.(Submit); ok {
+		inner, err := MarshalCommand(sub.Cmd)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(cmdEnvelope{Verb: "submit", Cmd: inner})
+	}
+	verb, ok := verbOfCommand[reflect.TypeOf(cmd)]
+	if !ok {
+		return nil, usage("wire: unknown command type %T", cmd)
+	}
+	body, err := json.Marshal(cmd)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(cmdEnvelope{Verb: verb, Body: body})
+}
+
+// UnmarshalCommand decodes a wire envelope back into its typed Command.
+// Unknown verbs and unknown fields are usage errors; the submittability
+// restriction the parser enforces (no job-control or quit inside
+// submit) is enforced here too, so a hand-built frame cannot smuggle an
+// unsubmittable command into the scheduler.
+func UnmarshalCommand(data []byte) (Command, error) {
+	var env cmdEnvelope
+	if err := strictUnmarshal(data, &env); err != nil {
+		return nil, usage("wire: bad command envelope: %v", err)
+	}
+	if env.Verb == "submit" {
+		inner, err := UnmarshalCommand(env.Cmd)
+		if err != nil {
+			return nil, err
+		}
+		switch inner.(type) {
+		case Submit, Status, Wait, Cancel, Jobs, Quit:
+			return nil, usage("%q cannot run as a job", env.Verb)
+		}
+		return Submit{Cmd: inner}, nil
+	}
+	typ, ok := commandVerbs[env.Verb]
+	if !ok {
+		return nil, usage("wire: unknown verb %q", env.Verb)
+	}
+	ptr := reflect.New(typ)
+	if len(env.Body) > 0 {
+		if err := strictUnmarshal(env.Body, ptr.Interface()); err != nil {
+			return nil, usage("wire: bad %q body: %v", env.Verb, err)
+		}
+	}
+	return ptr.Elem().Interface().(Command), nil
+}
+
+// MarshalResult encodes a result as its wire envelope.  The interpreter
+// returns results as pointers; both spellings encode identically.
+func MarshalResult(r Result) ([]byte, error) {
+	if r == nil {
+		return nil, usage("wire: nil result")
+	}
+	v := reflect.ValueOf(r)
+	if v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return nil, usage("wire: nil result")
+		}
+		v = v.Elem()
+	}
+	kind, ok := kindOfResult[v.Type()]
+	if !ok {
+		return nil, usage("wire: unknown result type %T", r)
+	}
+	body, err := json.Marshal(v.Interface())
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(resEnvelope{Kind: kind, Body: body})
+}
+
+// UnmarshalResult decodes a wire envelope back into its typed Result,
+// in the pointer form the interpreter returns.
+func UnmarshalResult(data []byte) (Result, error) {
+	var env resEnvelope
+	if err := strictUnmarshal(data, &env); err != nil {
+		return nil, usage("wire: bad result envelope: %v", err)
+	}
+	typ, ok := resultKinds[env.Kind]
+	if !ok {
+		return nil, usage("wire: unknown result kind %q", env.Kind)
+	}
+	ptr := reflect.New(typ)
+	if len(env.Body) > 0 {
+		if err := strictUnmarshal(env.Body, ptr.Interface()); err != nil {
+			return nil, usage("wire: bad %q body: %v", env.Kind, err)
+		}
+	}
+	return ptr.Interface().(Result), nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so schema skew
+// between client and server surfaces as an error instead of silently
+// dropping data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -313,6 +313,12 @@ func (s *System) CloseSession(user string) bool {
 	return true
 }
 
+// Drain waits for every live job to reach a terminal state, or for ctx
+// to die — the graceful half of shutdown.  Drain does not stop new
+// submissions; a serving front end stops accepting first, then drains,
+// then Closes (which cancels whatever a timed-out drain left behind).
+func (s *System) Drain(ctx context.Context) error { return s.Jobs.Drain(ctx) }
+
 // Close shuts the system's job service down: queued jobs are cancelled,
 // running jobs are interrupted, and the worker pool drains.  Sessions
 // remain usable synchronously afterwards.  Idempotent.

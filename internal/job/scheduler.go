@@ -71,6 +71,16 @@ type Scheduler struct {
 	// busy holds the model names currently locked by a running job; a
 	// queued job whose key is busy is skipped until the key frees.
 	busy map[string]bool
+	// live counts each owner's queued-or-running jobs; liveTotal is
+	// their sum.  quota bounds live per owner when positive, with policy
+	// choosing reject-vs-queue at the bound (see tenant.go).
+	live      map[string]int
+	liveTotal int
+	quota     int
+	policy    QuotaPolicy
+	// subs are the job-event subscribers, keyed by registration id.
+	subs    map[int]func(Snapshot)
+	subNext int
 	// caches carries one direct-solve factor cache per model name —
 	// the companion of the per-model lock: the lock serializes solves on
 	// one model, the cache makes every solve after the first warm,
@@ -106,6 +116,7 @@ func NewScheduler(workers int, shared *metrics.Collector) *Scheduler {
 		retain:  DefaultRetainedJobs,
 		jobs:    map[JobID]*job{},
 		busy:    map[string]bool{},
+		live:    map[string]int{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -161,7 +172,9 @@ func notFound(id JobID) error {
 // once ctx is done the job finalizes Cancelled and Submit returns.  The
 // job runs under a context derived from ctx: cancelling ctx, like
 // Cancel, cancels the job.  Job-control commands cannot themselves run
-// as jobs.
+// as jobs.  When a per-owner quota is set (SetQuota), an owner at the
+// in-flight bound is rejected with ErrQuota or blocked until a slot
+// frees, by policy.
 func (s *Scheduler) Submit(ctx context.Context, owner string, ex Executor, cmd command.Command) (JobID, error) {
 	if cmd == nil || ex == nil {
 		return 0, errs.Usage("submit needs a command and an executor")
@@ -183,16 +196,19 @@ func (s *Scheduler) Submit(ctx context.Context, owner string, ex Executor, cmd c
 	}
 
 	s.mu.Lock()
-	if s.closed {
+	if err := s.admitLocked(ctx, owner); err != nil {
 		s.mu.Unlock()
 		cancel()
-		return 0, ErrClosed
+		return 0, err
 	}
 	s.next++
 	j.id = JobID(s.next)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.live[owner]++
+	s.liveTotal++
 	s.evictLocked()
+	s.publishLocked(j)
 	if Heavy(cmd) {
 		s.startWorkersLocked()
 		s.queue = append(s.queue, j)
@@ -238,6 +254,7 @@ func (s *Scheduler) worker() {
 		if j.model != "" {
 			s.busy[j.model] = true
 		}
+		s.publishLocked(j)
 		s.mu.Unlock()
 
 		s.execute(j)
@@ -303,6 +320,7 @@ func (s *Scheduler) runInline(j *job) {
 	if j.model != "" {
 		s.busy[j.model] = true
 	}
+	s.publishLocked(j)
 	s.mu.Unlock()
 
 	s.execute(j)
@@ -393,6 +411,7 @@ func (s *Scheduler) execute(j *job) {
 		j.cycles = sr.Makespan
 	}
 	close(j.done)
+	s.finishLocked(j)
 	s.mu.Unlock()
 }
 
@@ -472,7 +491,7 @@ func (s *Scheduler) cancelQueuedLocked(j *job) {
 	j.err = fmt.Errorf("%w: %s cancelled before it started", errs.ErrCancelled, j.id)
 	close(j.done)
 	j.cancel()
-	s.cond.Broadcast()
+	s.finishLocked(j)
 }
 
 // CancelOwner cancels every live (queued or running) job of one user and

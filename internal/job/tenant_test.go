@@ -1,0 +1,297 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/command"
+	"repro/internal/errs"
+)
+
+// blockingExec returns an executor that parks every job until release
+// closes, signalling each start on started.
+func blockingExec(started chan struct{}, release chan struct{}) execFunc {
+	return func(ctx context.Context, cmd command.Command) (command.Result, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+			return &command.SolveResult{}, nil
+		case <-ctx.Done():
+			return nil, errs.Cancelled(ctx)
+		}
+	}
+}
+
+func TestQuotaRejectPolicy(t *testing.T) {
+	s := NewScheduler(4, nil)
+	defer s.Close()
+	s.SetQuota(2, QuotaReject)
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	defer close(release)
+	ex := blockingExec(started, release)
+
+	var ids []JobID
+	for i := 0; i < 2; i++ {
+		id, err := s.Submit(context.Background(), "alice", ex, solveOn(fmt.Sprintf("m%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Third submission by the saturated owner is rejected outright...
+	if _, err := s.Submit(context.Background(), "alice", ex, solveOn("m2")); !errors.Is(err, ErrQuota) {
+		t.Errorf("Submit over quota = %v, want ErrQuota", err)
+	}
+	// ...while another tenant is unaffected.
+	if _, err := s.Submit(context.Background(), "bob", ex, solveOn("m3")); err != nil {
+		t.Errorf("other tenant hit alice's quota: %v", err)
+	}
+	// A freed slot readmits the owner.
+	if st, err := s.Cancel(ids[0]); err != nil || st.Terminal() && st != Cancelled {
+		t.Fatalf("Cancel = %v, %v", st, err)
+	}
+	waitState(t, s, ids[0], Cancelled)
+	if _, err := s.Submit(context.Background(), "alice", ex, solveOn("m4")); err != nil {
+		t.Errorf("Submit after slot freed = %v", err)
+	}
+}
+
+func TestQuotaQueuePolicyBlocks(t *testing.T) {
+	s := NewScheduler(4, nil)
+	defer s.Close()
+	s.SetQuota(1, QuotaQueue)
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	ex := blockingExec(started, release)
+
+	first, err := s.Submit(context.Background(), "alice", ex, solveOn("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// The second submission blocks at the bound rather than failing.
+	submitted := make(chan JobID, 1)
+	go func() {
+		id, err := s.Submit(context.Background(), "alice", ex, solveOn("b"))
+		if err != nil {
+			t.Error(err)
+		}
+		submitted <- id
+	}()
+	select {
+	case <-submitted:
+		t.Fatal("quota-queued Submit returned while the owner was saturated")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release) // first job finishes, slot frees, blocked submit admits
+	select {
+	case id := <-submitted:
+		if _, err := s.Wait(context.Background(), id); err != nil {
+			t.Errorf("queued-then-admitted job: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit never unblocked after a slot freed")
+	}
+	if _, err := s.Wait(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotaQueueHonoursContext(t *testing.T) {
+	s := NewScheduler(2, nil)
+	defer s.Close()
+	s.SetQuota(1, QuotaQueue)
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	defer close(release)
+	ex := blockingExec(started, release)
+
+	if _, err := s.Submit(context.Background(), "alice", ex, solveOn("a")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(ctx, "alice", ex, solveOn("b"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errs.ErrCancelled) {
+			t.Errorf("Submit under dead ctx = %v, want ErrCancelled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("quota-blocked Submit ignored its dying context")
+	}
+}
+
+// TestSubscribeEventOrder proves the notification stream delivers the
+// queued → running → done trail, in order, and that unsubscribing
+// stops it.
+func TestSubscribeEventOrder(t *testing.T) {
+	s := NewScheduler(2, nil)
+	defer s.Close()
+
+	var mu sync.Mutex
+	events := map[JobID][]State{}
+	unsub := s.Subscribe(func(snap Snapshot) {
+		mu.Lock()
+		events[snap.ID] = append(events[snap.ID], snap.State)
+		mu.Unlock()
+	})
+
+	ex := execFunc(func(ctx context.Context, cmd command.Command) (command.Result, error) {
+		return &command.SolveResult{}, nil
+	})
+	id, err := s.Submit(context.Background(), "alice", ex, solveOn("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, id, Done)
+
+	mu.Lock()
+	got := append([]State(nil), events[id]...)
+	mu.Unlock()
+	want := []State{Queued, Running, Done}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+
+	unsub()
+	id2, _ := s.Submit(context.Background(), "alice", ex, solveOn("b"))
+	s.Wait(context.Background(), id2)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events[id2]) != 0 {
+		t.Errorf("received %v after unsubscribe", events[id2])
+	}
+}
+
+// TestSubscribeSeesCancelledQueuedJob: a job cancelled before it runs
+// still produces a terminal notification.
+func TestSubscribeSeesCancelledQueuedJob(t *testing.T) {
+	s := NewScheduler(1, nil)
+	defer s.Close()
+	var mu sync.Mutex
+	var states []State
+	s.Subscribe(func(snap Snapshot) {
+		mu.Lock()
+		states = append(states, snap.State)
+		mu.Unlock()
+	})
+
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	ex := blockingExec(started, release)
+	if _, err := s.Submit(context.Background(), "alice", ex, solveOn("a")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	q, err := s.Submit(context.Background(), "alice", ex, solveOn("a")) // same model: must queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	states = nil // keep only the cancelled job's trail from here
+	mu.Unlock()
+	if _, err := s.Cancel(q); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(states) != 1 || states[0] != Cancelled {
+		t.Errorf("cancelled-queued trail = %v, want [cancelled]", states)
+	}
+}
+
+func TestDrainWaitsForLiveJobs(t *testing.T) {
+	s := NewScheduler(2, nil)
+	defer s.Close()
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	ex := blockingExec(started, release)
+
+	if _, err := s.Submit(context.Background(), "alice", ex, solveOn("a")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if n := s.Live(); n != 1 {
+		t.Errorf("Live = %d, want 1", n)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a job was live")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Errorf("Drain = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain never returned after the last job finished")
+	}
+	if n := s.Live(); n != 0 {
+		t.Errorf("Live after drain = %d, want 0", n)
+	}
+	// Empty scheduler drains immediately.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("Drain(empty) = %v", err)
+	}
+}
+
+func TestDrainHonoursContext(t *testing.T) {
+	s := NewScheduler(1, nil)
+	defer s.Close()
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	ex := blockingExec(started, release)
+	if _, err := s.Submit(context.Background(), "alice", ex, solveOn("a")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, errs.ErrCancelled) {
+		t.Errorf("Drain under dead ctx = %v, want ErrCancelled", err)
+	}
+}
+
+func TestQuotaPolicyRoundTrip(t *testing.T) {
+	for _, p := range []QuotaPolicy{QuotaReject, QuotaQueue} {
+		got, err := ParseQuotaPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseQuotaPolicy(%q) = %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseQuotaPolicy("maybe"); !errors.Is(err, errs.ErrUsage) {
+		t.Errorf("ParseQuotaPolicy(maybe) = %v, want ErrUsage", err)
+	}
+}

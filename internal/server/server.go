@@ -1,0 +1,449 @@
+// Package server serves a FEM-2 system over the wire: a TCP front end
+// that exposes the full typed command surface — the synchronous verbs,
+// the asynchronous submit/status/wait/cancel/jobs job service, and
+// server-pushed job-state notifications — to any number of concurrent
+// network clients.
+//
+// Each connection is one tenant: the server registers a unique
+// per-connection session (user@conn-N) in the shared core.System, so
+// connections get isolated workspaces over the shared database and
+// scheduler, a disconnect cancels exactly that connection's jobs, and
+// the scheduler's per-owner quota meters each connection independently.
+//
+// Shutdown is graceful: Shutdown stops the listener, rejects mutating
+// commands with the draining code while job-control and health verbs
+// still answer, waits for live jobs to finish (cancelling leftovers if
+// the drain context dies first), flushes each connection's outbound
+// queue — terminal notifications included — and closes.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/auvm"
+	"repro/internal/command"
+	"repro/internal/core"
+	"repro/internal/errs"
+	"repro/internal/job"
+	"repro/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown stops the
+// listener — the clean-exit signal, mirroring net/http.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config parameterises one server.
+type Config struct {
+	// MaxJobsPerSession bounds each connection's live jobs; <= 0
+	// disables admission control.
+	MaxJobsPerSession int
+	// QuotaPolicy picks reject-vs-queue when a connection saturates its
+	// bound.
+	QuotaPolicy job.QuotaPolicy
+	// DefaultUser names sessions of connections that skip the Hello
+	// handshake; defaults to "anon".
+	DefaultUser string
+	// Logf, when non-nil, receives one line per connection lifecycle
+	// event.
+	Logf func(format string, args ...any)
+}
+
+// Server serves one core.System over TCP.
+type Server struct {
+	sys *core.System
+	cfg Config
+
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[*conn]struct{}
+	connSeq int64
+	wg      sync.WaitGroup
+}
+
+// New builds a server over a system, installing the per-tenant quota on
+// the system's scheduler.
+func New(sys *core.System, cfg Config) *Server {
+	if cfg.DefaultUser == "" {
+		cfg.DefaultUser = "anon"
+	}
+	sys.Jobs.SetQuota(cfg.MaxJobsPerSession, cfg.QuotaPolicy)
+	return &Server{sys: sys, cfg: cfg, conns: map[*conn]struct{}{}}
+}
+
+// logf writes one log line when configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Listen binds addr and starts serving on it in a new goroutine,
+// returning the bound address (useful with ":0").  Serve's eventual
+// error is discarded; use Serve directly to observe it.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Shutdown (ErrServerClosed) or a
+// listener failure.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.connSeq++
+		c := newConn(s, nc, s.connSeq)
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.serve()
+	}
+}
+
+// removeConn drops a finished connection from the registry.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// Shutdown drains the server gracefully: stop accepting, reject
+// mutating commands (job control, reads, and health verbs still
+// answer), wait for live jobs to reach terminal states — or until ctx
+// dies, after which the remaining jobs are cancelled through their
+// contexts — then flush every connection's outbound queue and close.
+// It returns the drain error: nil when every job finished, the ctx's
+// cancellation otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+
+	// Cancel-or-finish: Drain waits for in-flight work; if ctx dies
+	// first, Close (below) sweeps what is left through the existing job
+	// context plumbing.
+	err := s.sys.Drain(ctx)
+
+	// Stop the connections.  Terminal job notifications were enqueued at
+	// publish time, so each conn's teardown flushes them before the
+	// socket closes.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.cancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	s.sys.Close()
+	return err
+}
+
+// conn is one client connection: a reader goroutine dispatching
+// requests (each on its own goroutine, so a blocking wait never stalls
+// the link), a writer goroutine serializing responses and
+// notifications, and one private session in the shared system.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	id  int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// out is the outbound queue the writer drains; notifications are
+	// enqueued best-effort (dropped when the queue is full — status
+	// remains authoritative), responses block until queued.
+	out chan *wire.Response
+
+	// reqs tracks in-flight request goroutines so teardown can close out
+	// only after every sender is gone.
+	reqs sync.WaitGroup
+
+	mu       sync.Mutex
+	sessName string
+	sess     *auvm.Session
+	unsub    func()
+	hello    bool
+}
+
+// outboundQueue bounds the per-connection response/notification queue.
+const outboundQueue = 256
+
+func newConn(s *Server, nc net.Conn, id int64) *conn {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &conn{
+		srv: s, nc: nc, id: id,
+		ctx: ctx, cancel: cancel,
+		out: make(chan *wire.Response, outboundQueue),
+	}
+}
+
+// serve runs the connection to completion.
+func (c *conn) serve() {
+	defer c.srv.removeConn(c)
+	c.srv.logf("conn-%d: open from %s", c.id, c.nc.RemoteAddr())
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriter(c.nc)
+		for resp := range c.out {
+			if err := wire.EncodeResponse(bw, resp); err != nil {
+				c.cancel()
+				return
+			}
+			// Flush per frame only when the queue is empty, so a burst of
+			// notifications coalesces into one write.
+			if len(c.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					c.cancel()
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	// Unblock the blocking read when the connection context dies (server
+	// shutdown, write failure, quit) — the reader owns teardown.
+	stop := context.AfterFunc(c.ctx, func() {
+		c.nc.SetReadDeadline(time.Now())
+	})
+
+	br := bufio.NewReader(c.nc)
+	for {
+		req, err := wire.DecodeRequest(br)
+		if err != nil {
+			break
+		}
+		if req.Hello != nil {
+			c.handleHello(req)
+			continue
+		}
+		if req.ID == 0 {
+			c.send(&wire.Response{Error: &wire.Error{
+				Code: wire.CodeProto, Message: "request id 0 is reserved for notifications"}})
+			continue
+		}
+		c.reqs.Add(1)
+		go func(req *wire.Request) {
+			defer c.reqs.Done()
+			c.handleCommand(req)
+		}(req)
+	}
+
+	// Teardown, in dependency order: stop new sends (request goroutines
+	// finish, subscription detaches), then close the queue so the writer
+	// flushes what is left, then close the socket and the session —
+	// cancelling this connection's jobs, the mid-solve disconnect story.
+	stop()
+	c.cancel()
+	c.reqs.Wait()
+	c.mu.Lock()
+	unsub, sessName := c.unsub, c.sessName
+	c.mu.Unlock()
+	if unsub != nil {
+		unsub()
+	}
+	close(c.out)
+	c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	<-writerDone
+	c.nc.Close()
+	if sessName != "" {
+		c.srv.sys.CloseSession(sessName)
+	}
+	c.srv.logf("conn-%d: closed (session %s)", c.id, sessName)
+}
+
+// send queues one response, blocking until the writer takes it or the
+// connection dies.
+func (c *conn) send(resp *wire.Response) bool {
+	select {
+	case c.out <- resp:
+		return true
+	case <-c.ctx.Done():
+		return false
+	}
+}
+
+// notify queues one notification best-effort: a full queue drops it
+// rather than blocking the scheduler (the callback runs under the
+// scheduler's mutex), and status/wait remain the authoritative record.
+func (c *conn) notify(resp *wire.Response) {
+	select {
+	case c.out <- resp:
+	default:
+	}
+}
+
+// session returns the connection's session, creating it on first use
+// under the handshake user (or the server default).  The session name
+// is unique per connection, so each connection is its own tenant.
+func (c *conn) session(user string) *auvm.Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess != nil {
+		return c.sess
+	}
+	if user == "" {
+		user = c.srv.cfg.DefaultUser
+	}
+	c.sessName = fmt.Sprintf("%s@conn-%d", user, c.id)
+	c.sess = c.srv.sys.Session(c.sessName)
+	owner := c.sessName
+	c.unsub = c.srv.sys.Jobs.Subscribe(func(snap job.Snapshot) {
+		if snap.Owner != owner {
+			return
+		}
+		c.notify(&wire.Response{Event: jobEvent(snap)})
+	})
+	return c.sess
+}
+
+// jobEvent converts a scheduler snapshot into its wire notification.
+func jobEvent(snap job.Snapshot) *wire.JobEvent {
+	ev := &wire.JobEvent{
+		Job: int64(snap.ID), State: snap.State.String(), Cmd: snap.Cmd.String(),
+	}
+	if snap.Err != nil && snap.State.Terminal() {
+		ev.Error = snap.Err.Error()
+	}
+	return ev
+}
+
+// handleHello answers the handshake.
+func (c *conn) handleHello(req *wire.Request) {
+	c.mu.Lock()
+	already := c.hello || c.sess != nil
+	c.hello = true
+	c.mu.Unlock()
+	if already {
+		c.send(&wire.Response{ID: req.ID, Error: &wire.Error{
+			Code: wire.CodeProto, Message: "hello must be the first and only handshake"}})
+		return
+	}
+	if req.Hello.Proto != command.ProtocolVersion {
+		c.send(&wire.Response{ID: req.ID, Error: &wire.Error{
+			Code: wire.CodeProto,
+			Message: fmt.Sprintf("protocol mismatch: client %d, server %d",
+				req.Hello.Proto, command.ProtocolVersion)}})
+		return
+	}
+	c.session(req.Hello.User)
+	c.mu.Lock()
+	sessName := c.sessName
+	c.mu.Unlock()
+	c.send(&wire.Response{ID: req.ID, Welcome: &wire.Welcome{
+		Server: "fem2d", Release: command.Release,
+		Proto: command.ProtocolVersion, Session: sessName,
+	}})
+}
+
+// handleCommand decodes, gates, executes, and answers one command
+// request.
+func (c *conn) handleCommand(req *wire.Request) {
+	cmd, err := command.UnmarshalCommand(req.Command)
+	if err != nil {
+		c.send(&wire.Response{ID: req.ID, Error: wireError(err)})
+		return
+	}
+	if c.srv.draining.Load() && mutatesUnderDrain(cmd) {
+		c.send(&wire.Response{ID: req.ID, Error: &wire.Error{
+			Code:    wire.CodeDraining,
+			Message: fmt.Sprintf("server is draining; %q not accepted", command.Value(cmd))}})
+		return
+	}
+	sess := c.session("")
+	res, err := sess.Do(c.ctx, cmd)
+
+	resp := &wire.Response{ID: req.ID}
+	if res != nil {
+		if data, merr := command.MarshalResult(res); merr == nil {
+			resp.Result = data
+		} else {
+			err = merr
+		}
+	}
+	if err != nil {
+		resp.Error = wireError(err)
+	}
+	if !c.send(resp) {
+		return
+	}
+	if errors.Is(err, auvm.ErrQuit) {
+		// quit ends the connection after its reply is flushed.
+		c.cancel()
+	}
+}
+
+// mutatesUnderDrain reports whether a command is refused while the
+// server drains.  Job control, reads, and health verbs keep answering
+// so clients can collect results; everything that would create or
+// change state is refused.
+func mutatesUnderDrain(cmd command.Command) bool {
+	switch command.Value(cmd).(type) {
+	case command.Help, command.Ping, command.Version, command.Quit,
+		command.Status, command.Wait, command.Cancel, command.Jobs,
+		command.List, command.Display:
+		return false
+	default:
+		return true
+	}
+}
+
+// wireError maps a server-side error onto its wire code, carrying the
+// error text verbatim so the client renders the identical line.
+func wireError(err error) *wire.Error {
+	code := wire.CodeInternal
+	switch {
+	case errors.Is(err, auvm.ErrQuit):
+		code = wire.CodeQuit
+	case errors.Is(err, job.ErrQuota):
+		code = wire.CodeQuota
+	case errors.Is(err, job.ErrClosed):
+		code = wire.CodeClosed
+	case errors.Is(err, errs.ErrUsage):
+		code = wire.CodeUsage
+	case errors.Is(err, errs.ErrNotFound):
+		code = wire.CodeNotFound
+	case errors.Is(err, errs.ErrCancelled):
+		code = wire.CodeCancelled
+	}
+	return &wire.Error{Code: code, Message: err.Error()}
+}

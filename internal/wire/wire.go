@@ -1,0 +1,227 @@
+// Package wire is the FEM-2 network protocol: the framing and message
+// envelopes a fem2d daemon and its clients exchange over TCP.
+//
+// Every message is one frame: a 4-byte big-endian payload length
+// followed by that many bytes of JSON.  The JSON payload is a Request
+// (client → server) or a Response (server → client).  A Request is
+// either the connection handshake (Hello) or one typed command from the
+// command AST, encoded by command.MarshalCommand; its ID is a
+// client-chosen correlation number echoed on the matching Response, so
+// requests may be pipelined and answered out of order.  A Response with
+// ID 0 and a non-nil Event is a server-pushed job-state notification —
+// the wait-without-blocking channel.
+//
+// The package is pure schema: it imports only the command layer and
+// knows nothing of sessions, scheduling, or sockets beyond io.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one frame's payload.  A frame whose declared length
+// exceeds it fails ReadFrame with ErrFrameTooBig: no command or result
+// in the language comes anywhere near it, so an oversized declaration
+// is a corrupt or hostile peer, not a big model.
+const MaxFrame = 4 << 20
+
+// ErrFrameTooBig reports a frame whose declared payload exceeds
+// MaxFrame.
+var ErrFrameTooBig = errors.New("wire: frame exceeds maximum size")
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.  io.EOF before any header
+// byte is a clean end of stream; a truncated header or payload is
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes declared", ErrFrameTooBig, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Request is one client → server message.
+type Request struct {
+	// ID correlates the response; clients choose it (monotonic is
+	// conventional).  ID 0 is reserved for notifications and must not be
+	// used by requests.
+	ID uint64 `json:"id"`
+	// Hello, when non-nil, is the connection handshake; Command must be
+	// empty then.
+	Hello *Hello `json:"hello,omitempty"`
+	// Command is one typed command in its command.MarshalCommand
+	// envelope.
+	Command json.RawMessage `json:"command,omitempty"`
+}
+
+// Hello opens a connection: it names the user and pins the protocol
+// revision.  The handshake is optional — a server answers bare commands
+// under a connection-local default user — but a client that sends it
+// must send it first.
+type Hello struct {
+	// User is the tenant name; the server derives the per-connection
+	// session name from it.
+	User string `json:"user"`
+	// Proto is the client's command.ProtocolVersion; the server rejects
+	// a mismatch.
+	Proto int `json:"proto"`
+}
+
+// Welcome answers Hello.
+type Welcome struct {
+	// Server names the serving program; Release its software release.
+	Server  string `json:"server"`
+	Release string `json:"release"`
+	// Proto is the server's protocol revision.
+	Proto int `json:"proto"`
+	// Session is the per-connection session name the server registered —
+	// the owner of every job this connection submits.
+	Session string `json:"session"`
+}
+
+// Response is one server → client message: the answer to a request
+// (ID echoes the request), or a notification (ID 0, Event non-nil).
+type Response struct {
+	ID uint64 `json:"id,omitempty"`
+	// Welcome answers a Hello request.
+	Welcome *Welcome `json:"welcome,omitempty"`
+	// Result is the command's typed result in its command.MarshalResult
+	// envelope, absent when the command produced none.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error reports the command's failure; Result may accompany it
+	// (quit answers both).
+	Error *Error `json:"error,omitempty"`
+	// Event is a server-pushed job-state notification.
+	Event *JobEvent `json:"event,omitempty"`
+}
+
+// Error is a wire-encoded failure: a taxonomy code the client maps back
+// onto the shared error sentinels, plus the server-side error text —
+// which the client surfaces verbatim, so remote error lines render
+// byte-identically to local ones.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// The wire error codes.  Each corresponds to one sentinel of the shared
+// taxonomy (or a protocol-level failure); the client reconstitutes
+// errors.Is behaviour from them.
+const (
+	// CodeUsage maps errs.ErrUsage: a malformed or ineligible request.
+	CodeUsage = "usage"
+	// CodeNotFound maps errs.ErrNotFound.
+	CodeNotFound = "not-found"
+	// CodeCancelled maps errs.ErrCancelled.
+	CodeCancelled = "cancelled"
+	// CodeQuota maps job.ErrQuota: the per-session admission control
+	// rejected the submission.
+	CodeQuota = "quota"
+	// CodeClosed maps job.ErrClosed: the scheduler has shut down.
+	CodeClosed = "closed"
+	// CodeDraining reports a command rejected because the server is
+	// draining; job-control reads and ping/version still answer.
+	CodeDraining = "draining"
+	// CodeQuit accompanies the quit verb's result; the server closes the
+	// connection after flushing it.
+	CodeQuit = "quit"
+	// CodeProto reports a protocol violation: a bad frame, a handshake
+	// mismatch, an undecodable envelope.
+	CodeProto = "proto"
+	// CodeInternal reports a server-side failure matching no sentinel.
+	CodeInternal = "internal"
+)
+
+// JobEvent is one job lifecycle transition, pushed to the connection
+// whose session owns the job: submit a solve, keep reading, and the
+// queued → running → done trail arrives without a blocking wait.
+type JobEvent struct {
+	// Job is the job id; State the lifecycle state just entered.
+	Job   int64  `json:"job"`
+	State string `json:"state"`
+	// Cmd is the job's command, canonical line.
+	Cmd string `json:"cmd,omitempty"`
+	// Error is the failure text of a failed or cancelled job.
+	Error string `json:"error,omitempty"`
+}
+
+// String renders the notification line the -notify REPL prints.
+func (e *JobEvent) String() string {
+	if e.Error != "" {
+		return fmt.Sprintf("[job-%d %s: %s — %s]", e.Job, e.State, e.Cmd, e.Error)
+	}
+	return fmt.Sprintf("[job-%d %s: %s]", e.Job, e.State, e.Cmd)
+}
+
+// EncodeRequest marshals and frames a request.
+func EncodeRequest(w io.Writer, req *Request) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, payload)
+}
+
+// EncodeResponse marshals and frames a response.
+func EncodeResponse(w io.Writer, resp *Response) error {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, payload)
+}
+
+// DecodeRequest reads one frame and unmarshals it as a Request.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	req := new(Request)
+	if err := json.Unmarshal(payload, req); err != nil {
+		return nil, fmt.Errorf("wire: bad request: %w", err)
+	}
+	return req, nil
+}
+
+// DecodeResponse reads one frame and unmarshals it as a Response.
+func DecodeResponse(r io.Reader) (*Response, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	resp := new(Response)
+	if err := json.Unmarshal(payload, resp); err != nil {
+		return nil, fmt.Errorf("wire: bad response: %w", err)
+	}
+	return resp, nil
+}

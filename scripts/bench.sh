@@ -2,8 +2,9 @@
 # bench.sh — run the perf-trajectory benchmarks and write the
 # machine-readable benchmark history: BENCH_assembly.json (assembly +
 # solver kernels), BENCH_jobs.json (job-service throughput at 1/4/16
-# parallel sessions), and BENCH_direct.json (cold/warm/refactor direct
-# solves through the factor-once plan layer).
+# parallel sessions), BENCH_direct.json (cold/warm/refactor direct
+# solves through the factor-once plan layer), and BENCH_server.json
+# (network job throughput at 1/4/16 concurrent wire clients).
 #
 # Each JSON file holds one entry per benchmark with iterations, ns/op,
 # B/op, allocs/op, and any custom metrics (jobs/s, profile-nnz).
@@ -16,9 +17,12 @@
 #   JOBS_BENCHTIME=<n>x|s   per-benchmark time    (default: 20x)
 #   DIRECT_BENCH=<regex>    direct-solve benches  (default: DirectSolve)
 #   DIRECT_BENCHTIME=<n>x|s per-benchmark time    (default: 100x)
+#   SERVER_BENCH=<regex>    network benchmarks    (default: ServerThroughput)
+#   SERVER_BENCHTIME=<n>x|s per-benchmark time    (default: 20x)
 #   OUT=<path>              assembly output JSON  (default: BENCH_assembly.json)
 #   JOBS_OUT=<path>         jobs output JSON      (default: BENCH_jobs.json)
 #   DIRECT_OUT=<path>       direct output JSON    (default: BENCH_direct.json)
+#   SERVER_OUT=<path>       server output JSON    (default: BENCH_server.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,9 +32,12 @@ JOBS_BENCH="${JOBS_BENCH:-ConcurrentSolves}"
 JOBS_BENCHTIME="${JOBS_BENCHTIME:-20x}"
 DIRECT_BENCH="${DIRECT_BENCH:-DirectSolve}"
 DIRECT_BENCHTIME="${DIRECT_BENCHTIME:-100x}"
+SERVER_BENCH="${SERVER_BENCH:-ServerThroughput}"
+SERVER_BENCHTIME="${SERVER_BENCHTIME:-20x}"
 OUT="${OUT:-BENCH_assembly.json}"
 JOBS_OUT="${JOBS_OUT:-BENCH_jobs.json}"
 DIRECT_OUT="${DIRECT_OUT:-BENCH_direct.json}"
+SERVER_OUT="${SERVER_OUT:-BENCH_server.json}"
 
 # Go appends a "-<GOMAXPROCS>" suffix to benchmark names only when
 # GOMAXPROCS != 1; strip exactly that suffix so names are comparable
@@ -90,3 +97,7 @@ write_json "$raw" "$JOBS_OUT"
 raw=$(go test -run '^$' -bench "$DIRECT_BENCH" -benchmem -benchtime "$DIRECT_BENCHTIME" .)
 echo "$raw"
 write_json "$raw" "$DIRECT_OUT"
+
+raw=$(go test -run '^$' -bench "$SERVER_BENCH" -benchtime "$SERVER_BENCHTIME" .)
+echo "$raw"
+write_json "$raw" "$SERVER_OUT"
