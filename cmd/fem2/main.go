@@ -6,13 +6,18 @@
 //
 // Usage:
 //
-//	fem2 [-clusters N] [-pes N] [-workers N] [-script file]
+//	fem2 [-clusters N] [-pes N] [-workers N] [-store mem|file]
+//	     [-store-path fem2.db] [-script file]
 //	fem2 -connect host:port [-notify] [-script file]
 //
 // Without -script it reads commands from stdin; type `help` for the
 // command language.  Long-running solves can run asynchronously on the
 // system's job scheduler: `submit solve ...` returns a job id at once,
 // and `status`, `wait`, `cancel`, and `jobs` monitor and control it.
+//
+// With -store file -store-path fem2.db the local system's database and
+// job history persist across runs; `snapshot <file>` / `restore <file>`
+// save and load a whole workspace either way.
 //
 // With -connect the REPL runs against a fem2d daemon instead of an
 // in-process system: the same command language, the same output lines,
@@ -44,6 +49,8 @@ func main() {
 	report := flag.Bool("report", false, "print the machine report on exit")
 	connect := flag.String("connect", "", "serve the REPL from a fem2d daemon at host:port")
 	notify := flag.Bool("notify", false, "with -connect: print job-state notifications")
+	storeBackend := flag.String("store", "mem", "storage backend: mem | file")
+	storePath := flag.String("store-path", "", "with -store file: the store's file path")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the root context: the in-flight solve (local
@@ -72,8 +79,12 @@ func main() {
 		}
 		defer cl.Close()
 		if banner {
-			fmt.Printf("FEM-2 workstation connected to %s (session %s). Type help for commands.\n",
-				*connect, cl.Session())
+			storage := cl.Storage()
+			if storage == "" {
+				storage = "unknown"
+			}
+			fmt.Printf("FEM-2 workstation connected to %s (session %s, storage %s). Type help for commands.\n",
+				*connect, cl.Session(), storage)
 		}
 		if err := cl.Run(ctx, in, os.Stdout, *notify); err != nil {
 			fmt.Fprintln(os.Stderr, "fem2:", err)
@@ -83,7 +94,8 @@ func main() {
 	}
 
 	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes),
-		fem2.WithWorkers(*workers))
+		fem2.WithWorkers(*workers),
+		fem2.WithStore(fem2.StoreConfig{Backend: *storeBackend, Path: *storePath}))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fem2:", err)
 		os.Exit(1)

@@ -8,8 +8,15 @@
 // Usage:
 //
 //	fem2d [-addr :7432] [-clusters N] [-pes N] [-workers N]
+//	      [-store mem|file] [-store-path fem2.db]
 //	      [-max-jobs N] [-quota-policy reject|queue]
 //	      [-drain-timeout 30s]
+//
+// With -store file -store-path fem2.db the daemon is durable: stored
+// models, solution history, and the job journal live in the store
+// file, so a restarted daemon serves everything its predecessor did —
+// jobs in flight at a crash come back deterministically failed with a
+// "lost to restart" cause.
 //
 // Each connection is one tenant: -max-jobs bounds its in-flight jobs,
 // with -quota-policy choosing whether a saturated connection's submits
@@ -46,6 +53,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for running jobs before cancelling them")
 	quiet := flag.Bool("quiet", false, "suppress per-connection log lines")
+	storeBackend := flag.String("store", "mem", "storage backend: mem | file")
+	storePath := flag.String("store-path", "", "with -store file: the store's file path")
 	flag.Parse()
 
 	qp, err := job.ParseQuotaPolicy(*policy)
@@ -54,7 +63,8 @@ func main() {
 		os.Exit(2)
 	}
 	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes),
-		fem2.WithWorkers(*workers))
+		fem2.WithWorkers(*workers),
+		fem2.WithStore(fem2.StoreConfig{Backend: *storeBackend, Path: *storePath}))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fem2d:", err)
 		os.Exit(1)
@@ -72,7 +82,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fem2d:", err)
 		os.Exit(1)
 	}
-	logger.Printf("serving FEM-2 (%d clusters × %d PEs) on %s", *clusters, *pes, ln.Addr())
+	logger.Printf("serving FEM-2 (%d clusters × %d PEs, storage %s) on %s",
+		*clusters, *pes, sys.StorageBackend(), ln.Addr())
 
 	// Serve until a signal arrives, then drain gracefully.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -82,6 +82,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/navm"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -97,11 +98,12 @@ func DefaultConfig() Config { return arch.DefaultConfig() }
 // and machine-wide instrumentation.
 type System = core.System
 
-// options collects everything New configures: the simulated hardware
-// plus the front end's job scheduler bound.
+// options collects everything New configures: the simulated hardware,
+// the front end's job scheduler bound, and the storage backend.
 type options struct {
 	cfg     Config
 	workers int
+	store   StoreConfig
 }
 
 // Option adjusts one dimension of the system New builds.
@@ -138,6 +140,14 @@ func WithConfig(cfg Config) Option { return func(o *options) { o.cfg = cfg } }
 // Workers start lazily on the first SubmitAsync / submit.
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 
+// WithStore selects the storage backend the system's model database and
+// job journal persist through.  The default is the in-memory backend;
+// WithStore(StoreConfig{Backend: StoreFile, Path: "fem2.db"}) makes
+// models, solution history, and job records survive a restart — on
+// start the store is replayed, the database recovered, and jobs that
+// were in flight at a crash deterministically failed.
+func WithStore(sc StoreConfig) Option { return func(o *options) { o.store = sc } }
+
 // New builds the full four-layer stack over the default configuration
 // adjusted by the given options.
 func New(opts ...Option) (*System, error) {
@@ -145,7 +155,10 @@ func New(opts ...Option) (*System, error) {
 	for _, f := range opts {
 		f(&o)
 	}
-	return core.NewSystemWithWorkers(o.cfg, o.workers)
+	if o.store.Backend == "" {
+		o.store.Backend = StoreMem
+	}
+	return core.NewSystemWithStore(o.cfg, o.workers, o.store)
 }
 
 // NewSystem builds the full four-layer stack over an explicit hardware
@@ -226,6 +239,10 @@ type (
 	DeleteCommand = command.Delete
 	// ListCommand enumerates the database or the workspace.
 	ListCommand = command.List
+	// SnapshotCommand saves the session's whole workspace to a file.
+	SnapshotCommand = command.Snapshot
+	// RestoreCommand loads a snapshot file into the workspace.
+	RestoreCommand = command.Restore
 	// SubmitCommand runs another command as an asynchronous job.
 	SubmitCommand = command.Submit
 	// StatusCommand reports one job's state and accounting.
@@ -322,6 +339,10 @@ type (
 	DeleteResult = command.DeleteResult
 	// ListResult enumerates a store's model names.
 	ListResult = command.ListResult
+	// SnapshotResult reports a written workspace snapshot.
+	SnapshotResult = command.SnapshotResult
+	// RestoreResult reports a restored workspace snapshot.
+	RestoreResult = command.RestoreResult
 	// SubmitResult reports a newly submitted job's id and state.
 	SubmitResult = command.SubmitResult
 	// JobStatusResult reports one job's state and accounting.
@@ -405,6 +426,32 @@ const (
 	// QuotaQueue blocks an over-quota submission until a slot frees.
 	QuotaQueue = job.QuotaQueue
 )
+
+// The durable storage layer: a pluggable KV store under the model
+// database and the job journal — see docs/storage.md for the key
+// schema, encodings, and recovery semantics.
+
+// Store is the KV storage interface every backend implements:
+// Get/Put/Delete/Seek plus atomic Batch.
+type Store = store.Store
+
+// StoreConfig selects and parameterises a storage backend, in the
+// spirit of a database DBConfiguration: Backend names it, Path locates
+// a file-backed one.
+type StoreConfig = store.Config
+
+// The storage backend names.
+const (
+	// StoreMem is the in-memory backend — fast, empty at every start.
+	StoreMem = store.BackendMem
+	// StoreFile is the file-backed backend: a single append-only log
+	// file with CRC-framed records, replayed and compacted on open.
+	StoreFile = store.BackendFile
+)
+
+// OpenStore opens a configured storage backend directly — for tools
+// that inspect or migrate a store outside a running system.
+func OpenStore(cfg StoreConfig) (Store, error) { return store.Open(cfg) }
 
 // The network layer: fem2d serves a System over TCP (length-prefixed
 // JSON frames carrying the typed command language — docs/protocol.md),

@@ -3,12 +3,13 @@ package auvm
 import (
 	"bytes"
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/errs"
 	"repro/internal/fem"
+	"repro/internal/store"
 )
 
 // ErrNotFound is returned when retrieving a model the database does not
@@ -22,13 +23,52 @@ var ErrNotFound = errs.ErrNotFound
 // pointers — retrieving gives each user's workspace an independent copy,
 // exactly the "data movement between data base and workspace" the paper
 // describes.  It is safe for concurrent multi-user access.
+//
+// Since the durable-storage PR the database is a thin layer over a
+// store.Store: models live under "m:<name>" keys and per-model solve
+// history under "s:<name>:<seq>" (see docs/storage.md), so with a file
+// backend everything survives a daemon restart.
 type Database struct {
-	mu sync.RWMutex
-	m  map[string][]byte
+	st      store.Store
+	backend string
+	mu      sync.Mutex // serializes compound ops (delete check, seq counters)
+	seqs    map[string]int
 }
 
-// NewDatabase returns an empty database.
-func NewDatabase() *Database { return &Database{m: map[string][]byte{}} }
+// NewDatabase returns an empty in-memory database — the pre-durability
+// behaviour, used by tests and embedded callers.
+func NewDatabase() *Database {
+	return NewDatabaseOn(store.NewMemStore(), store.BackendMem)
+}
+
+// NewDatabaseOn builds a database over an opened store.  backend is
+// the configured backend name, reported by the version verb.  Solution
+// sequence counters are recovered from the store, so appends continue
+// where the previous process stopped.
+func NewDatabaseOn(st store.Store, backend string) *Database {
+	db := &Database{st: st, backend: backend, seqs: map[string]int{}}
+	db.st.Seek(store.PrefixSolution, func(k string, _ []byte) bool {
+		// s:<name>:<seq> — name may itself contain colons, so split at
+		// the last one.
+		var name string
+		var seq int
+		for i := len(k) - 1; i > len(store.PrefixSolution); i-- {
+			if k[i] == ':' {
+				name = k[len(store.PrefixSolution):i]
+				fmt.Sscanf(k[i+1:], "%d", &seq)
+				break
+			}
+		}
+		if name != "" && seq >= db.seqs[name] {
+			db.seqs[name] = seq
+		}
+		return true
+	})
+	return db
+}
+
+// Backend reports the configured storage backend name ("mem", "file").
+func (db *Database) Backend() string { return db.backend }
 
 // modelDTO is the serialized form of a model: gob needs exported,
 // concrete fields.
@@ -120,6 +160,16 @@ func decodeModel(dto *modelDTO) (*fem.Model, []*fem.LoadSet, error) {
 	return m, loads, nil
 }
 
+// gobModel encodes a DTO to its stored bytes.  gob of a fixed concrete
+// type is deterministic, so identical models store identical bytes.
+func gobModel(dto *modelDTO) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		return nil, fmt.Errorf("auvm: encode model %q: %w", dto.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
 // Store serializes a model and its load sets into the database ("store
 // model in DB").
 func (db *Database) Store(m *fem.Model, loads []*fem.LoadSet) error {
@@ -127,24 +177,19 @@ func (db *Database) Store(m *fem.Model, loads []*fem.LoadSet) error {
 	if err != nil {
 		return err
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
-		return fmt.Errorf("auvm: encode model %q: %w", m.Name, err)
+	raw, err := gobModel(dto)
+	if err != nil {
+		return err
 	}
-	db.mu.Lock()
-	db.m[m.Name] = buf.Bytes()
-	db.mu.Unlock()
-	return nil
+	return db.st.Put(store.ModelKey(m.Name), raw)
 }
 
 // Retrieve deserializes a model and its load sets out of the database
 // ("retrieve").  The caller receives fresh copies.
 func (db *Database) Retrieve(name string) (*fem.Model, []*fem.LoadSet, error) {
-	db.mu.RLock()
-	raw, ok := db.m[name]
-	db.mu.RUnlock()
-	if !ok {
-		return nil, nil, fmt.Errorf("auvm: model %q not in database: %w", name, ErrNotFound)
+	raw, err := db.st.Get(store.ModelKey(name))
+	if err != nil {
+		return nil, nil, fmt.Errorf("auvm: model %q not in database: %w", name, err)
 	}
 	var dto modelDTO
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&dto); err != nil {
@@ -153,37 +198,89 @@ func (db *Database) Retrieve(name string) (*fem.Model, []*fem.LoadSet, error) {
 	return decodeModel(&dto)
 }
 
-// Delete removes a model, reporting whether it existed.
+// Delete removes a model and its solution history, reporting whether
+// the model existed.
 func (db *Database) Delete(name string) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.m[name]; !ok {
+	if _, err := db.st.Get(store.ModelKey(name)); err != nil {
 		return false
 	}
-	delete(db.m, name)
-	return true
+	ops := []store.Op{store.Del(store.ModelKey(name))}
+	db.st.Seek(store.SolutionPrefix(name), func(k string, _ []byte) bool {
+		ops = append(ops, store.Del(k))
+		return true
+	})
+	delete(db.seqs, name)
+	return db.st.Batch(ops) == nil
 }
 
 // Names returns the stored model names, sorted.
 func (db *Database) Names() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.m))
-	for k := range db.m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
+	out := []string{}
+	db.st.Seek(store.PrefixModel, func(k string, _ []byte) bool {
+		out = append(out, k[len(store.PrefixModel):])
+		return true
+	})
 	return out
 }
 
-// Bytes returns the database's total serialized size (storage
-// accounting).
+// Bytes returns the database's total serialized model size (storage
+// accounting; history and job records are not charged to the user).
 func (db *Database) Bytes() int64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var t int64
-	for _, b := range db.m {
-		t += int64(len(b))
-	}
+	db.st.Seek(store.PrefixModel, func(_ string, v []byte) bool {
+		t += int64(len(v))
+		return true
+	})
 	return t
+}
+
+// SolutionRecord is one entry of a model's persisted solve history:
+// the metadata of a completed solve, JSON-encoded under
+// "s:<name>:<seq>".  It records what was solved and how it converged —
+// enough to audit a model's analysis trail across restarts — without
+// persisting the displacement vector itself (snapshot/restore carries
+// full state).
+type SolutionRecord struct {
+	Seq        int     `json:"seq"`
+	Model      string  `json:"model"`
+	Set        string  `json:"set"`
+	Backend    string  `json:"backend"`
+	Precond    string  `json:"precond,omitempty"`
+	Iterations int     `json:"iterations"`
+	Residual   float64 `json:"residual"`
+	DOF        int     `json:"dof"`
+	MaxDisp    float64 `json:"max_disp"`
+}
+
+// AppendSolution persists one solve-history record for a model,
+// assigning the next sequence number.
+func (db *Database) AppendSolution(rec SolutionRecord) error {
+	db.mu.Lock()
+	db.seqs[rec.Model]++
+	rec.Seq = db.seqs[rec.Model]
+	db.mu.Unlock()
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("auvm: encode solution record: %w", err)
+	}
+	return db.st.Put(store.SolutionKey(rec.Model, rec.Seq), raw)
+}
+
+// Solutions returns a model's persisted solve history in sequence
+// order.
+func (db *Database) Solutions(name string) ([]SolutionRecord, error) {
+	var out []SolutionRecord
+	var decodeErr error
+	db.st.Seek(store.SolutionPrefix(name), func(k string, v []byte) bool {
+		var rec SolutionRecord
+		if err := json.Unmarshal(v, &rec); err != nil {
+			decodeErr = fmt.Errorf("auvm: decode solution record %q: %w", k, err)
+			return false
+		}
+		out = append(out, rec)
+		return true
+	})
+	return out, decodeErr
 }

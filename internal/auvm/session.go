@@ -175,8 +175,12 @@ func (s *Session) Do(ctx context.Context, cmd command.Command) (command.Result, 
 	case command.Ping:
 		return &command.PingResult{}, nil
 	case command.Version:
-		return &command.VersionResult{Server: "fem2", Release: command.Release,
-			Protocol: command.ProtocolVersion}, nil
+		res := &command.VersionResult{Server: "fem2", Release: command.Release,
+			Protocol: command.ProtocolVersion}
+		if s.DB != nil {
+			res.Storage = s.DB.Backend()
+		}
+		return res, nil
 	case command.Quit:
 		return &command.QuitResult{}, ErrQuit
 	case command.Define:
@@ -219,6 +223,10 @@ func (s *Session) Do(ctx context.Context, cmd command.Command) (command.Result, 
 		return s.doDelete(c)
 	case command.List:
 		return s.doList(c)
+	case command.Snapshot:
+		return s.doSnapshot(c)
+	case command.Restore:
+		return s.doRestore(c)
 	case command.Submit:
 		return s.doSubmit(ctx, c)
 	case command.Status:
@@ -539,6 +547,16 @@ func (s *Session) doSolve(ctx context.Context, c command.Solve) (command.Result,
 	}
 	s.WS.PutSolution(c.Model, sol)
 	res.MaxDOF, res.MaxDisp = MaxDisplacement(sol)
+	// Append the solve to the model's persisted history (best effort:
+	// history is an audit trail, not part of the solve's contract, so a
+	// store error does not fail a solve that already succeeded).
+	if s.DB != nil {
+		_ = s.DB.AppendSolution(SolutionRecord{
+			Model: c.Model, Set: c.Set, Backend: sol.Backend, Precond: sol.Precond,
+			Iterations: sol.Iterations, Residual: sol.Residual,
+			DOF: res.MaxDOF, MaxDisp: res.MaxDisp,
+		})
+	}
 	return res, nil
 }
 

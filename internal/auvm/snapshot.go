@@ -1,0 +1,136 @@
+package auvm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/command"
+	"repro/internal/fem"
+	"repro/internal/linalg"
+)
+
+// Snapshot/restore round-trips a session's workspace through a single
+// file: every model with its load sets, latest solution and stresses,
+// plus the interpreter state (current material, grid-generation
+// parameters) that later verbs like endload depend on.  The format is
+// a magic line followed by one gob-encoded snapshotDTO; restore into a
+// fresh session reproduces byte-identical renderings for the same
+// follow-up script, which the e2e suite pins locally and over the
+// wire.
+
+// snapshotMagic heads every snapshot file; the trailing digit is the
+// snapshot format version.
+const snapshotMagic = "FEM2SNAP1\n"
+
+type snapshotDTO struct {
+	Material fem.Material
+	Grids    map[string]fem.RectGridOpts
+	Models   []modelSnapshotDTO
+}
+
+type modelSnapshotDTO struct {
+	Model    modelDTO
+	Solution *solutionDTO
+	Stresses [][]float64
+}
+
+// solutionDTO carries the result state of a solve: the displacement
+// vector and the convergence metadata that renders in results.  Flop
+// accounting and distributed-solve statistics are deliberately not
+// preserved — they describe the machine that ran the solve, not the
+// solution.
+type solutionDTO struct {
+	U          []float64
+	Backend    string
+	Precond    string
+	Iterations int
+	Residual   float64
+	Refactored bool
+}
+
+// doSnapshot writes the session's workspace to a file.
+func (s *Session) doSnapshot(c command.Snapshot) (command.Result, error) {
+	dto := snapshotDTO{Material: s.material(), Grids: map[string]fem.RectGridOpts{}}
+	s.stateMu.Lock()
+	for name, o := range s.grids {
+		dto.Grids[name] = o
+	}
+	s.stateMu.Unlock()
+	for _, name := range s.WS.ModelNames() {
+		m := s.WS.Model(name)
+		var loads []*fem.LoadSet
+		for _, ln := range s.WS.LoadSetNames(name) {
+			loads = append(loads, s.WS.LoadSet(name, ln))
+		}
+		enc, err := encodeModel(m, loads)
+		if err != nil {
+			return nil, err
+		}
+		ms := modelSnapshotDTO{Model: *enc, Stresses: s.WS.Stresses(name)}
+		if sol := s.WS.Solution(name); sol != nil {
+			ms.Solution = &solutionDTO{
+				U: append([]float64(nil), sol.U...), Backend: sol.Backend,
+				Precond: sol.Precond, Iterations: sol.Iterations,
+				Residual: sol.Residual, Refactored: sol.Refactored,
+			}
+		}
+		dto.Models = append(dto.Models, ms)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	if err := gob.NewEncoder(&buf).Encode(&dto); err != nil {
+		return nil, fmt.Errorf("auvm: encode snapshot: %w", err)
+	}
+	if err := os.WriteFile(c.Path, buf.Bytes(), 0o644); err != nil {
+		return nil, fmt.Errorf("auvm: write snapshot: %w", err)
+	}
+	return &command.SnapshotResult{Path: c.Path, Models: len(dto.Models),
+		Bytes: int64(buf.Len())}, nil
+}
+
+// doRestore loads a snapshot file into the session's workspace,
+// overwriting models of the same name and merging interpreter state.
+func (s *Session) doRestore(c command.Restore) (command.Result, error) {
+	raw, err := os.ReadFile(c.Path)
+	if err != nil {
+		return nil, fmt.Errorf("auvm: read snapshot: %w", err)
+	}
+	if len(raw) < len(snapshotMagic) || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("auvm: %s is not a FEM-2 snapshot", c.Path)
+	}
+	var dto snapshotDTO
+	if err := gob.NewDecoder(bytes.NewReader(raw[len(snapshotMagic):])).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("auvm: decode snapshot: %w", err)
+	}
+	for _, ms := range dto.Models {
+		m, loads, err := decodeModel(&ms.Model)
+		if err != nil {
+			return nil, fmt.Errorf("auvm: restore model %q: %w", ms.Model.Name, err)
+		}
+		s.WS.PutModel(m)
+		for _, ls := range loads {
+			if err := s.WS.PutLoadSet(m.Name, ls); err != nil {
+				return nil, err
+			}
+		}
+		if ms.Solution != nil {
+			s.WS.PutSolution(m.Name, &fem.Solution{
+				U: linalg.Vector(ms.Solution.U), Backend: ms.Solution.Backend,
+				Precond: ms.Solution.Precond, Iterations: ms.Solution.Iterations,
+				Residual: ms.Solution.Residual, Refactored: ms.Solution.Refactored,
+			})
+		}
+		if ms.Stresses != nil {
+			s.WS.PutStresses(m.Name, ms.Stresses)
+		}
+	}
+	s.stateMu.Lock()
+	s.mat = dto.Material
+	for name, o := range dto.Grids {
+		s.grids[name] = o
+	}
+	s.stateMu.Unlock()
+	return &command.RestoreResult{Path: c.Path, Models: len(dto.Models)}, nil
+}

@@ -131,6 +131,17 @@ func (c *Client) Session() string {
 	return c.welcome.Session
 }
 
+// Storage reports the server's storage backend name ("mem", "file")
+// from the Welcome envelope — empty when the server predates it.
+func (c *Client) Storage() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.welcome == nil {
+		return ""
+	}
+	return c.welcome.Storage
+}
+
 // Events is the notification stream: one JobEvent per lifecycle
 // transition of this connection's jobs.  The channel closes when the
 // connection dies.  Events are best-effort (a full buffer drops);

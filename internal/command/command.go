@@ -264,6 +264,23 @@ type List struct {
 	What ListKind
 }
 
+// Snapshot writes the session's entire workspace — every model with
+// its load sets, latest solution and stresses, plus the interpreter
+// state — to a file the restore verb can load into a fresh session.
+// The file is written on the serving side (the daemon's filesystem
+// when issued over the wire).
+type Snapshot struct {
+	// Path is the snapshot file to write.
+	Path string
+}
+
+// Restore loads a snapshot file into the session's workspace,
+// overwriting models of the same name.
+type Restore struct {
+	// Path is the snapshot file to read.
+	Path string
+}
+
 // JobState names a job lifecycle state in the command language.  These
 // are the canonical names: the jobs verb's state filter accepts them,
 // job results render them, and internal/job maps its State enum onto
@@ -347,6 +364,8 @@ func (Store) isCommand()         {}
 func (Retrieve) isCommand()      {}
 func (Delete) isCommand()        {}
 func (List) isCommand()          {}
+func (Snapshot) isCommand()      {}
+func (Restore) isCommand()       {}
 func (Submit) isCommand()        {}
 func (Status) isCommand()        {}
 func (Wait) isCommand()          {}
@@ -482,6 +501,12 @@ func (c Delete) String() string { return "delete " + c.Name }
 
 // String renders the canonical command line.
 func (c List) String() string { return fmt.Sprintf("list %s", c.What) }
+
+// String renders the canonical command line.
+func (c Snapshot) String() string { return "snapshot " + c.Path }
+
+// String renders the canonical command line.
+func (c Restore) String() string { return "restore " + c.Path }
 
 // String renders the canonical command line.
 func (c Submit) String() string { return "submit " + c.Cmd.String() }

@@ -217,6 +217,12 @@ func TestResultRenderings(t *testing.T) {
 		{PingResult{}, "pong"},
 		{VersionResult{Server: "fem2", Release: "0.6.0", Protocol: 1},
 			"fem2 0.6.0 (protocol 1)"},
+		{VersionResult{Server: "fem2", Release: "0.7.0", Protocol: 2, Storage: "file"},
+			"fem2 0.7.0 (protocol 2, storage file)"},
+		{SnapshotResult{Path: "ws.snap", Models: 2, Bytes: 4096},
+			`snapshot "ws.snap": 2 models, 4096 bytes`},
+		{RestoreResult{Path: "ws.snap", Models: 2},
+			`restored 2 models from "ws.snap"`},
 		{QuitResult{}, "bye"},
 		{DefineResult{Name: "wing"}, `defined structure "wing"`},
 		{GenerateResult{Kind: "grid", Name: "g", Nodes: 25, Elements: 32},

@@ -134,6 +134,16 @@ func Parse(line string) (Command, error) {
 		default:
 			return nil, usage("list db|workspace")
 		}
+	case "snapshot":
+		if len(args) != 1 {
+			return nil, usage("snapshot <file>")
+		}
+		return Snapshot{Path: args[0]}, nil
+	case "restore":
+		if len(args) != 1 {
+			return nil, usage("restore <file>")
+		}
+		return Restore{Path: args[0]}, nil
 	case "submit":
 		return parseSubmit(args)
 	case "status":

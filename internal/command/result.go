@@ -34,6 +34,7 @@ const HelpText = `FEM-2 workstation commands:
   display model|displacements|stresses <model>
   store <model> | retrieve <name> | delete <name>
   list db | list workspace
+  snapshot <file> | restore <file>       (save/load the whole workspace)
   submit <command>                       (run asynchronously, returns a job id)
   status <job> | wait <job> | cancel <job>
   jobs [user <name>] [state queued|running|done|failed|cancelled]
@@ -55,6 +56,9 @@ type VersionResult struct {
 	Release string
 	// Protocol is the wire protocol revision (see ProtocolVersion).
 	Protocol int
+	// Storage is the active storage backend ("mem", "file"); "" on
+	// replies from releases that predate durable storage.
+	Storage string
 }
 
 // QuitResult is the reply to Quit (delivered alongside ErrQuit).
@@ -246,6 +250,24 @@ type ListResult struct {
 	Words int64
 }
 
+// SnapshotResult is the reply to Snapshot.
+type SnapshotResult struct {
+	// Path is the snapshot file written (on the serving side).
+	Path string
+	// Models counts the workspace models captured.
+	Models int
+	// Bytes is the snapshot file's size.
+	Bytes int64
+}
+
+// RestoreResult is the reply to Restore.
+type RestoreResult struct {
+	// Path is the snapshot file read (on the serving side).
+	Path string
+	// Models counts the models loaded into the workspace.
+	Models int
+}
+
 // SubmitResult is the reply to Submit.
 type SubmitResult struct {
 	// ID is the new job's id.
@@ -325,6 +347,8 @@ func (StoreResult) isResult()         {}
 func (RetrieveResult) isResult()      {}
 func (DeleteResult) isResult()        {}
 func (ListResult) isResult()          {}
+func (SnapshotResult) isResult()      {}
+func (RestoreResult) isResult()       {}
 func (SubmitResult) isResult()        {}
 func (JobStatusResult) isResult()     {}
 func (JobsResult) isResult()          {}
@@ -338,7 +362,10 @@ func (PingResult) String() string { return "pong" }
 
 // String renders the REPL display line.
 func (r VersionResult) String() string {
-	return fmt.Sprintf("%s %s (protocol %d)", r.Server, r.Release, r.Protocol)
+	if r.Storage == "" {
+		return fmt.Sprintf("%s %s (protocol %d)", r.Server, r.Release, r.Protocol)
+	}
+	return fmt.Sprintf("%s %s (protocol %d, storage %s)", r.Server, r.Release, r.Protocol, r.Storage)
 }
 
 // String renders the REPL display line.
@@ -452,6 +479,16 @@ func (r RetrieveResult) String() string {
 // String renders the REPL display line.
 func (r DeleteResult) String() string {
 	return fmt.Sprintf("deleted %q from data base", r.Name)
+}
+
+// String renders the REPL display line.
+func (r SnapshotResult) String() string {
+	return fmt.Sprintf("snapshot %q: %d models, %d bytes", r.Path, r.Models, r.Bytes)
+}
+
+// String renders the REPL display line.
+func (r RestoreResult) String() string {
+	return fmt.Sprintf("restored %d models from %q", r.Models, r.Path)
 }
 
 // String renders the REPL display line.

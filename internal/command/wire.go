@@ -15,12 +15,14 @@ import (
 // Result.String() rendering is byte-identical to local execution.
 
 // Release is the FEM-2 software release the version verb reports.
-const Release = "0.6.0"
+const Release = "0.7.0"
 
 // ProtocolVersion is the wire protocol revision.  A client and server
 // must agree on it exactly; the version verb and the connection
-// handshake both carry it.
-const ProtocolVersion = 1
+// handshake both carry it.  Revision 2 added the snapshot/restore
+// verbs, the Storage field on version replies, and the storage field
+// of the Welcome envelope.
+const ProtocolVersion = 2
 
 // cmdEnvelope is the wire form of one Command.  Submit nests its wrapped
 // command as another envelope under "cmd"; every other verb carries its
@@ -65,6 +67,8 @@ var commandVerbs = map[string]reflect.Type{
 	"retrieve":       reflect.TypeOf(Retrieve{}),
 	"delete":         reflect.TypeOf(Delete{}),
 	"list":           reflect.TypeOf(List{}),
+	"snapshot":       reflect.TypeOf(Snapshot{}),
+	"restore":        reflect.TypeOf(Restore{}),
 	"status":         reflect.TypeOf(Status{}),
 	"wait":           reflect.TypeOf(Wait{}),
 	"cancel":         reflect.TypeOf(Cancel{}),
@@ -95,6 +99,8 @@ var resultKinds = map[string]reflect.Type{
 	"retrieve":       reflect.TypeOf(RetrieveResult{}),
 	"delete":         reflect.TypeOf(DeleteResult{}),
 	"list":           reflect.TypeOf(ListResult{}),
+	"snapshot":       reflect.TypeOf(SnapshotResult{}),
+	"restore":        reflect.TypeOf(RestoreResult{}),
 	"submit":         reflect.TypeOf(SubmitResult{}),
 	"job-status":     reflect.TypeOf(JobStatusResult{}),
 	"jobs":           reflect.TypeOf(JobsResult{}),

@@ -34,6 +34,8 @@ var wireCommandSamples = []Command{
 	Retrieve{Name: "m"},
 	Delete{Name: "m"},
 	List{What: ListWorkspace},
+	Snapshot{Path: "ws.snap"},
+	Restore{Path: "ws.snap"},
 	Submit{Cmd: Solve{Model: "m", Set: "ls", Parallel: 8}},
 	Status{ID: 7},
 	Wait{ID: 7},
@@ -68,6 +70,8 @@ var wireResultSamples = []Result{
 	&RetrieveResult{Name: "m", LoadSets: 2},
 	&DeleteResult{Name: "m"},
 	&ListResult{What: ListDB, Names: []string{"a", "b"}, Bytes: 512},
+	&SnapshotResult{Path: "ws.snap", Models: 2, Bytes: 4096},
+	&RestoreResult{Path: "ws.snap", Models: 2},
 	&SubmitResult{ID: 7, State: JobQueued, Cmd: "solve m ls"},
 	&JobStatusResult{ID: 7, Owner: "engineer", State: JobFailed,
 		Cmd: "solve m ls", Error: "boom", Ops: 1, Flops: 2, Cycles: 3},

@@ -33,6 +33,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/navm"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -217,7 +218,13 @@ type System struct {
 	// Jobs is the system's asynchronous job service: a bounded worker
 	// pool with per-model serialization, shared by every session.
 	Jobs *job.Scheduler
+	// Store is the durable KV layer under the database and the job
+	// journal: a write-through cache over the configured backend.  With
+	// the file backend, models, solution history, and job records
+	// survive a restart.
+	Store *store.CachedStore
 
+	storeCfg store.Config
 	mu       sync.RWMutex
 	sessions map[string]*auvm.Session
 }
@@ -230,24 +237,57 @@ func NewSystem(cfg arch.Config) (*System, error) {
 
 // NewSystemWithWorkers builds the full stack with the job scheduler's
 // worker pool bounded at workers goroutines (<= 0 selects GOMAXPROCS).
-// Workers start lazily on the first asynchronous submission.
+// Workers start lazily on the first asynchronous submission.  Storage
+// is the in-memory backend; use NewSystemWithStore for a durable one.
 func NewSystemWithWorkers(cfg arch.Config, workers int) (*System, error) {
+	return NewSystemWithStore(cfg, workers, store.Config{Backend: store.BackendMem})
+}
+
+// NewSystemWithStore builds the full stack over a configured storage
+// backend: the store is opened (replaying and compacting a file-backed
+// log as needed), its format version checked, the model database
+// recovered from it, and the job journal attached — so with the file
+// backend a restarted system serves every previously-stored model and
+// the complete terminal job history, with jobs that were in flight at
+// the crash deterministically failed.
+func NewSystemWithStore(cfg arch.Config, workers int, sc store.Config) (*System, error) {
 	m, err := arch.New(cfg)
 	if err != nil {
+		return nil, err
+	}
+	backing, err := store.Open(sc)
+	if err != nil {
+		return nil, err
+	}
+	st := store.NewCached(backing, 0)
+	if err := store.EnsureFormat(st); err != nil {
+		st.Close()
 		return nil, err
 	}
 	s := &System{
 		Machine:  m,
 		Runtime:  navm.NewRuntime(m),
-		Database: auvm.NewDatabase(),
+		Database: auvm.NewDatabaseOn(st, sc.BackendName()),
 		Metrics:  metrics.NewCollector(),
 		Trace:    trace.NewCapped(1 << 16),
+		Store:    st,
+		storeCfg: sc,
 		sessions: map[string]*auvm.Session{},
 	}
 	s.Jobs = job.NewScheduler(workers, s.Metrics)
+	if _, err := s.Jobs.AttachJournal(st); err != nil {
+		s.Jobs.Close()
+		st.Close()
+		return nil, err
+	}
 	s.Runtime.AttachInstrumentation(s.Metrics, s.Trace)
 	return s, nil
 }
+
+// StorageBackend reports the configured storage backend name ("mem",
+// "file") — surfaced by the version verb and the wire Welcome
+// envelope.
+func (s *System) StorageBackend() string { return s.storeCfg.BackendName() }
 
 // Session returns the named user session, creating it on first use —
 // FEM-2's multi-user access.  Safe for concurrent use: simultaneous
@@ -319,10 +359,16 @@ func (s *System) CloseSession(user string) bool {
 // then Closes (which cancels whatever a timed-out drain left behind).
 func (s *System) Drain(ctx context.Context) error { return s.Jobs.Drain(ctx) }
 
-// Close shuts the system's job service down: queued jobs are cancelled,
-// running jobs are interrupted, and the worker pool drains.  Sessions
-// remain usable synchronously afterwards.  Idempotent.
-func (s *System) Close() { s.Jobs.Close() }
+// Close shuts the system down: queued jobs are cancelled, running jobs
+// are interrupted, the worker pool drains, and the store closes (every
+// acknowledged write is already on disk — the store needs no flush).
+// Idempotent.
+func (s *System) Close() {
+	s.Jobs.Close()
+	if s.Store != nil {
+		s.Store.Close()
+	}
+}
 
 // ValidateDesign checks every layer specification against its formal
 // grammars — the design method's "firm up" step.

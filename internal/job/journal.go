@@ -1,0 +1,204 @@
+package job
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/command"
+	"repro/internal/store"
+)
+
+// The job journal persists job records through the system's store under
+// "j:<id>" keys (see docs/storage.md), so a daemon restart recovers the
+// complete terminal job history.  Records are written at submit
+// (queued) and overwritten at the terminal transition with the result;
+// a record still non-terminal when a process is killed is, by
+// definition, a job the crash destroyed — recovery rewrites it as
+// Failed with a deterministic "lost to restart" cause.
+//
+// The journal also outlives retention eviction: evictLocked re-persists
+// a record before dropping it from memory, and Status/Wait/Cancel fall
+// back to the journal for ids the in-memory map no longer holds.
+
+// journalRecord is the JSON encoding of one job record.  Cmd and Result
+// reuse the wire envelopes (command.MarshalCommand/MarshalResult), so
+// the journal schema evolves with the protocol instead of forking it.
+type journalRecord struct {
+	ID     int64           `json:"id"`
+	Owner  string          `json:"owner"`
+	Model  string          `json:"model,omitempty"`
+	Cmd    json.RawMessage `json:"cmd"`
+	State  string          `json:"state"`
+	Err    string          `json:"err,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Ops    int64           `json:"ops,omitempty"`
+	Flops  int64           `json:"flops,omitempty"`
+	Cycles int64           `json:"cycles,omitempty"`
+}
+
+// AttachJournal connects the scheduler to a store and recovers the job
+// history it holds: terminal records come back verbatim, jobs that were
+// queued or running when the previous process died are rewritten as
+// Failed with a "lost to restart" cause, and the id counter resumes
+// past the highest recovered id.  The most recent records (up to the
+// retention bound) are loaded into memory so the jobs verb lists them;
+// everything stays readable through the journal fallback regardless.
+// It returns the number of records recovered.  Call it once, before
+// the scheduler sees traffic.
+func (s *Scheduler) AttachJournal(st store.Store) (int, error) {
+	var recs []journalRecord
+	var decodeErr error
+	st.Seek(store.PrefixJob, func(k string, v []byte) bool {
+		var rec journalRecord
+		if err := json.Unmarshal(v, &rec); err != nil {
+			decodeErr = fmt.Errorf("job: corrupt journal record %q: %w", k, err)
+			return false
+		}
+		recs = append(recs, rec)
+		return true
+	})
+	if decodeErr != nil {
+		return 0, decodeErr
+	}
+
+	// Rewrite crash-interrupted records first, so the store and the
+	// in-memory view agree even if we crash again mid-recovery.
+	var fixups []store.Op
+	for i := range recs {
+		st, err := ParseState(recs[i].State)
+		if err != nil || !st.Terminal() {
+			recs[i].State = Failed.String()
+			recs[i].Err = fmt.Sprintf("job-%d lost to restart", recs[i].ID)
+			recs[i].Result = nil
+			raw, err := json.Marshal(recs[i])
+			if err != nil {
+				return 0, fmt.Errorf("job: re-encode journal record: %w", err)
+			}
+			fixups = append(fixups, store.Put(store.JobKey(recs[i].ID), raw))
+		}
+	}
+	if len(fixups) > 0 {
+		if err := st.Batch(fixups); err != nil {
+			return 0, fmt.Errorf("job: rewriting crashed jobs: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = st
+	// Load the most recent records into memory, oldest first so order
+	// and eviction behave exactly as if the jobs had run here.
+	sort.Slice(recs, func(i, k int) bool { return recs[i].ID < recs[k].ID })
+	first := 0
+	if s.retain > 0 && len(recs) > s.retain {
+		first = len(recs) - s.retain
+	}
+	for _, rec := range recs[first:] {
+		j, err := jobFromRecord(rec)
+		if err != nil {
+			return 0, err
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	if len(recs) > 0 {
+		if max := recs[len(recs)-1].ID; max > s.next {
+			s.next = max
+		}
+	}
+	return len(recs), nil
+}
+
+// recordLocked builds the journal encoding of a job's current state.
+func recordLocked(j *job) ([]byte, error) {
+	cmdRaw, err := command.MarshalCommand(j.cmd)
+	if err != nil {
+		return nil, err
+	}
+	rec := journalRecord{
+		ID: int64(j.id), Owner: j.owner, Model: j.model, Cmd: cmdRaw,
+		State: j.state.String(),
+		Ops:   j.ops, Flops: j.flops, Cycles: j.cycles,
+	}
+	if j.err != nil {
+		rec.Err = j.err.Error()
+	}
+	if j.res != nil {
+		if raw, err := command.MarshalResult(j.res); err == nil {
+			rec.Result = raw
+		}
+	}
+	return json.Marshal(rec)
+}
+
+// persistLocked writes a job's current record through the journal.
+// Best effort by design: a journal write failure must not fail the job
+// it records (the job itself already ran), so errors are swallowed —
+// the record simply stays at its previous state and recovery treats it
+// accordingly.  No-op when no journal is attached.
+func (s *Scheduler) persistLocked(j *job) {
+	if s.journal == nil {
+		return
+	}
+	raw, err := recordLocked(j)
+	if err != nil {
+		return
+	}
+	_ = s.journal.Put(store.JobKey(int64(j.id)), raw)
+}
+
+// jobFromRecord rebuilds an in-memory terminal job from its journal
+// record.
+func jobFromRecord(rec journalRecord) (*job, error) {
+	st, err := ParseState(rec.State)
+	if err != nil {
+		return nil, fmt.Errorf("job: journal record %d: %w", rec.ID, err)
+	}
+	cmd, err := command.UnmarshalCommand(rec.Cmd)
+	if err != nil {
+		return nil, fmt.Errorf("job: journal record %d: %w", rec.ID, err)
+	}
+	j := &job{
+		id: JobID(rec.ID), owner: rec.Owner, model: rec.Model, cmd: cmd,
+		cancel: func() {}, state: st,
+		ops: rec.Ops, flops: rec.Flops, cycles: rec.Cycles,
+		done: make(chan struct{}),
+	}
+	close(j.done) // recovered records are terminal by construction
+	if rec.Err != "" {
+		j.err = errors.New(rec.Err)
+	}
+	if len(rec.Result) > 0 {
+		if res, err := command.UnmarshalResult(rec.Result); err == nil {
+			j.res = res
+		}
+	}
+	return j, nil
+}
+
+// journalLookup reads one job straight from the journal — the fallback
+// for ids retention has evicted from memory.  Callers must not hold
+// s.mu (the store read can hit disk).
+func (s *Scheduler) journalLookup(id JobID) (*job, bool) {
+	s.mu.Lock()
+	st := s.journal
+	s.mu.Unlock()
+	if st == nil {
+		return nil, false
+	}
+	raw, err := st.Get(store.JobKey(int64(id)))
+	if err != nil {
+		return nil, false
+	}
+	var rec journalRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, false
+	}
+	j, err := jobFromRecord(rec)
+	if err != nil {
+		return nil, false
+	}
+	return j, true
+}

@@ -1,0 +1,226 @@
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/command"
+	"repro/internal/store"
+)
+
+// attachMem wires a fresh in-memory journal into a new scheduler.
+func attachMem(t *testing.T, workers int) (*Scheduler, store.Store) {
+	t.Helper()
+	s := NewScheduler(workers, nil)
+	st := store.NewMemStore()
+	if _, err := s.AttachJournal(st); err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+// runN runs n successful solve jobs on distinct models and waits for
+// each, so the scheduler holds n terminal records.
+func runN(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	ex := execFunc(func(ctx context.Context, cmd command.Command) (command.Result, error) {
+		return &command.SolveResult{Model: cmd.(command.Solve).Model, Set: "l"}, nil
+	})
+	for i := 0; i < n; i++ {
+		id, err := s.Submit(context.Background(), "eng", ex, solveOn(fmt.Sprintf("m%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJournalRecoversHistory pins the restart story: a new scheduler
+// attached to the old scheduler's store serves the full terminal
+// history — states, results, and the resumed id counter.
+func TestJournalRecoversHistory(t *testing.T) {
+	s, st := attachMem(t, 2)
+	runN(t, s, 3)
+	failing := execFunc(func(ctx context.Context, cmd command.Command) (command.Result, error) {
+		return nil, errors.New("boom")
+	})
+	fid, err := s.Submit(context.Background(), "eng", failing, solveOn("bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Wait(context.Background(), fid)
+	s.Close()
+
+	s2 := NewScheduler(2, nil)
+	defer s2.Close()
+	n, err := s2.AttachJournal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("recovered %d records, want 4", n)
+	}
+	snap, err := s2.Status(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Done || snap.Owner != "eng" || snap.Model != "m0" {
+		t.Errorf("recovered job-1 = %+v", snap)
+	}
+	res, err := s2.Wait(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr, ok := res.(*command.SolveResult); !ok || sr.Model != "m0" {
+		t.Errorf("recovered result = %#v", res)
+	}
+	if snap, _ := s2.Status(fid); snap.State != Failed {
+		t.Errorf("recovered failed job state = %v", snap.State)
+	}
+	if _, err := s2.Wait(context.Background(), fid); err == nil || err.Error() != "boom" {
+		t.Errorf("recovered failure = %v, want boom", err)
+	}
+	// The id counter resumes past the recovered history.
+	id, err := s2.Submit(context.Background(), "eng",
+		execFunc(func(ctx context.Context, cmd command.Command) (command.Result, error) {
+			return &command.SolveResult{}, nil
+		}), solveOn("next"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 {
+		t.Errorf("post-recovery id = %v, want job-5", id)
+	}
+}
+
+// TestJournalLostToRestart pins crash recovery: records still queued or
+// running in the store (the previous process died mid-job) come back
+// Failed with the deterministic lost-to-restart cause — rewritten in
+// the store itself, not just in memory.
+func TestJournalLostToRestart(t *testing.T) {
+	st := store.NewMemStore()
+	cmdRaw, err := command.MarshalCommand(command.Solve{Model: "wing", Set: "tip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, state := range map[int64]string{7: "queued", 9: "running"} {
+		raw, err := json.Marshal(journalRecord{
+			ID: id, Owner: "eng", Model: "wing", Cmd: cmdRaw, State: state})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(store.JobKey(id), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewScheduler(1, nil)
+	defer s.Close()
+	if _, err := s.AttachJournal(st); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []JobID{7, 9} {
+		snap, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State != Failed {
+			t.Errorf("job-%d state = %v, want failed", id, snap.State)
+		}
+		want := fmt.Sprintf("job-%d lost to restart", id)
+		if snap.Err == nil || snap.Err.Error() != want {
+			t.Errorf("job-%d err = %v, want %q", id, snap.Err, want)
+		}
+	}
+	// The rewrite is durable: the store's own record is terminal now.
+	raw, err := st.Get(store.JobKey(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec journalRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != "failed" || !strings.Contains(rec.Err, "lost to restart") {
+		t.Errorf("stored record after recovery = %+v", rec)
+	}
+}
+
+// TestJournalOutlivesEviction pins the retention fix: a terminal record
+// evicted from memory is flushed to the journal first, and Status /
+// Wait / Cancel keep answering for it through the journal fallback.
+func TestJournalOutlivesEviction(t *testing.T) {
+	s, st := attachMem(t, 1)
+	defer s.Close()
+	s.SetRetention(2)
+	runN(t, s, 5)
+
+	// Only the newest two survive in memory...
+	if got := len(s.List(Filter{})); got != 2 {
+		t.Fatalf("in-memory records = %d, want 2", got)
+	}
+	// ...but every id still answers.
+	for id := JobID(1); id <= 5; id++ {
+		snap, err := s.Status(id)
+		if err != nil {
+			t.Fatalf("Status(job-%d) after eviction: %v", id, err)
+		}
+		if snap.State != Done {
+			t.Errorf("job-%d state = %v, want done", id, snap.State)
+		}
+		if res, err := s.Wait(context.Background(), id); err != nil || res == nil {
+			t.Errorf("Wait(job-%d) after eviction = %v, %v", id, res, err)
+		}
+		if state, err := s.Cancel(id); err != nil || state != Done {
+			t.Errorf("Cancel(job-%d) after eviction = %v, %v", id, state, err)
+		}
+	}
+	// And the store holds all five records.
+	n := 0
+	st.Seek(store.PrefixJob, func(k string, v []byte) bool { n++; return true })
+	if n != 5 {
+		t.Errorf("journal records = %d, want 5", n)
+	}
+}
+
+// TestJournalRetentionLoad pins recovery under retention: only the
+// newest records load into memory, older ids answer via the fallback.
+func TestJournalRetentionLoad(t *testing.T) {
+	s, st := attachMem(t, 1)
+	runN(t, s, 5)
+	s.Close()
+
+	s2 := NewScheduler(1, nil)
+	defer s2.Close()
+	s2.SetRetention(2)
+	if _, err := s2.AttachJournal(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.List(Filter{})); got != 2 {
+		t.Errorf("in-memory records after recovery = %d, want 2", got)
+	}
+	if snap, err := s2.Status(1); err != nil || snap.State != Done {
+		t.Errorf("evicted-at-recovery job-1 = %+v, %v", snap, err)
+	}
+}
+
+// TestJournalCorruptRecordFails pins the failure mode: a journal record
+// that does not decode fails AttachJournal loudly instead of silently
+// dropping history.
+func TestJournalCorruptRecordFails(t *testing.T) {
+	st := store.NewMemStore()
+	if err := st.Put(store.JobKey(1), []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(1, nil)
+	defer s.Close()
+	if _, err := s.AttachJournal(st); err == nil {
+		t.Fatal("AttachJournal accepted a corrupt record")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // ErrClosed is returned by Submit after the scheduler shuts down.
@@ -88,7 +89,11 @@ type Scheduler struct {
 	// order for eviction past maxModelCaches.
 	caches     map[string]*linalg.FactorCache
 	cacheOrder []string
-	wg         sync.WaitGroup
+	// journal, when non-nil, persists job records through the system's
+	// store (see journal.go): queued at submit, terminal at finish, and
+	// flushed before retention eviction.
+	journal store.Store
+	wg      sync.WaitGroup
 }
 
 // maxModelCaches bounds the per-model factor caches a scheduler keeps;
@@ -150,6 +155,10 @@ func (s *Scheduler) evictLocked() {
 			continue
 		}
 		if len(s.jobs) > s.retain && j.state.Terminal() {
+			// Flush the record to the journal before dropping it from
+			// memory, so history survives eviction (and restart): Status
+			// and Wait keep answering for evicted ids via the journal.
+			s.persistLocked(j)
 			delete(s.jobs, id)
 			continue
 		}
@@ -208,6 +217,7 @@ func (s *Scheduler) Submit(ctx context.Context, owner string, ex Executor, cmd c
 	s.live[owner]++
 	s.liveTotal++
 	s.evictLocked()
+	s.persistLocked(j) // journal the submission; terminal write overtakes it
 	s.publishLocked(j)
 	if Heavy(cmd) {
 		s.startWorkersLocked()
@@ -415,15 +425,21 @@ func (s *Scheduler) execute(j *job) {
 	s.mu.Unlock()
 }
 
-// Status returns a snapshot of one job.
+// Status returns a snapshot of one job.  Ids retention has evicted
+// from memory are answered from the journal when one is attached.
 func (s *Scheduler) Status(id JobID) (Snapshot, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
-	if !ok {
-		return Snapshot{}, notFound(id)
+	if ok {
+		snap := s.snapshotLocked(j)
+		s.mu.Unlock()
+		return snap, nil
 	}
-	return s.snapshotLocked(j), nil
+	s.mu.Unlock()
+	if j, ok := s.journalLookup(id); ok {
+		return s.snapshotLocked(j), nil
+	}
+	return Snapshot{}, notFound(id)
 }
 
 // snapshotLocked copies a job's current state.
@@ -444,6 +460,11 @@ func (s *Scheduler) Wait(ctx context.Context, id JobID) (command.Result, error) 
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
+		// An evicted terminal job is already finished: answer its stored
+		// outcome from the journal immediately.
+		if j, ok := s.journalLookup(id); ok {
+			return j.res, j.err
+		}
 		return nil, notFound(id)
 	}
 	select {
@@ -467,6 +488,10 @@ func (s *Scheduler) Cancel(id JobID) (State, error) {
 	j, ok := s.jobs[id]
 	if !ok {
 		s.mu.Unlock()
+		// An evicted job is terminal; cancelling it reports its state.
+		if j, ok := s.journalLookup(id); ok {
+			return j.state, nil
+		}
 		return 0, notFound(id)
 	}
 	switch j.state {

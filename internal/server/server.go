@@ -372,6 +372,7 @@ func (c *conn) handleHello(req *wire.Request) {
 	c.send(&wire.Response{ID: req.ID, Welcome: &wire.Welcome{
 		Server: "fem2d", Release: command.Release,
 		Proto: command.ProtocolVersion, Session: sessName,
+		Storage: c.srv.sys.StorageBackend(),
 	}})
 }
 
@@ -415,12 +416,14 @@ func (c *conn) handleCommand(req *wire.Request) {
 // mutatesUnderDrain reports whether a command is refused while the
 // server drains.  Job control, reads, and health verbs keep answering
 // so clients can collect results; everything that would create or
-// change state is refused.
+// change state is refused.  Snapshot is a read (it serializes the
+// workspace to a server-side file) and stays allowed — the natural
+// last act before a shutdown — while restore mutates and is refused.
 func mutatesUnderDrain(cmd command.Command) bool {
 	switch command.Value(cmd).(type) {
 	case command.Help, command.Ping, command.Version, command.Quit,
 		command.Status, command.Wait, command.Cancel, command.Jobs,
-		command.List, command.Display:
+		command.List, command.Display, command.Snapshot:
 		return false
 	default:
 		return true

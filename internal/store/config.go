@@ -1,0 +1,48 @@
+package store
+
+import "fmt"
+
+// Backend names accepted by Config.Backend (the -store flag values).
+const (
+	// BackendMem keeps everything in process memory: fast, and gone on
+	// exit.  The default, and the pre-durability behaviour.
+	BackendMem = "mem"
+	// BackendFile persists to a single append-only log file with an
+	// in-memory index, compacted on open.
+	BackendFile = "file"
+)
+
+// Config selects and parameterizes a backend, in the style of neo-go's
+// dbconfig: one small struct a binary can fill from flags and hand to
+// Open.
+type Config struct {
+	// Backend is BackendMem or BackendFile.  Empty means BackendMem.
+	Backend string
+	// Path is the store file for BackendFile; ignored for BackendMem.
+	Path string
+}
+
+// Open builds the configured backend.  The caller usually wraps the
+// result in NewCached.
+func Open(cfg Config) (Store, error) {
+	switch cfg.Backend {
+	case "", BackendMem:
+		return NewMemStore(), nil
+	case BackendFile:
+		if cfg.Path == "" {
+			return nil, fmt.Errorf("store: file backend needs a path")
+		}
+		return OpenFileStore(cfg.Path)
+	default:
+		return nil, fmt.Errorf("store: unknown backend %q (want %s or %s)", cfg.Backend, BackendMem, BackendFile)
+	}
+}
+
+// BackendName normalizes a Config's backend for display (the version
+// verb and the wire Welcome envelope).
+func (c Config) BackendName() string {
+	if c.Backend == "" {
+		return BackendMem
+	}
+	return c.Backend
+}

@@ -1,0 +1,428 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FileStore is the durable backend: one append-only log file plus an
+// in-memory index, in the spirit of a bolt-style single-file store but
+// built log-structured so every write is a single sequential append.
+//
+// On-disk layout:
+//
+//	magic    8 bytes  "FEM2STO1"
+//	frame*   each frame is one atomic batch:
+//	           4 bytes  big-endian payload length
+//	           payload  sequence of ops (see below)
+//	           4 bytes  big-endian CRC-32 (IEEE) of the payload
+//
+// Each op inside a payload:
+//
+//	1 byte   kind: 1 = put, 2 = delete
+//	4 bytes  big-endian key length, then the key
+//	4 bytes  big-endian value length, then the value   (puts only)
+//
+// A batch is written with a single write(2) call, so after a process
+// crash (kill -9) the file ends either after a complete frame or in a
+// torn one.  Open replays frames until the first length/CRC mismatch,
+// truncates the tail there, and rebuilds the index — every batch is
+// all-or-nothing, which is exactly the Batch contract.
+//
+// Deletes and overwrites leave dead bytes behind; when they outgrow
+// the live data, Open compacts: it rewrites the live records (sorted,
+// one frame per key, so the result is deterministic) to a temp file
+// and renames it over the log.
+//
+// The index maps each live key to the offset of its value inside the
+// file, so Get is one pread and memory stays proportional to keys,
+// not values.  One process owns a store file at a time; FEM-2's
+// daemon model (one System per store) already guarantees that.
+type FileStore struct {
+	mu     sync.RWMutex
+	f      *os.File
+	path   string
+	size   int64 // current end of file = next append offset
+	index  map[string]valueLoc
+	live   int64 // bytes of live payload (keys + values still reachable)
+	closed bool
+}
+
+type valueLoc struct {
+	off int64 // offset of the value bytes within the file
+	len int32
+}
+
+const (
+	fileMagic = "FEM2STO1"
+
+	opPut    = 1
+	opDelete = 2
+
+	// compactMinGarbage is the least dead-byte count worth rewriting
+	// the file for; below it Open leaves even 100%-garbage logs alone.
+	compactMinGarbage = 1 << 16
+)
+
+// OpenFileStore opens (or creates) the store file at path, replays the
+// log to rebuild the index, truncates any torn tail left by a crash,
+// and compacts the log when dead bytes outweigh live ones.
+func OpenFileStore(path string) (*FileStore, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+		}
+	}
+	s, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	garbage := s.size - int64(len(fileMagic)) - s.frameOverhead() - s.live
+	if garbage >= compactMinGarbage && garbage > s.live {
+		if err := s.compact(); err != nil {
+			s.f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func openFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	s := &FileStore{f: f, path: path, index: map[string]valueLoc{}}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// frameOverhead estimates the framing + op-header bytes attributable
+// to the live index, so the garbage computation compares payload to
+// payload rather than charging headers as garbage.
+func (s *FileStore) frameOverhead() int64 {
+	// Per live key: op kind (1) + key len (4) + value len (4) plus a
+	// share of frame header/CRC (8).  An estimate is fine — it only
+	// biases when compaction triggers, not correctness.
+	return int64(len(s.index)) * 17
+}
+
+// replay scans the log, rebuilding the index and truncating the file
+// at the first incomplete or corrupt frame (the torn tail of a crash).
+func (s *FileStore) replay() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat %s: %w", s.path, err)
+	}
+	if info.Size() == 0 {
+		if _, err := s.f.Write([]byte(fileMagic)); err != nil {
+			return fmt.Errorf("store: writing magic: %w", err)
+		}
+		s.size = int64(len(fileMagic))
+		return nil
+	}
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(s.f, magic); err != nil || string(magic) != fileMagic {
+		return fmt.Errorf("store: %s is not a FEM-2 store file", s.path)
+	}
+	off := int64(len(fileMagic))
+	var hdr [4]byte
+	for {
+		if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+			break // clean EOF or torn length header: truncate here
+		}
+		plen := int64(binary.BigEndian.Uint32(hdr[:]))
+		frameEnd := off + 4 + plen + 4
+		if frameEnd > info.Size() {
+			break // torn payload
+		}
+		payload := make([]byte, plen)
+		if _, err := s.f.ReadAt(payload, off+4); err != nil {
+			break
+		}
+		if _, err := s.f.ReadAt(hdr[:], off+4+plen); err != nil {
+			break
+		}
+		if binary.BigEndian.Uint32(hdr[:]) != crc32.ChecksumIEEE(payload) {
+			break // torn or corrupt frame
+		}
+		if err := s.applyPayload(payload, off+4); err != nil {
+			return err
+		}
+		off = frameEnd
+	}
+	if off != info.Size() {
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncating torn tail of %s: %w", s.path, err)
+		}
+	}
+	s.size = off
+	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seeking %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// applyPayload replays one frame's ops into the index.  base is the
+// file offset of the payload's first byte.
+func (s *FileStore) applyPayload(payload []byte, base int64) error {
+	i := 0
+	for i < len(payload) {
+		if len(payload)-i < 5 {
+			return fmt.Errorf("store: %s: malformed frame op", s.path)
+		}
+		kind := payload[i]
+		klen := int(binary.BigEndian.Uint32(payload[i+1 : i+5]))
+		i += 5
+		if len(payload)-i < klen {
+			return fmt.Errorf("store: %s: malformed frame key", s.path)
+		}
+		key := string(payload[i : i+klen])
+		i += klen
+		switch kind {
+		case opDelete:
+			if old, ok := s.index[key]; ok {
+				s.live -= int64(len(key)) + int64(old.len)
+				delete(s.index, key)
+			}
+		case opPut:
+			if len(payload)-i < 4 {
+				return fmt.Errorf("store: %s: malformed frame value length", s.path)
+			}
+			vlen := int(binary.BigEndian.Uint32(payload[i : i+4]))
+			i += 4
+			if len(payload)-i < vlen {
+				return fmt.Errorf("store: %s: malformed frame value", s.path)
+			}
+			if old, ok := s.index[key]; ok {
+				s.live -= int64(len(key)) + int64(old.len)
+			}
+			s.index[key] = valueLoc{off: base + int64(i), len: int32(vlen)}
+			s.live += int64(len(key)) + int64(vlen)
+			i += vlen
+		default:
+			return fmt.Errorf("store: %s: unknown op kind %d", s.path, kind)
+		}
+	}
+	return nil
+}
+
+// encodeFrame serializes ops into one framed batch ready to append.
+func encodeFrame(ops []Op) []byte {
+	plen := 0
+	for _, op := range ops {
+		plen += 5 + len(op.Key)
+		if !op.Delete {
+			plen += 4 + len(op.Value)
+		}
+	}
+	buf := make([]byte, 4+plen+4)
+	binary.BigEndian.PutUint32(buf, uint32(plen))
+	i := 4
+	for _, op := range ops {
+		if op.Delete {
+			buf[i] = opDelete
+		} else {
+			buf[i] = opPut
+		}
+		binary.BigEndian.PutUint32(buf[i+1:], uint32(len(op.Key)))
+		i += 5
+		i += copy(buf[i:], op.Key)
+		if !op.Delete {
+			binary.BigEndian.PutUint32(buf[i:], uint32(len(op.Value)))
+			i += 4
+			i += copy(buf[i:], op.Value)
+		}
+	}
+	binary.BigEndian.PutUint32(buf[4+plen:], crc32.ChecksumIEEE(buf[4:4+plen]))
+	return buf
+}
+
+// Batch appends ops as one frame — a single write, so the batch is
+// all-or-nothing across a crash — then updates the index.
+func (s *FileStore) Batch(ops []Op) error {
+	frame := encodeFrame(ops)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	n, err := s.f.WriteAt(frame, s.size)
+	if err != nil {
+		// A short append leaves a torn frame; the next open truncates
+		// it.  Do not advance size past what landed.
+		s.size += int64(n)
+		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	}
+	base := s.size + 4
+	s.size += int64(len(frame))
+	if err := s.applyPayload(frame[4:len(frame)-4], base); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Put stores value under key.
+func (s *FileStore) Put(key string, value []byte) error {
+	return s.Batch([]Op{Put(key, value)})
+}
+
+// Delete removes key; deleting a missing key writes nothing.
+func (s *FileStore) Delete(key string) error {
+	s.mu.RLock()
+	_, ok := s.index[key]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return nil
+	}
+	return s.Batch([]Op{Del(key)})
+}
+
+// Get reads the value under key with one pread.
+func (s *FileStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	loc, ok := s.index[key]
+	if !ok {
+		return nil, fmt.Errorf("store: key %q: %w", key, ErrNotFound)
+	}
+	out := make([]byte, loc.len)
+	if _, err := s.f.ReadAt(out, loc.off); err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", s.path, err)
+	}
+	return out, nil
+}
+
+// Seek visits keys with the given prefix in ascending byte order.
+func (s *FileStore) Seek(prefix string, fn func(key string, value []byte) bool) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	locs := make([]valueLoc, len(keys))
+	for i, k := range keys {
+		locs[i] = s.index[k]
+	}
+	s.mu.RUnlock()
+	for i, k := range keys {
+		v := make([]byte, locs[i].len)
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return ErrClosed
+		}
+		_, err := s.f.ReadAt(v, locs[i].off)
+		s.mu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("store: reading %s: %w", s.path, err)
+		}
+		if !fn(k, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// compact rewrites the live records — sorted, one frame per key, so
+// the output is deterministic for a given logical state — to a temp
+// file and renames it over the log.  Called from Open with the store
+// still private to the opener, so no locking.
+func (s *FileStore) compact() error {
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), filepath.Base(s.path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("store: compacting %s: %w", s.path, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write([]byte(fileMagic)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compacting %s: %w", s.path, err)
+	}
+	newIndex := make(map[string]valueLoc, len(keys))
+	off := int64(len(fileMagic))
+	for _, k := range keys {
+		loc := s.index[k]
+		v := make([]byte, loc.len)
+		if _, err := s.f.ReadAt(v, loc.off); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compacting %s: %w", s.path, err)
+		}
+		frame := encodeFrame([]Op{Put(k, v)})
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compacting %s: %w", s.path, err)
+		}
+		// Value sits after frame len (4) + op kind (1) + key len (4) +
+		// key + value len (4).
+		newIndex[k] = valueLoc{off: off + 4 + 5 + int64(len(k)) + 4, len: loc.len}
+		off += int64(len(frame))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compacting %s: %w", s.path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compacting %s: %w", s.path, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return fmt.Errorf("store: compacting %s: %w", s.path, err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening compacted %s: %w", s.path, err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seeking %s: %w", s.path, err)
+	}
+	s.f.Close()
+	s.f = f
+	s.index = newIndex
+	s.size = off
+	return nil
+}
+
+// Close flushes nothing (every write already hit the file) and closes
+// the file handle.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	err := s.f.Close()
+	s.index = nil
+	if err != nil {
+		return fmt.Errorf("store: closing %s: %w", s.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Package store is the durable key-value layer under FEM-2: one small
+// Store interface, swappable backends behind a Config, and a
+// write-through cache in front — the neo-go core/storage + dbconfig +
+// MemCachedStore layering, sized for this repo.
+//
+// Everything the service persists goes through this package under a
+// documented key schema (see docs/storage.md):
+//
+//	meta:format        store format version ("1"), written on first open
+//	m:<name>           model topology + properties (gob modelDTO, auvm)
+//	s:<name>:<seq>     solution history, seq zero-padded %08d (JSON)
+//	j:<id>             job records, id zero-padded %016x (JSON)
+//
+// Keys are ordered by byte comparison, so zero-padding the numeric
+// components makes Seek return history in submission order for free.
+//
+// Encodings are deterministic: the same logical value always encodes
+// to the same bytes, so snapshot/restore round-trips and crash
+// recovery are reproducible.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/errs"
+)
+
+// ErrClosed is returned by every operation on a closed store.
+var ErrClosed = fmt.Errorf("store: closed")
+
+// ErrNotFound wraps the shared not-found sentinel so callers can test
+// with errors.Is(err, errs.ErrNotFound) across every layer.
+var ErrNotFound = errs.ErrNotFound
+
+// FormatVersion is the current on-disk format, kept under KeyFormat.
+const FormatVersion = "1"
+
+// KeyFormat is the metadata key holding the store format version.
+const KeyFormat = "meta:format"
+
+// Key-schema prefixes.  Callers build full keys with the helpers below
+// and iterate families with Seek(prefix).
+const (
+	PrefixModel    = "m:"
+	PrefixSolution = "s:"
+	PrefixJob      = "j:"
+	PrefixMeta     = "meta:"
+)
+
+// ModelKey returns the key holding model name's encoded topology.
+func ModelKey(name string) string { return PrefixModel + name }
+
+// SolutionPrefix returns the prefix under which model name's solution
+// history lives.  The trailing colon keeps "plate" from matching
+// "plate2" records.
+func SolutionPrefix(name string) string { return PrefixSolution + name + ":" }
+
+// SolutionKey returns the key for the seq'th solution of model name.
+// seq is zero-padded so byte order is submission order.
+func SolutionKey(name string, seq int) string {
+	return fmt.Sprintf("%s%s:%08d", PrefixSolution, name, seq)
+}
+
+// JobKey returns the key for a job record.  The id is zero-padded hex
+// so byte order is submission order.
+func JobKey(id int64) string { return fmt.Sprintf("%s%016x", PrefixJob, id) }
+
+// Op is one write in a Batch: a put (Value non-nil semantics chosen by
+// Delete flag, not nilness, so empty values round-trip) or a delete.
+type Op struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// Put builds a put Op.
+func Put(key string, value []byte) Op { return Op{Key: key, Value: value} }
+
+// Del builds a delete Op.
+func Del(key string) Op { return Op{Key: key, Delete: true} }
+
+// Store is the one interface every backend implements.
+//
+// Contracts shared by all implementations (pinned by the conformance
+// suite in conformance_test.go):
+//
+//   - Get returns a copy the caller owns; a missing key reports an
+//     error satisfying errors.Is(err, ErrNotFound).
+//   - Put stores a copy of value; the caller may reuse its buffer.
+//   - Delete of a missing key is a no-op, not an error.
+//   - Seek visits keys with the given prefix in ascending byte order
+//     and stops early when fn returns false.  The value passed to fn
+//     is owned by fn only for the duration of the call.
+//   - Batch applies all ops atomically: after a crash either every op
+//     in the batch is visible or none is.
+//   - Every method on a closed store returns ErrClosed (Seek returns
+//     it, Get wraps it).
+type Store interface {
+	Get(key string) ([]byte, error)
+	Put(key string, value []byte) error
+	Delete(key string) error
+	Seek(prefix string, fn func(key string, value []byte) bool) error
+	Batch(ops []Op) error
+	Close() error
+}
+
+// EnsureFormat checks the store's format version, writing it on a
+// fresh store and refusing to open a store written by an incompatible
+// future format.
+func EnsureFormat(s Store) error {
+	v, err := s.Get(KeyFormat)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return s.Put(KeyFormat, []byte(FormatVersion))
+		}
+		return fmt.Errorf("store: reading format version: %w", err)
+	}
+	if string(v) != FormatVersion {
+		return fmt.Errorf("store: format version %q not supported (want %q)", v, FormatVersion)
+	}
+	return nil
+}

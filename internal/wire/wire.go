@@ -106,6 +106,9 @@ type Welcome struct {
 	// Session is the per-connection session name the server registered —
 	// the owner of every job this connection submits.
 	Session string `json:"session"`
+	// Storage names the server's storage backend ("mem", "file"), so a
+	// client knows at connect time whether its models outlive the daemon.
+	Storage string `json:"storage,omitempty"`
 }
 
 // Response is one server → client message: the answer to a request

@@ -3,8 +3,10 @@
 # machine-readable benchmark history: BENCH_assembly.json (assembly +
 # solver kernels), BENCH_jobs.json (job-service throughput at 1/4/16
 # parallel sessions), BENCH_direct.json (cold/warm/refactor direct
-# solves through the factor-once plan layer), and BENCH_server.json
-# (network job throughput at 1/4/16 concurrent wire clients).
+# solves through the factor-once plan layer), BENCH_server.json
+# (network job throughput at 1/4/16 concurrent wire clients), and
+# BENCH_store.json (write-through put latency, cold open + recovery vs
+# stored-model count, snapshot/restore round-trip).
 #
 # Each JSON file holds one entry per benchmark with iterations, ns/op,
 # B/op, allocs/op, and any custom metrics (jobs/s, profile-nnz).
@@ -19,10 +21,13 @@
 #   DIRECT_BENCHTIME=<n>x|s per-benchmark time    (default: 100x)
 #   SERVER_BENCH=<regex>    network benchmarks    (default: ServerThroughput)
 #   SERVER_BENCHTIME=<n>x|s per-benchmark time    (default: 20x)
+#   STORE_BENCH=<regex>     storage benchmarks    (default: ^BenchmarkStore)
+#   STORE_BENCHTIME=<n>x|s  per-benchmark time    (default: 50x)
 #   OUT=<path>              assembly output JSON  (default: BENCH_assembly.json)
 #   JOBS_OUT=<path>         jobs output JSON      (default: BENCH_jobs.json)
 #   DIRECT_OUT=<path>       direct output JSON    (default: BENCH_direct.json)
 #   SERVER_OUT=<path>       server output JSON    (default: BENCH_server.json)
+#   STORE_OUT=<path>        storage output JSON   (default: BENCH_store.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,10 +39,13 @@ DIRECT_BENCH="${DIRECT_BENCH:-DirectSolve}"
 DIRECT_BENCHTIME="${DIRECT_BENCHTIME:-100x}"
 SERVER_BENCH="${SERVER_BENCH:-ServerThroughput}"
 SERVER_BENCHTIME="${SERVER_BENCHTIME:-20x}"
+STORE_BENCH="${STORE_BENCH:-^BenchmarkStore}"
+STORE_BENCHTIME="${STORE_BENCHTIME:-50x}"
 OUT="${OUT:-BENCH_assembly.json}"
 JOBS_OUT="${JOBS_OUT:-BENCH_jobs.json}"
 DIRECT_OUT="${DIRECT_OUT:-BENCH_direct.json}"
 SERVER_OUT="${SERVER_OUT:-BENCH_server.json}"
+STORE_OUT="${STORE_OUT:-BENCH_store.json}"
 
 # Go appends a "-<GOMAXPROCS>" suffix to benchmark names only when
 # GOMAXPROCS != 1; strip exactly that suffix so names are comparable
@@ -101,3 +109,7 @@ write_json "$raw" "$DIRECT_OUT"
 raw=$(go test -run '^$' -bench "$SERVER_BENCH" -benchtime "$SERVER_BENCHTIME" .)
 echo "$raw"
 write_json "$raw" "$SERVER_OUT"
+
+raw=$(go test -run '^$' -bench "$STORE_BENCH" -benchmem -benchtime "$STORE_BENCHTIME" .)
+echo "$raw"
+write_json "$raw" "$STORE_OUT"

@@ -442,8 +442,11 @@ func TestServerPingVersionOverWire(t *testing.T) {
 		t.Errorf("ping = %q, %v", res, err)
 	}
 	res, err = cl.Do(ctx, fem2.VersionCommand{})
-	want := fmt.Sprintf("fem2 %s (protocol %d)", fem2.Release, fem2.ProtocolVersion)
+	want := fmt.Sprintf("fem2 %s (protocol %d, storage mem)", fem2.Release, fem2.ProtocolVersion)
 	if err != nil || res.String() != want {
 		t.Errorf("version = %q, %v; want %q", res, err, want)
+	}
+	if got := cl.Storage(); got != "mem" {
+		t.Errorf("welcome storage = %q, want %q", got, "mem")
 	}
 }
