@@ -7,8 +7,9 @@
 // Usage:
 //
 //	fem2 [-clusters N] [-pes N] [-workers N] [-store mem|file]
-//	     [-store-path fem2.db] [-script file]
-//	fem2 -connect host:port [-notify] [-script file]
+//	     [-store-path fem2.db] [-store-sync] [-script file]
+//	fem2 -connect host:port [-notify] [-retries N] [-retry-backoff 50ms]
+//	     [-request-timeout 0] [-script file]
 //
 // Without -script it reads commands from stdin; type `help` for the
 // command language.  Long-running solves can run asynchronously on the
@@ -22,9 +23,13 @@
 // With -connect the REPL runs against a fem2d daemon instead of an
 // in-process system: the same command language, the same output lines,
 // with jobs running server-side.  -notify additionally prints the
-// server's job-state notifications as they arrive.  In both modes
-// SIGINT/SIGTERM cancels the in-flight command (and, connected, the
-// session's server-side jobs) cleanly.
+// server's job-state notifications as they arrive.  A dropped
+// connection is redialed transparently up to -retries times per
+// request (0 disables reconnection), replaying only the idempotent
+// global verbs; -request-timeout bounds each request client-side
+// (wait is exempt).  In both modes SIGINT/SIGTERM cancels the
+// in-flight command (and, connected, the session's server-side jobs)
+// cleanly.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	fem2 "repro"
 	"repro/internal/client"
@@ -51,6 +57,10 @@ func main() {
 	notify := flag.Bool("notify", false, "with -connect: print job-state notifications")
 	storeBackend := flag.String("store", "mem", "storage backend: mem | file")
 	storePath := flag.String("store-path", "", "with -store file: the store's file path")
+	storeSync := flag.Bool("store-sync", false, "with -store file: fsync every batch (durable through power loss, slower)")
+	retries := flag.Int("retries", 5, "with -connect: reconnect budget per request (0 = fail on first drop)")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "with -connect: base backoff between reconnect attempts")
+	requestTimeout := flag.Duration("request-timeout", 0, "with -connect: per-request client-side deadline (0 = none; wait is exempt)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the root context: the in-flight solve (local
@@ -72,7 +82,9 @@ func main() {
 	}
 
 	if *connect != "" {
-		cl, err := client.Dial(*connect, *user)
+		cl, err := client.DialWithOptions(*connect, *user, client.Options{
+			MaxRetries: *retries, BaseBackoff: *retryBackoff,
+			RequestTimeout: *requestTimeout})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fem2:", err)
 			os.Exit(1)
@@ -95,7 +107,7 @@ func main() {
 
 	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes),
 		fem2.WithWorkers(*workers),
-		fem2.WithStore(fem2.StoreConfig{Backend: *storeBackend, Path: *storePath}))
+		fem2.WithStore(fem2.StoreConfig{Backend: *storeBackend, Path: *storePath, Sync: *storeSync}))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fem2:", err)
 		os.Exit(1)

@@ -8,15 +8,26 @@
 // Usage:
 //
 //	fem2d [-addr :7432] [-clusters N] [-pes N] [-workers N]
-//	      [-store mem|file] [-store-path fem2.db]
+//	      [-store mem|file] [-store-path fem2.db] [-store-sync]
 //	      [-max-jobs N] [-quota-policy reject|queue]
+//	      [-request-timeout 0] [-resubmit-lost N] [-resubmit-backoff 1s]
 //	      [-drain-timeout 30s]
 //
 // With -store file -store-path fem2.db the daemon is durable: stored
 // models, solution history, and the job journal live in the store
 // file, so a restarted daemon serves everything its predecessor did —
 // jobs in flight at a crash come back deterministically failed with a
-// "lost to restart" cause.
+// "lost to restart" cause.  -store-sync additionally fsyncs every
+// batch (durable through power loss, not just process death) at a
+// throughput cost; -resubmit-lost N opts lost jobs into automatic
+// resubmission, up to N attempts each with exponential backoff.
+//
+// The daemon degrades instead of dying when its store does: after
+// persistent write failures it flips to read-only (mutating verbs
+// refuse with the degraded code, reads and job control keep serving)
+// and a background probe re-arms writes when the backend recovers —
+// see docs/robustness.md.  -request-timeout, when set, bounds each
+// command's execution server-side (wait and submit are exempt).
 //
 // Each connection is one tenant: -max-jobs bounds its in-flight jobs,
 // with -quota-policy choosing whether a saturated connection's submits
@@ -55,6 +66,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-connection log lines")
 	storeBackend := flag.String("store", "mem", "storage backend: mem | file")
 	storePath := flag.String("store-path", "", "with -store file: the store's file path")
+	storeSync := flag.Bool("store-sync", false, "with -store file: fsync every batch (durable through power loss, slower)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-command server-side execution bound (0 = none; wait and submit are exempt)")
+	resubmitLost := flag.Int("resubmit-lost", 0, "auto-resubmit jobs lost to a crash, up to N attempts each (0 = off)")
+	resubmitBackoff := flag.Duration("resubmit-backoff", time.Second, "base backoff between lost-job resubmissions")
 	flag.Parse()
 
 	qp, err := job.ParseQuotaPolicy(*policy)
@@ -62,16 +77,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fem2d:", err)
 		os.Exit(2)
 	}
+	logger := log.New(os.Stderr, "fem2d: ", log.LstdFlags)
 	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes),
 		fem2.WithWorkers(*workers),
-		fem2.WithStore(fem2.StoreConfig{Backend: *storeBackend, Path: *storePath}))
+		fem2.WithStore(fem2.StoreConfig{Backend: *storeBackend, Path: *storePath, Sync: *storeSync}),
+		fem2.WithStoreGuard(fem2.GuardOpts{OnChange: func(degraded bool) {
+			if degraded {
+				logger.Printf("store degraded: persistent write failures; serving read-only until the backend recovers")
+			} else {
+				logger.Printf("store recovered: writes re-armed")
+			}
+		}}))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fem2d:", err)
 		os.Exit(1)
 	}
+	sys.Jobs.SetLogf(logger.Printf)
 
-	logger := log.New(os.Stderr, "fem2d: ", log.LstdFlags)
-	cfg := server.Config{MaxJobsPerSession: *maxJobs, QuotaPolicy: qp}
+	cfg := server.Config{MaxJobsPerSession: *maxJobs, QuotaPolicy: qp,
+		RequestTimeout: *requestTimeout}
 	if !*quiet {
 		cfg.Logf = logger.Printf
 	}
@@ -90,6 +114,18 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	if *resubmitLost > 0 {
+		go func() {
+			ids, err := sys.ResubmitLost(ctx, fem2.ResubmitPolicy{
+				MaxAttempts: *resubmitLost, Backoff: *resubmitBackoff})
+			if err != nil {
+				logger.Printf("lost-job resubmission stopped: %v", err)
+			}
+			if len(ids) > 0 {
+				logger.Printf("resubmitted %d job(s) lost to restart", len(ids))
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:

@@ -104,6 +104,7 @@ type options struct {
 	cfg     Config
 	workers int
 	store   StoreConfig
+	guard   store.GuardOpts
 }
 
 // Option adjusts one dimension of the system New builds.
@@ -158,7 +159,7 @@ func New(opts ...Option) (*System, error) {
 	if o.store.Backend == "" {
 		o.store.Backend = StoreMem
 	}
-	return core.NewSystemWithStore(o.cfg, o.workers, o.store)
+	return core.NewSystemWithStoreGuard(o.cfg, o.workers, o.store, o.guard)
 }
 
 // NewSystem builds the full four-layer stack over an explicit hardware
@@ -453,6 +454,26 @@ const (
 // that inspect or migrate a store outside a running system.
 func OpenStore(cfg StoreConfig) (Store, error) { return store.Open(cfg) }
 
+// ErrStoreDegraded reports a write refused because the store guard has
+// degraded the system to read-only after persistent write failures.
+// Remote clients see it through the degraded wire code; reads keep
+// serving, and the guard's background probe re-arms writes when the
+// backend recovers.  See docs/robustness.md.
+var ErrStoreDegraded = store.ErrDegraded
+
+// GuardOpts tunes the store degradation guard New installs between the
+// backend and the cache: the consecutive-write-failure threshold, the
+// recovery probe interval, and an optional health-transition hook.
+// The zero value selects the defaults.
+type GuardOpts = store.GuardOpts
+
+// WithStoreGuard adjusts the degradation guard's thresholds and hooks.
+func WithStoreGuard(g GuardOpts) Option { return func(o *options) { o.guard = g } }
+
+// ResubmitPolicy bounds System.ResubmitLost's automatic requeue of
+// jobs lost to a crash; the zero value resubmits nothing.
+type ResubmitPolicy = job.ResubmitPolicy
+
 // The network layer: fem2d serves a System over TCP (length-prefixed
 // JSON frames carrying the typed command language — docs/protocol.md),
 // and Client speaks the same typed Do surface back, rendering results
@@ -485,6 +506,30 @@ type Client = client.Client
 
 // Dial connects to a fem2d daemon and completes the handshake as user.
 func Dial(addr, user string) (*Client, error) { return client.Dial(addr, user) }
+
+// ClientOptions tunes a client's resilience: reconnect budget,
+// exponential backoff with seeded jitter, per-request deadlines, and a
+// dialer hook.  The zero value is Dial's historical behaviour.
+type ClientOptions = client.Options
+
+// DialWithOptions connects with explicit resilience settings: with a
+// positive MaxRetries the client redials dead connections and replays
+// idempotent global verbs (ping, version, status, jobs, wait).
+func DialWithOptions(addr, user string, o ClientOptions) (*Client, error) {
+	return client.DialWithOptions(addr, user, o)
+}
+
+// ErrClientClosed is returned by Client.Do once the connection is gone
+// for good.
+var ErrClientClosed = client.ErrClientClosed
+
+// ErrRetriesExhausted classifies a *RetryError: the client burned its
+// whole reconnect budget without a successful round trip.
+var ErrRetriesExhausted = client.ErrRetriesExhausted
+
+// RetryError reports the request a client gave up on: total attempts
+// plus the last underlying failure.
+type RetryError = client.RetryError
 
 // RemoteError is a server-reported failure: the server's error text
 // verbatim, plus a wire code errors.Is maps back onto the shared

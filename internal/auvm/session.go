@@ -67,6 +67,10 @@ type Session struct {
 	// SubmitAsync and the submit/status/wait/cancel/jobs verbs.
 	// Sessions created through core.System get it wired automatically.
 	Jobs *job.Scheduler
+	// Health, when non-nil, reports whether the system's store has
+	// degraded to read-only; ping and version surface it.  Nil means
+	// healthy (a standalone session has no degradation machinery).
+	Health func() bool
 
 	// stateMu guards the interpreter-local state below.  Cheap verbs
 	// run inline on submitter goroutines, so two SubmitAsync calls on
@@ -94,6 +98,9 @@ var usage = errs.Usage
 // cancelled converts a context cancellation into the shared taxonomy,
 // keeping the context's own error in the chain for errors.Is.
 func cancelled(ctx context.Context) error { return errs.Cancelled(ctx) }
+
+// degraded consults the Health hook; sessions without one are healthy.
+func (s *Session) degraded() bool { return s.Health != nil && s.Health() }
 
 // collector resolves the metrics sink for one request: a context-carried
 // override (the job scheduler's per-job Tee collector) when present, the
@@ -173,10 +180,10 @@ func (s *Session) Do(ctx context.Context, cmd command.Command) (command.Result, 
 	case command.Help:
 		return &command.HelpResult{}, nil
 	case command.Ping:
-		return &command.PingResult{}, nil
+		return &command.PingResult{Degraded: s.degraded()}, nil
 	case command.Version:
 		res := &command.VersionResult{Server: "fem2", Release: command.Release,
-			Protocol: command.ProtocolVersion}
+			Protocol: command.ProtocolVersion, Degraded: s.degraded()}
 		if s.DB != nil {
 			res.Storage = s.DB.Backend()
 		}

@@ -10,21 +10,43 @@
 // so goroutines may pipeline commands (a blocking wait does not stall
 // a concurrent cancel).  Server-pushed job-state notifications arrive
 // on Events.
+//
+// # Reconnection
+//
+// With Options.MaxRetries > 0 the client rides out connection loss: a
+// dead connection is replaced transparently (exponential backoff with
+// seeded jitter between attempts), and requests that are safe to
+// replay — the idempotent global verbs ping, version, status, jobs,
+// wait — are retried on the fresh connection.  A request that may have
+// mutated server state (a submit, a model edit) is never replayed once
+// its frame has been sent; it fails back to the caller, who knows best
+// whether to repeat it.  Dial failures are retried for every verb,
+// because nothing was sent.  Note that a reconnect is a fresh server
+// session: workspace state (models, the session name) does not carry
+// over, which is exactly why only global verbs replay.
+//
+// With MaxRetries == 0 (the default, and Dial's behaviour) any
+// connection failure is permanent, as before: in-flight and future
+// calls fail with ErrClientClosed and the Events channel closes.
 package client
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/auvm"
 	"repro/internal/command"
 	"repro/internal/errs"
 	"repro/internal/job"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -54,6 +76,8 @@ func (e *RemoteError) Is(target error) bool {
 		return target == job.ErrQuota
 	case wire.CodeClosed:
 		return target == job.ErrClosed
+	case wire.CodeDegraded:
+		return target == store.ErrDegraded
 	case wire.CodeQuit:
 		return target == auvm.ErrQuit
 	default:
@@ -61,12 +85,95 @@ func (e *RemoteError) Is(target error) bool {
 	}
 }
 
-// ErrClientClosed is returned by Do once the connection is gone; the
-// underlying cause (a read error, Close) is wrapped alongside it.
+// ErrClientClosed is returned by Do once the connection is gone for
+// good; the underlying cause (a read error, Close) is wrapped
+// alongside it.
 var ErrClientClosed = errors.New("client: connection closed")
 
-// Client is one connection to a fem2d daemon.
+// ErrRetriesExhausted classifies a *RetryError: the reconnect budget
+// ran out without a successful round trip.
+var ErrRetriesExhausted = errors.New("client: retries exhausted")
+
+// RetryError reports a request the client gave up on after burning its
+// whole retry budget.  errors.Is(err, ErrRetriesExhausted) matches it;
+// Unwrap exposes the last underlying failure.
+type RetryError struct {
+	// Attempts is the total number of tries, the first included.
+	Attempts int
+	// Last is the failure of the final attempt.
+	Last error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("client: giving up after %d attempts: %v", e.Attempts, e.Last)
+}
+
+// Is matches ErrRetriesExhausted.
+func (e *RetryError) Is(target error) bool { return target == ErrRetriesExhausted }
+
+// Unwrap exposes the last attempt's failure.
+func (e *RetryError) Unwrap() error { return e.Last }
+
+// Options tunes a client's resilience.  The zero value reproduces the
+// historical behaviour: no reconnects, no deadlines.
+type Options struct {
+	// MaxRetries is the reconnect budget per request: after the initial
+	// attempt fails, up to MaxRetries more are made (redialing as
+	// needed).  0 disables reconnection entirely — the first connection
+	// failure closes the client for good.
+	MaxRetries int
+	// BaseBackoff spaces retries: attempt n waits about BaseBackoff·2ⁿ⁻¹
+	// (half fixed, half seeded jitter), capped at MaxBackoff.  Defaults
+	// to 50ms when retries are enabled.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth.  Defaults to 2s when retries
+	// are enabled.
+	MaxBackoff time.Duration
+	// RequestTimeout bounds each attempt of each request client-side;
+	// 0 means none.  wait is exempt — blocking on a job is its job.
+	// A timed-out attempt is not retried (the deadline already cost the
+	// caller the time a retry would spend again).
+	RequestTimeout time.Duration
+	// Seed feeds the jitter PRNG, so a chaos run's retry timing replays.
+	Seed int64
+	// Dialer replaces net.Dial("tcp", addr) — the hook fault.Dialer
+	// plugs into.  Nil means plain TCP.
+	Dialer func(addr string) (net.Conn, error)
+}
+
+// eventQueue bounds the notification buffer; a client that never reads
+// Events drops the overflow rather than stalling the read loop.
+const eventQueue = 256
+
+// Client is a connection to a fem2d daemon — with retries enabled, a
+// lineage of connections behind one stable handle.
 type Client struct {
+	addr string
+	user string
+	opts Options
+
+	mu           sync.Mutex
+	ln           *link // live connection, nil between them
+	welcome      *wire.Welcome
+	closed       bool
+	closeErr     error
+	eventsClosed bool
+	reconnects   int
+	everLinked   bool
+	rng          *rand.Rand
+
+	dialMu sync.Mutex // serializes reconnect attempts
+
+	done   chan struct{} // closed on permanent close
+	events chan *wire.JobEvent
+}
+
+// link is one TCP connection's worth of state: its own writer, its own
+// pending-request map, its own failure.  A link failing releases only
+// its own waiters; the Client above decides whether that failure is
+// the end (MaxRetries 0) or just weather.
+type link struct {
+	cl *Client
 	nc net.Conn
 
 	wmu sync.Mutex // serializes frame writes
@@ -75,53 +182,190 @@ type Client struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan *wire.Response
-	readErr error
+	err     error
 	done    chan struct{}
-
-	events  chan *wire.JobEvent
-	welcome *wire.Welcome
 }
 
-// eventQueue bounds the notification buffer; a client that never reads
-// Events drops the overflow rather than stalling the read loop.
-const eventQueue = 256
-
 // Dial connects to a fem2d daemon at addr and completes the handshake
-// as user.
+// as user, with the historical no-retry behaviour.
 func Dial(addr, user string) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialWithOptions(addr, user, Options{})
+}
+
+// DialWithOptions connects with explicit resilience settings.  The
+// initial dial and handshake must succeed (a daemon that is down at
+// start is a configuration problem, not weather); the retry budget
+// applies from then on.
+func DialWithOptions(addr, user string, o Options) (*Client, error) {
+	if o.Dialer == nil {
+		o.Dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if o.MaxRetries > 0 {
+		if o.BaseBackoff <= 0 {
+			o.BaseBackoff = 50 * time.Millisecond
+		}
+		if o.MaxBackoff <= 0 {
+			o.MaxBackoff = 2 * time.Second
+		}
+	}
+	c := &Client{
+		addr: addr, user: user, opts: o,
+		rng:    rand.New(rand.NewSource(o.Seed)),
+		done:   make(chan struct{}),
+		events: make(chan *wire.JobEvent, eventQueue),
+	}
+	ln, w, err := c.connect(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
-		nc: nc, bw: bufio.NewWriter(nc),
-		pending: map[uint64]chan *wire.Response{},
-		done:    make(chan struct{}),
-		events:  make(chan *wire.JobEvent, eventQueue),
-	}
-	go c.readLoop()
-	resp, err := c.roundTrip(context.Background(), &wire.Request{
-		Hello: &wire.Hello{User: user, Proto: command.ProtocolVersion}})
-	if err != nil {
-		nc.Close()
-		return nil, fmt.Errorf("client: handshake: %w", err)
-	}
-	if resp.Error != nil {
-		nc.Close()
-		return nil, fmt.Errorf("client: handshake refused: %s", resp.Error.Message)
-	}
-	if resp.Welcome == nil || resp.Welcome.Proto != command.ProtocolVersion {
-		nc.Close()
-		return nil, fmt.Errorf("client: bad handshake reply from %s", addr)
-	}
 	c.mu.Lock()
-	c.welcome = resp.Welcome
+	c.ln, c.welcome, c.everLinked = ln, w, true
 	c.mu.Unlock()
 	return c, nil
 }
 
-// Session returns the server-assigned session name — the owner of every
-// job this connection submits.
+// connect dials and handshakes one fresh link.  The caller installs it.
+func (c *Client) connect(ctx context.Context) (*link, *wire.Welcome, error) {
+	nc, err := c.opts.Dialer(c.addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln := &link{
+		cl: c, nc: nc, bw: bufio.NewWriter(nc),
+		pending: map[uint64]chan *wire.Response{},
+		done:    make(chan struct{}),
+	}
+	go ln.readLoop()
+	hctx := ctx
+	if t := c.opts.RequestTimeout; t > 0 {
+		var cancel context.CancelFunc
+		hctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	resp, err := ln.roundTrip(hctx, &wire.Request{
+		Hello: &wire.Hello{User: c.user, Proto: command.ProtocolVersion}})
+	if err != nil {
+		ln.fail(err)
+		return nil, nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if resp.Error != nil {
+		ln.fail(ErrClientClosed)
+		return nil, nil, fmt.Errorf("client: handshake refused: %s", resp.Error.Message)
+	}
+	if resp.Welcome == nil || resp.Welcome.Proto != command.ProtocolVersion {
+		ln.fail(ErrClientClosed)
+		return nil, nil, fmt.Errorf("client: bad handshake reply from %s", c.addr)
+	}
+	return ln, resp.Welcome, nil
+}
+
+// live returns the current link, dialing a replacement when the old one
+// is gone and retries are enabled.  dialMu makes concurrent callers
+// share one reconnect instead of racing several.
+func (c *Client) live(ctx context.Context) (*link, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.ln != nil {
+		ln := c.ln
+		c.mu.Unlock()
+		return ln, nil
+	}
+	c.mu.Unlock()
+
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.ln != nil { // someone else reconnected while we waited
+		ln := c.ln
+		c.mu.Unlock()
+		return ln, nil
+	}
+	c.mu.Unlock()
+
+	ln, w, err := c.connect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed { // Close raced the reconnect; don't resurrect
+		err := c.closeErr
+		c.mu.Unlock()
+		ln.fail(ErrClientClosed)
+		return nil, err
+	}
+	c.ln, c.welcome = ln, w
+	if c.everLinked {
+		c.reconnects++
+	}
+	c.everLinked = true
+	c.mu.Unlock()
+	return ln, nil
+}
+
+// drop retires a failed link.  With retries disabled the first drop is
+// the end of the client, exactly the historical semantics.
+func (c *Client) drop(ln *link, err error) {
+	ln.fail(err)
+	c.mu.Lock()
+	if c.ln == ln {
+		c.ln = nil
+	}
+	permanent := c.opts.MaxRetries == 0 && !c.closed
+	c.mu.Unlock()
+	if permanent {
+		c.permanentClose(fmt.Errorf("%w: %w", ErrClientClosed, err))
+	}
+}
+
+// permanentClose shuts the client for good: future calls fail, the
+// events channel closes.  The close happens under the mutex that also
+// guards event sends, so it can never race a send from a read loop.
+func (c *Client) permanentClose(err error) {
+	c.mu.Lock()
+	var ln *link
+	if !c.closed {
+		c.closed = true
+		c.closeErr = err
+		close(c.done)
+		if !c.eventsClosed {
+			c.eventsClosed = true
+			close(c.events)
+		}
+		ln, c.ln = c.ln, nil
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		ln.fail(err)
+	}
+}
+
+// pushEvent forwards a server notification onto the events channel.
+// The eventsClosed check and the send share c.mu with permanentClose,
+// which is what makes the close race-free.
+func (c *Client) pushEvent(ev *wire.JobEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eventsClosed {
+		return
+	}
+	select {
+	case c.events <- ev:
+	default: // best-effort: a full buffer drops
+	}
+}
+
+// Session returns the server-assigned session name from the most
+// recent handshake — the owner of jobs submitted on the current
+// connection.  A reconnect starts a fresh session with a fresh name.
 func (c *Client) Session() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -142,110 +386,220 @@ func (c *Client) Storage() string {
 	return c.welcome.Storage
 }
 
-// Events is the notification stream: one JobEvent per lifecycle
-// transition of this connection's jobs.  The channel closes when the
-// connection dies.  Events are best-effort (a full buffer drops);
-// status and wait are the authoritative record.
-func (c *Client) Events() <-chan *wire.JobEvent { return c.events }
-
-// Close tears the connection down.  In-flight Do calls fail with
-// ErrClientClosed.
-func (c *Client) Close() error {
-	err := c.nc.Close()
-	c.fail(ErrClientClosed)
-	return err
+// Degraded reports whether the server announced a degraded (read-only)
+// store at the most recent handshake.  Live health is what ping is
+// for; this is the at-connect snapshot.
+func (c *Client) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.welcome != nil && c.welcome.Degraded
 }
 
-// readLoop dispatches inbound frames: notifications to events,
-// responses to their waiting callers.
-func (c *Client) readLoop() {
-	br := bufio.NewReader(c.nc)
+// Reconnects reports how many times the client has replaced a dead
+// connection — a chaos test's proof that the weather actually hit.
+func (c *Client) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Events is the notification stream: one JobEvent per lifecycle
+// transition of the current connection's jobs.  The channel closes
+// when the client closes for good (Close, or any connection failure
+// when retries are disabled).  Events are best-effort (a full buffer
+// drops); status and wait are the authoritative record.
+func (c *Client) Events() <-chan *wire.JobEvent { return c.events }
+
+// Close tears the client down.  In-flight Do calls fail with
+// ErrClientClosed and the Events channel closes.
+func (c *Client) Close() error {
+	c.permanentClose(ErrClientClosed)
+	return nil
+}
+
+// readLoop dispatches one link's inbound frames: notifications to the
+// client's events channel, responses to their waiting callers.  A
+// decode error retires the link.
+func (ln *link) readLoop() {
+	br := bufio.NewReader(ln.nc)
 	for {
 		resp, err := wire.DecodeResponse(br)
 		if err != nil {
-			c.fail(fmt.Errorf("%w: %w", ErrClientClosed, err))
+			ln.cl.drop(ln, fmt.Errorf("%w: %w", ErrClientClosed, err))
 			return
 		}
 		if resp.ID == 0 {
 			if resp.Event != nil {
-				select {
-				case c.events <- resp.Event:
-				default:
-				}
+				ln.cl.pushEvent(resp.Event)
 			}
 			continue
 		}
-		c.mu.Lock()
-		ch := c.pending[resp.ID]
-		delete(c.pending, resp.ID)
-		c.mu.Unlock()
+		ln.mu.Lock()
+		ch := ln.pending[resp.ID]
+		delete(ln.pending, resp.ID)
+		ln.mu.Unlock()
 		if ch != nil {
 			ch <- resp
 		}
 	}
 }
 
-// fail marks the connection dead and releases every waiter, once.
-func (c *Client) fail(err error) {
-	c.mu.Lock()
-	if c.readErr == nil {
-		c.readErr = err
-		close(c.done)
-		close(c.events)
-		c.pending = nil
+// fail marks the link dead and releases its waiters, once.
+func (ln *link) fail(err error) {
+	ln.mu.Lock()
+	if ln.err == nil {
+		ln.err = err
+		close(ln.done)
+		ln.pending = nil
 	}
-	c.mu.Unlock()
+	ln.mu.Unlock()
+	ln.nc.Close()
 }
 
-// closedErr returns the recorded failure.
-func (c *Client) closedErr() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.readErr != nil {
-		return c.readErr
+// failure returns the recorded link failure.
+func (ln *link) failure() error {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if ln.err != nil {
+		return ln.err
 	}
 	return ErrClientClosed
 }
 
-// roundTrip sends one request and waits for its response.
-func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+// roundTrip sends one request on this link and waits for its response.
+func (ln *link) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	ch := make(chan *wire.Response, 1)
-	c.mu.Lock()
-	if c.readErr != nil {
-		err := c.readErr
-		c.mu.Unlock()
+	ln.mu.Lock()
+	if ln.err != nil {
+		err := ln.err
+		ln.mu.Unlock()
 		return nil, err
 	}
-	c.nextID++
-	req.ID = c.nextID
-	c.pending[req.ID] = ch
-	c.mu.Unlock()
+	ln.nextID++
+	req.ID = ln.nextID
+	ln.pending[req.ID] = ch
+	ln.mu.Unlock()
 
-	c.wmu.Lock()
-	err := wire.EncodeRequest(c.bw, req)
+	ln.wmu.Lock()
+	err := wire.EncodeRequest(ln.bw, req)
 	if err == nil {
-		err = c.bw.Flush()
+		err = ln.bw.Flush()
 	}
-	c.wmu.Unlock()
+	ln.wmu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, req.ID)
-		c.mu.Unlock()
+		ln.mu.Lock()
+		if ln.pending != nil {
+			delete(ln.pending, req.ID)
+		}
+		ln.mu.Unlock()
 		return nil, fmt.Errorf("%w: %w", ErrClientClosed, err)
 	}
 
 	select {
 	case resp := <-ch:
 		return resp, nil
-	case <-c.done:
-		return nil, c.closedErr()
+	case <-ln.done:
+		return nil, ln.failure()
 	case <-ctx.Done():
-		c.mu.Lock()
-		if c.pending != nil {
-			delete(c.pending, req.ID)
+		ln.mu.Lock()
+		if ln.pending != nil {
+			delete(ln.pending, req.ID)
 		}
-		c.mu.Unlock()
+		ln.mu.Unlock()
 		return nil, errs.Cancelled(ctx)
+	}
+}
+
+// replayable reports the idempotent global verbs — safe to repeat on a
+// fresh connection because they neither mutate nor depend on workspace
+// state the old session held.
+func replayable(cmd command.Command) bool {
+	switch command.Value(cmd).(type) {
+	case command.Ping, command.Version, command.Status, command.Jobs, command.Wait:
+		return true
+	}
+	return false
+}
+
+// isWait exempts the blocking wait verb from per-request deadlines.
+func isWait(cmd command.Command) bool {
+	_, ok := command.Value(cmd).(command.Wait)
+	return ok
+}
+
+// roundTrip runs one request through the retry machinery: dial
+// failures retry for any verb (nothing was sent), link failures after
+// the send retry only when the verb is replayable, context
+// cancellations and per-attempt deadlines never retry.
+func (c *Client) roundTrip(ctx context.Context, data json.RawMessage, idem, deadlineExempt bool) (*wire.Response, error) {
+	attempts := 0
+	for {
+		ln, err := c.live(ctx)
+		if err == nil {
+			actx, cancel := ctx, context.CancelFunc(nil)
+			if t := c.opts.RequestTimeout; t > 0 && !deadlineExempt {
+				actx, cancel = context.WithTimeout(ctx, t)
+			}
+			var resp *wire.Response
+			resp, err = ln.roundTrip(actx, &wire.Request{Command: data})
+			if cancel != nil {
+				cancel()
+			}
+			if err == nil {
+				return resp, nil
+			}
+			if errors.Is(err, errs.ErrCancelled) {
+				return nil, err // the caller's context or our deadline, not weather
+			}
+			c.drop(ln, err)
+			c.mu.Lock()
+			closed := c.closed
+			closeErr := c.closeErr
+			c.mu.Unlock()
+			if closed { // retries disabled: first failure is final
+				return nil, closeErr
+			}
+			if !idem {
+				return nil, err // may have reached the server; never replay
+			}
+		}
+		attempts++
+		if attempts > c.opts.MaxRetries {
+			if c.opts.MaxRetries == 0 {
+				return nil, err
+			}
+			return nil, &RetryError{Attempts: attempts, Last: err}
+		}
+		if serr := c.backoff(ctx, attempts); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// backoff sleeps the exponential-with-jitter delay before retry n,
+// aborting early on context death or client close.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.opts.BaseBackoff << (attempt - 1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	if d <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return errs.Cancelled(ctx)
+	case <-c.done:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.closeErr
+	case <-t.C:
+		return nil
 	}
 }
 
@@ -259,7 +613,7 @@ func (c *Client) Do(ctx context.Context, cmd command.Command) (command.Result, e
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(ctx, &wire.Request{Command: data})
+	resp, err := c.roundTrip(ctx, data, replayable(cmd), isWait(cmd))
 	if err != nil {
 		return nil, err
 	}

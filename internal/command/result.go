@@ -45,7 +45,12 @@ const HelpText = `FEM-2 workstation commands:
 type HelpResult struct{}
 
 // PingResult is the reply to Ping.
-type PingResult struct{}
+type PingResult struct {
+	// Degraded reports that the system's store has gone read-only (see
+	// store.Guard); false on a healthy system, so pre-degradation
+	// renderings are unchanged.
+	Degraded bool
+}
 
 // VersionResult is the reply to Version.
 type VersionResult struct {
@@ -59,6 +64,8 @@ type VersionResult struct {
 	// Storage is the active storage backend ("mem", "file"); "" on
 	// replies from releases that predate durable storage.
 	Storage string
+	// Degraded reports read-only degraded mode, as on PingResult.
+	Degraded bool
 }
 
 // QuitResult is the reply to Quit (delivered alongside ErrQuit).
@@ -358,14 +365,23 @@ func (CancelResult) isResult()        {}
 func (HelpResult) String() string { return HelpText }
 
 // String renders the REPL display line.
-func (PingResult) String() string { return "pong" }
+func (r PingResult) String() string {
+	if r.Degraded {
+		return "pong (degraded)"
+	}
+	return "pong"
+}
 
 // String renders the REPL display line.
 func (r VersionResult) String() string {
-	if r.Storage == "" {
-		return fmt.Sprintf("%s %s (protocol %d)", r.Server, r.Release, r.Protocol)
+	health := ""
+	if r.Degraded {
+		health = ", degraded"
 	}
-	return fmt.Sprintf("%s %s (protocol %d, storage %s)", r.Server, r.Release, r.Protocol, r.Storage)
+	if r.Storage == "" {
+		return fmt.Sprintf("%s %s (protocol %d%s)", r.Server, r.Release, r.Protocol, health)
+	}
+	return fmt.Sprintf("%s %s (protocol %d, storage %s%s)", r.Server, r.Release, r.Protocol, r.Storage, health)
 }
 
 // String renders the REPL display line.

@@ -21,8 +21,10 @@ const Release = "0.7.0"
 // must agree on it exactly; the version verb and the connection
 // handshake both carry it.  Revision 2 added the snapshot/restore
 // verbs, the Storage field on version replies, and the storage field
-// of the Welcome envelope.
-const ProtocolVersion = 2
+// of the Welcome envelope.  Revision 3 added the "degraded" error code
+// and the health (Degraded) fields on ping/version replies and the
+// Welcome envelope.
+const ProtocolVersion = 3
 
 // cmdEnvelope is the wire form of one Command.  Submit nests its wrapped
 // command as another envelope under "cmd"; every other verb carries its

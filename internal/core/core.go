@@ -223,6 +223,11 @@ type System struct {
 	// the file backend, models, solution history, and job records
 	// survive a restart.
 	Store *store.CachedStore
+	// Health is the degradation guard between the cache and the backend:
+	// when backend writes keep failing it turns the store read-only
+	// instead of letting errors cascade, and its background probe
+	// re-arms writes once the backend recovers.  See store.Guard.
+	Health *store.Guard
 
 	storeCfg store.Config
 	mu       sync.RWMutex
@@ -251,6 +256,13 @@ func NewSystemWithWorkers(cfg arch.Config, workers int) (*System, error) {
 // the complete terminal job history, with jobs that were in flight at
 // the crash deterministically failed.
 func NewSystemWithStore(cfg arch.Config, workers int, sc store.Config) (*System, error) {
+	return NewSystemWithStoreGuard(cfg, workers, sc, store.GuardOpts{})
+}
+
+// NewSystemWithStoreGuard is NewSystemWithStore with the degradation
+// policy exposed: the guard's failure threshold, probe cadence, and
+// state-change hook (the daemon logs from it).
+func NewSystemWithStoreGuard(cfg arch.Config, workers int, sc store.Config, g store.GuardOpts) (*System, error) {
 	m, err := arch.New(cfg)
 	if err != nil {
 		return nil, err
@@ -259,7 +271,12 @@ func NewSystemWithStore(cfg arch.Config, workers int, sc store.Config) (*System,
 	if err != nil {
 		return nil, err
 	}
-	st := store.NewCached(backing, 0)
+	// Layering, bottom up: backend → degradation guard → write-through
+	// cache.  The guard under the cache means a degraded write is
+	// refused before the cache sees it, so cache and backend never
+	// diverge; reads keep flowing through both.
+	guard := store.NewGuard(backing, g)
+	st := store.NewCached(guard, 0)
 	if err := store.EnsureFormat(st); err != nil {
 		st.Close()
 		return nil, err
@@ -271,6 +288,7 @@ func NewSystemWithStore(cfg arch.Config, workers int, sc store.Config) (*System,
 		Metrics:  metrics.NewCollector(),
 		Trace:    trace.NewCapped(1 << 16),
 		Store:    st,
+		Health:   guard,
 		storeCfg: sc,
 		sessions: map[string]*auvm.Session{},
 	}
@@ -288,6 +306,11 @@ func NewSystemWithStore(cfg arch.Config, workers int, sc store.Config) (*System,
 // "file") — surfaced by the version verb and the wire Welcome
 // envelope.
 func (s *System) StorageBackend() string { return s.storeCfg.BackendName() }
+
+// Degraded reports whether the store has degraded to read-only mode.
+// ping/version surface it, and the server refuses mutating verbs with
+// the "degraded" wire code while it holds.
+func (s *System) Degraded() bool { return s.Health != nil && s.Health.Degraded() }
 
 // Session returns the named user session, creating it on first use —
 // FEM-2's multi-user access.  Safe for concurrent use: simultaneous
@@ -308,6 +331,7 @@ func (s *System) Session(user string) *auvm.Session {
 	sess.RT = s.Runtime
 	sess.Metrics = s.Metrics
 	sess.Jobs = s.Jobs
+	sess.Health = s.Degraded
 	s.sessions[user] = sess
 	return sess
 }
@@ -351,6 +375,14 @@ func (s *System) CloseSession(user string) bool {
 	delete(s.sessions, user)
 	s.Jobs.CancelOwner(user)
 	return true
+}
+
+// ResubmitLost requeues jobs the last crash destroyed ("lost to
+// restart"), bounded by policy, executing each under its original
+// owner's session.  Opt-in via the daemon's -resubmit-lost flag; see
+// job.ResubmitPolicy for the bounds and backoff.
+func (s *System) ResubmitLost(ctx context.Context, p job.ResubmitPolicy) ([]job.JobID, error) {
+	return s.Jobs.ResubmitLost(ctx, func(owner string) job.Executor { return s.Session(owner) }, p)
 }
 
 // Drain waits for every live job to reach a terminal state, or for ctx

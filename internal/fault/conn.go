@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn op names, as seen by Injector rules.
+const (
+	OpRead  = "read"
+	OpWrite = "write"
+)
+
+// Conn decorates a net.Conn with an Injector.  A faulted read or write
+// closes the underlying connection and reports the injected error, so
+// both ends observe the drop — the same blast radius as a yanked cable.
+// A write fault with Partial > 0 flushes that many bytes first: the
+// peer receives a torn frame, which is the mid-frame cut a framing
+// layer must survive.  Delay-only faults just stall.
+//
+// Exactly one wire.EncodeRequest lands as one Write here (the client
+// flushes a whole frame at a time), so a rule like {Op: "write",
+// After: 12, Count: 1} kills a connection on precisely its 13th
+// outbound frame — deterministic chaos for the reconnect path.
+type Conn struct {
+	net.Conn
+	in *Injector
+}
+
+// NewConn wraps nc with the injector's weather.
+func NewConn(nc net.Conn, in *Injector) *Conn {
+	return &Conn{Conn: nc, in: in}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if f := c.in.check(OpRead); f != nil && f.Err != nil {
+		c.Conn.Close()
+		return 0, fmt.Errorf("conn read: %w", f.Err)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if f := c.in.check(OpWrite); f != nil && f.Err != nil {
+		n := 0
+		if f.Partial > 0 {
+			cut := f.Partial
+			if cut > len(p) {
+				cut = len(p)
+			}
+			n, _ = c.Conn.Write(p[:cut])
+		}
+		c.Conn.Close()
+		return n, fmt.Errorf("conn write: %w", f.Err)
+	}
+	return c.Conn.Write(p)
+}
+
+// Dialer builds a dial function that wraps each successive connection
+// with its own injector: perConn is called with the 1-based connection
+// number and returns the injector for that connection (nil = clean).
+// Plugged into client.Options.Dialer, it scripts per-connection
+// weather — "kill conn 1 on frame 13, cut conn 2 mid-frame 9, leave
+// conn 3 alone" — while the client under test believes it is dialing
+// plain TCP.
+func Dialer(perConn func(n int) *Injector) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	conns := 0
+	return func(addr string) (net.Conn, error) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		conns++
+		n := conns
+		mu.Unlock()
+		if in := perConn(n); in != nil {
+			return NewConn(nc, in), nil
+		}
+		return nc, nil
+	}
+}

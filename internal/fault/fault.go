@@ -1,0 +1,173 @@
+// Package fault is the chaos toolbox: seeded, deterministic fault
+// injection for the two I/O boundaries FEM-2 crosses — the store (disk)
+// and the wire (TCP).  A test builds an Injector from a seed and a rule
+// set, wraps a store.Store or net.Conn with it, and the wrapped object
+// misbehaves on an exact, reproducible schedule: an ErrIO on the third
+// Put, a dropped connection on the twelfth write, a 5ms stall on every
+// Get, a batch torn halfway through.
+//
+// Determinism is the point.  Rules either fire on a counted schedule
+// (After/Every/Count against a per-op call counter) or with a
+// probability drawn from the injector's own seeded PRNG — never from
+// global randomness — so a failing chaos run replays exactly from its
+// seed.  Injectors also arm and disarm at runtime, which is how a chaos
+// test clears the weather and asserts recovery.
+//
+// The package knows nothing of the layers above: internal/store and
+// internal/client import it only from tests; the wrappers implement the
+// plain store.Store and net.Conn interfaces, so they slot in anywhere a
+// real backend or connection does.
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrIO is the injected I/O failure.  Wrapped errors carry op context
+// but always satisfy errors.Is(err, ErrIO), so tests distinguish an
+// injected fault from a real one.
+var ErrIO = errors.New("fault: injected I/O error")
+
+// Fault is what a matched rule does to the operation.
+type Fault struct {
+	// Err, when non-nil, fails the operation with this error (wrapped so
+	// errors.Is still sees it).  Nil with a Delay makes a latency-only
+	// fault.
+	Err error
+	// Delay stalls the operation before it runs (and before Err fires).
+	Delay time.Duration
+	// Partial, for batch and write operations, lets a prefix of the work
+	// land before the failure: a store Batch applies the first Partial
+	// ops, a conn write flushes the first Partial bytes.  It is the torn
+	// write / mid-frame cut knob and is meaningless without Err.
+	Partial int
+}
+
+// Rule decides when a Fault fires.  Zero-value scheduling fields mean
+// "from the first call, every call, forever"; Prob switches the rule
+// from counted scheduling to seeded coin flips.
+type Rule struct {
+	// Op names the operation the rule watches ("get", "put", "delete",
+	// "seek", "batch" on stores; "read", "write" on conns).  Empty
+	// matches every op.
+	Op string
+	// After skips the first After matching calls.
+	After int
+	// Every fires on every Every'th call past After (1 = every call,
+	// which is the zero-value behaviour; 3 = calls After+3, After+6, …).
+	Every int
+	// Count caps how many times the rule fires; 0 is unlimited.
+	Count int
+	// Prob, when > 0, ignores the counted schedule and fires with this
+	// probability per call, drawn from the injector's seeded PRNG.
+	Prob float64
+	// Fault is what happens when the rule fires.
+	Fault Fault
+}
+
+// Injector owns the rules, the per-op call counters, and the seeded
+// PRNG.  It is safe for concurrent use; a single mutex keeps the
+// counters and PRNG coherent, which is fine at fault-injection rates.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []Rule
+	fired    []int          // per-rule fire count, parallel to rules
+	calls    map[string]int // per-op call count (counts only armed calls)
+	armed    bool
+	injected int
+}
+
+// NewInjector builds an armed injector from a seed and a rule set.
+func NewInjector(seed int64, rules ...Rule) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: rules,
+		fired: make([]int, len(rules)),
+		calls: map[string]int{},
+		armed: true,
+	}
+}
+
+// Arm starts (or resumes) injecting.  Counters keep their values across
+// disarm/arm cycles.
+func (in *Injector) Arm() {
+	in.mu.Lock()
+	in.armed = true
+	in.mu.Unlock()
+}
+
+// Disarm stops injecting: every wrapped operation behaves exactly like
+// the underlying one until Arm.  This is how a chaos test ends the
+// storm and asserts recovery.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	in.armed = false
+	in.mu.Unlock()
+}
+
+// Injected reports how many faults have fired so far — a test asserting
+// "the run actually hit weather" checks it is non-zero.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// Calls reports how many armed calls of op the injector has seen.
+func (in *Injector) Calls(op string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[op]
+}
+
+// check consults the rules for op.  It returns the first matching
+// rule's Fault, or nil for a clean pass.  The per-op counter advances
+// only while armed, so a disarmed stretch does not consume schedule.
+func (in *Injector) check(op string) *Fault {
+	in.mu.Lock()
+	if !in.armed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.calls[op]++
+	n := in.calls[op]
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Count > 0 && in.fired[i] >= r.Count {
+			continue
+		}
+		fire := false
+		if r.Prob > 0 {
+			fire = in.rng.Float64() < r.Prob
+		} else {
+			past := n - r.After
+			if past > 0 {
+				every := r.Every
+				if every <= 0 {
+					every = 1
+				}
+				fire = past%every == 0
+			}
+		}
+		if !fire {
+			continue
+		}
+		in.fired[i]++
+		in.injected++
+		f := r.Fault
+		in.mu.Unlock()
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		return &f
+	}
+	in.mu.Unlock()
+	return nil
+}

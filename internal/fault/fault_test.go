@@ -1,0 +1,251 @@
+package fault_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+func TestInjectorCountedSchedule(t *testing.T) {
+	// After 2, every 3rd, at most 2 times: calls 5 (= After+Every) and 8
+	// fault, nothing else ever does.
+	in := fault.NewInjector(7, fault.Rule{
+		Op: fault.OpPut, After: 2, Every: 3, Count: 2,
+		Fault: fault.Fault{Err: fault.ErrIO},
+	})
+	s := fault.NewStore(store.NewMemStore(), in)
+	defer s.Close()
+	var failed []int
+	for i := 1; i <= 12; i++ {
+		if err := s.Put("k", nil); err != nil {
+			if !errors.Is(err, fault.ErrIO) {
+				t.Fatalf("call %d: err = %v, want ErrIO", i, err)
+			}
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 2 || failed[0] != 5 || failed[1] != 8 {
+		t.Fatalf("faulted calls = %v, want [5 8]", failed)
+	}
+	if in.Injected() != 2 {
+		t.Fatalf("Injected() = %d, want 2", in.Injected())
+	}
+}
+
+func TestInjectorProbabilityIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		in := fault.NewInjector(seed, fault.Rule{Op: fault.OpGet, Prob: 0.3, Fault: fault.Fault{Err: fault.ErrIO}})
+		s := fault.NewStore(store.NewMemStore(), in)
+		defer s.Close()
+		s.Inner().Put("k", []byte("v"))
+		var failed []int
+		for i := 1; i <= 50; i++ {
+			if _, err := s.Get("k"); err != nil {
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 50 {
+		t.Fatalf("prob 0.3 over 50 calls faulted %d times; schedule degenerate", len(a))
+	}
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	if c := run(43); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced the identical fault schedule")
+		}
+	}
+}
+
+func TestInjectorDisarmSuspendsScheduleAndCounters(t *testing.T) {
+	in := fault.NewInjector(1, fault.Rule{Op: fault.OpPut, After: 1, Fault: fault.Fault{Err: fault.ErrIO}})
+	s := fault.NewStore(store.NewMemStore(), in)
+	defer s.Close()
+	if err := s.Put("k", nil); err != nil {
+		t.Fatalf("call 1 (After: 1) should pass: %v", err)
+	}
+	in.Disarm()
+	for i := 0; i < 10; i++ {
+		if err := s.Put("k", nil); err != nil {
+			t.Fatalf("disarmed Put faulted: %v", err)
+		}
+	}
+	if in.Calls(fault.OpPut) != 1 {
+		t.Fatalf("disarmed calls advanced the counter: %d", in.Calls(fault.OpPut))
+	}
+	in.Arm()
+	if err := s.Put("k", nil); !errors.Is(err, fault.ErrIO) {
+		t.Fatalf("re-armed call 2 = %v, want ErrIO", err)
+	}
+}
+
+func TestStoreTornBatch(t *testing.T) {
+	in := fault.NewInjector(1, fault.Rule{
+		Op: fault.OpBatch, Count: 1,
+		Fault: fault.Fault{Err: fault.ErrIO, Partial: 2},
+	})
+	s := fault.NewStore(store.NewMemStore(), in)
+	defer s.Close()
+	err := s.Batch([]store.Op{
+		store.Put("a", []byte("1")),
+		store.Put("b", []byte("2")),
+		store.Put("c", []byte("3")),
+	})
+	if !errors.Is(err, fault.ErrIO) {
+		t.Fatalf("torn batch err = %v, want ErrIO", err)
+	}
+	// Exactly the first two ops landed: the half-written state the
+	// Batch contract forbids, on purpose.
+	if v, err := s.Get("a"); err != nil || string(v) != "1" {
+		t.Fatalf("a = %q, %v; torn prefix should have landed", v, err)
+	}
+	if v, err := s.Get("b"); err != nil || string(v) != "2" {
+		t.Fatalf("b = %q, %v; torn prefix should have landed", v, err)
+	}
+	if _, err := s.Get("c"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("c = %v, want ErrNotFound past the tear", err)
+	}
+}
+
+func TestStoreLatencyOnlyFault(t *testing.T) {
+	in := fault.NewInjector(1, fault.Rule{
+		Op: fault.OpGet, Count: 1,
+		Fault: fault.Fault{Delay: 30 * time.Millisecond},
+	})
+	s := fault.NewStore(store.NewMemStore(), in)
+	defer s.Close()
+	s.Inner().Put("k", []byte("v"))
+	start := time.Now()
+	v, err := s.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("delayed Get = %q, %v", v, err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("Get returned in %v, want >= 30ms stall", d)
+	}
+}
+
+// pipePair builds a real TCP pair so closes propagate like production.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		server, _ = ln.Accept()
+		close(done)
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	<-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestConnWriteDropClosesBothEnds(t *testing.T) {
+	cl, srv := pipePair(t)
+	in := fault.NewInjector(1, fault.Rule{Op: fault.OpWrite, After: 1, Count: 1, Fault: fault.Fault{Err: fault.ErrIO}})
+	fc := fault.NewConn(cl, in)
+
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(srv, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("server read = %q, %v", buf, err)
+	}
+	if _, err := fc.Write([]byte("gone!")); !errors.Is(err, fault.ErrIO) {
+		t.Fatalf("write 2 = %v, want ErrIO", err)
+	}
+	// The drop closed the socket: the peer sees EOF, not the bytes.
+	srv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := srv.Read(buf); err == nil {
+		t.Fatalf("server read %d bytes after drop, want EOF", n)
+	}
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write on dropped conn succeeded")
+	}
+}
+
+func TestConnMidFrameCut(t *testing.T) {
+	cl, srv := pipePair(t)
+	in := fault.NewInjector(1, fault.Rule{Op: fault.OpWrite, Count: 1, Fault: fault.Fault{Err: fault.ErrIO, Partial: 3}})
+	fc := fault.NewConn(cl, in)
+
+	n, err := fc.Write([]byte("abcdefgh"))
+	if !errors.Is(err, fault.ErrIO) {
+		t.Fatalf("cut write err = %v, want ErrIO", err)
+	}
+	if n != 3 {
+		t.Fatalf("cut write reported %d bytes, want 3", n)
+	}
+	// The peer receives exactly the torn prefix, then EOF.
+	srv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, _ := io.ReadAll(srv)
+	if string(got) != "abc" {
+		t.Fatalf("peer saw %q, want torn prefix \"abc\"", got)
+	}
+}
+
+func TestDialerPerConnectionWeather(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	dial := fault.Dialer(func(n int) *fault.Injector {
+		if n == 1 {
+			return fault.NewInjector(1, fault.Rule{Op: fault.OpWrite, Fault: fault.Fault{Err: fault.ErrIO}})
+		}
+		return nil // second connection is clean
+	})
+	c1, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial 1: %v", err)
+	}
+	if _, err := c1.Write([]byte("x")); !errors.Is(err, fault.ErrIO) {
+		t.Fatalf("conn 1 write = %v, want ErrIO", err)
+	}
+	c2, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("x")); err != nil {
+		t.Fatalf("conn 2 write = %v, want clean", err)
+	}
+}

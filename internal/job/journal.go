@@ -36,7 +36,16 @@ type journalRecord struct {
 	Ops    int64           `json:"ops,omitempty"`
 	Flops  int64           `json:"flops,omitempty"`
 	Cycles int64           `json:"cycles,omitempty"`
+	// Attempt is the auto-resubmission generation (see ResubmitLost);
+	// Resubmitted marks a lost record whose work has already been
+	// requeued as a fresh job, so recovery never requeues it again.
+	Attempt     int  `json:"attempt,omitempty"`
+	Resubmitted bool `json:"resubmitted,omitempty"`
 }
+
+// lostErr is the deterministic failure text recovery writes on a job
+// the crash destroyed; ResubmitLost recognizes candidates by it.
+func lostErr(id int64) string { return fmt.Sprintf("job-%d lost to restart", id) }
 
 // AttachJournal connects the scheduler to a store and recovers the job
 // history it holds: terminal records come back verbatim, jobs that were
@@ -70,7 +79,7 @@ func (s *Scheduler) AttachJournal(st store.Store) (int, error) {
 		st, err := ParseState(recs[i].State)
 		if err != nil || !st.Terminal() {
 			recs[i].State = Failed.String()
-			recs[i].Err = fmt.Sprintf("job-%d lost to restart", recs[i].ID)
+			recs[i].Err = lostErr(recs[i].ID)
 			recs[i].Result = nil
 			raw, err := json.Marshal(recs[i])
 			if err != nil {
@@ -121,6 +130,7 @@ func recordLocked(j *job) ([]byte, error) {
 		ID: int64(j.id), Owner: j.owner, Model: j.model, Cmd: cmdRaw,
 		State: j.state.String(),
 		Ops:   j.ops, Flops: j.flops, Cycles: j.cycles,
+		Attempt: j.attempt, Resubmitted: j.resubmitted,
 	}
 	if j.err != nil {
 		rec.Err = j.err.Error()
@@ -135,7 +145,8 @@ func recordLocked(j *job) ([]byte, error) {
 
 // persistLocked writes a job's current record through the journal.
 // Best effort by design: a journal write failure must not fail the job
-// it records (the job itself already ran), so errors are swallowed —
+// it records (the job itself already ran) and must never take down the
+// scheduler — the failure is counted, logged, and the job carries on;
 // the record simply stays at its previous state and recovery treats it
 // accordingly.  No-op when no journal is attached.
 func (s *Scheduler) persistLocked(j *job) {
@@ -144,9 +155,22 @@ func (s *Scheduler) persistLocked(j *job) {
 	}
 	raw, err := recordLocked(j)
 	if err != nil {
+		s.journalWriteFailedLocked(j, err)
 		return
 	}
-	_ = s.journal.Put(store.JobKey(int64(j.id)), raw)
+	if err := s.journal.Put(store.JobKey(int64(j.id)), raw); err != nil {
+		s.journalWriteFailedLocked(j, err)
+	}
+}
+
+// journalWriteFailedLocked is the log-mark-continue half of the journal
+// contract.  The log rate-limits itself: a degraded store fails every
+// write, and one line per job beats one line per write.
+func (s *Scheduler) journalWriteFailedLocked(j *job, err error) {
+	s.journalErrs++
+	if s.journalErrs <= 3 || s.journalErrs%100 == 0 {
+		s.logfLocked("job: journal write for %s failed (%d so far, continuing): %v", j.id, s.journalErrs, err)
+	}
 }
 
 // jobFromRecord rebuilds an in-memory terminal job from its journal
@@ -164,6 +188,8 @@ func jobFromRecord(rec journalRecord) (*job, error) {
 		id: JobID(rec.ID), owner: rec.Owner, model: rec.Model, cmd: cmd,
 		cancel: func() {}, state: st,
 		ops: rec.Ops, flops: rec.Flops, cycles: rec.Cycles,
+		attempt: rec.Attempt, resubmitted: rec.Resubmitted,
+		lost: st == Failed && rec.Err == lostErr(rec.ID),
 		done: make(chan struct{}),
 	}
 	close(j.done) // recovered records are terminal by construction

@@ -1,0 +1,83 @@
+package job
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// ResubmitPolicy bounds the automatic resubmission of jobs recovered as
+// "lost to restart".  Opt-in: the zero value (MaxAttempts 0) resubmits
+// nothing, which is the pre-policy behaviour.
+type ResubmitPolicy struct {
+	// MaxAttempts bounds a job lineage's auto-resubmissions: a lost job
+	// whose record already carries attempt >= MaxAttempts stays failed.
+	// With MaxAttempts 2, a job lost at one crash is requeued once
+	// (attempt 1); if that run is lost at a second crash it is requeued
+	// once more (attempt 2); a third loss is final.
+	MaxAttempts int
+	// Backoff spaces the resubmissions: attempt n waits Backoff·2ⁿ⁻¹
+	// before requeueing, so a crash-looping daemon does not hammer the
+	// same doomed work.  Zero resubmits immediately.
+	Backoff time.Duration
+}
+
+// ResubmitLost requeues jobs that recovery marked "lost to restart",
+// bounded by policy.  resolve maps a lost job's owner back onto an
+// executor (core.System uses its session registry).  Each lost record
+// is marked resubmitted in the journal before its replacement is
+// submitted, so a crash-restart loop never requeues one record twice;
+// the replacement runs as a fresh job at attempt n+1 with the same
+// owner and command.
+//
+// The call blocks through the backoff sleeps — the daemon runs it on a
+// goroutine — and stops early when ctx dies, returning the ids it
+// managed to requeue.  A submission refusal (quota, closed) skips that
+// job and carries on.
+func (s *Scheduler) ResubmitLost(ctx context.Context, resolve func(owner string) Executor, p ResubmitPolicy) ([]JobID, error) {
+	if p.MaxAttempts <= 0 || resolve == nil {
+		return nil, nil
+	}
+	s.mu.Lock()
+	var lost []*job
+	for _, j := range s.jobs {
+		if j.lost && !j.resubmitted && j.attempt < p.MaxAttempts {
+			lost = append(lost, j)
+		}
+	}
+	sort.Slice(lost, func(i, k int) bool { return lost[i].id < lost[k].id })
+	// Mark before requeueing: if we crash mid-backoff the record stays
+	// resubmitted and is simply not retried again — at-most-once
+	// resubmission per record, never a duplicate.
+	for _, j := range lost {
+		j.resubmitted = true
+		s.persistLocked(j)
+	}
+	s.mu.Unlock()
+
+	var ids []JobID
+	for _, j := range lost {
+		delay := p.Backoff << j.attempt
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ids, ctx.Err()
+			case <-t.C:
+			}
+		}
+		id, err := s.submit(ctx, j.owner, resolve(j.owner), j.cmd, j.attempt+1)
+		if err != nil {
+			s.mu.Lock()
+			s.logfLocked("job: resubmit of lost %s refused: %v", j.id, err)
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.logfLocked("job: lost %s resubmitted as %s (attempt %d/%d)", j.id, id, j.attempt+1, p.MaxAttempts)
+		s.mu.Unlock()
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

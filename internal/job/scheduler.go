@@ -39,11 +39,19 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// attempt is the auto-resubmission generation (0 = user-submitted),
+	// immutable after submit like the identity fields above.
+	attempt int
+
 	// Guarded by Scheduler.mu.
 	state              State
 	res                command.Result
 	err                error
 	ops, flops, cycles int64
+	// lost marks a record recovered as "lost to restart"; resubmitted
+	// marks a lost record ResubmitLost has already requeued, so a
+	// crash-restart loop never requeues the same record twice.
+	lost, resubmitted bool
 	// done is closed exactly once, when the job reaches a terminal
 	// state.
 	done chan struct{}
@@ -93,7 +101,12 @@ type Scheduler struct {
 	// store (see journal.go): queued at submit, terminal at finish, and
 	// flushed before retention eviction.
 	journal store.Store
-	wg      sync.WaitGroup
+	// journalErrs counts journal writes that failed.  A journal failure
+	// never takes down the scheduler — the write is logged through logf
+	// and the job carries on — but the count surfaces the rot.
+	journalErrs int64
+	logf        func(format string, args ...any)
+	wg          sync.WaitGroup
 }
 
 // maxModelCaches bounds the per-model factor caches a scheduler keeps;
@@ -129,6 +142,31 @@ func NewScheduler(workers int, shared *metrics.Collector) *Scheduler {
 
 // Workers returns the pool bound.
 func (s *Scheduler) Workers() int { return s.workers }
+
+// SetLogf installs the scheduler's diagnostic log sink (the daemon's
+// logger).  Only journal failures and resubmission activity log; nil
+// silences them.
+func (s *Scheduler) SetLogf(f func(format string, args ...any)) {
+	s.mu.Lock()
+	s.logf = f
+	s.mu.Unlock()
+}
+
+// logfLocked logs through the installed sink, if any.
+func (s *Scheduler) logfLocked(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
+}
+
+// JournalErrors reports how many journal writes have failed since the
+// scheduler started — the scheduler survives every one of them, so the
+// count is the only trace short of the log.
+func (s *Scheduler) JournalErrors() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalErrs
+}
 
 // SetRetention rebounds the retained job history (<= 0 keeps everything
 // — unbounded, test use only).  Ids evicted by retention answer
@@ -185,6 +223,12 @@ func notFound(id JobID) error {
 // in-flight bound is rejected with ErrQuota or blocked until a slot
 // frees, by policy.
 func (s *Scheduler) Submit(ctx context.Context, owner string, ex Executor, cmd command.Command) (JobID, error) {
+	return s.submit(ctx, owner, ex, cmd, 0)
+}
+
+// submit is Submit with the resubmission generation threaded through —
+// ResubmitLost requeues lost jobs at attempt n+1.
+func (s *Scheduler) submit(ctx context.Context, owner string, ex Executor, cmd command.Command, attempt int) (JobID, error) {
 	if cmd == nil || ex == nil {
 		return 0, errs.Usage("submit needs a command and an executor")
 	}
@@ -200,7 +244,7 @@ func (s *Scheduler) Submit(ctx context.Context, owner string, ex Executor, cmd c
 	jctx, cancel := context.WithCancel(ctx)
 	j := &job{
 		owner: owner, model: ModelOf(cmd), cmd: cmd, ex: ex,
-		ctx: jctx, cancel: cancel,
+		ctx: jctx, cancel: cancel, attempt: attempt,
 		state: Queued, done: make(chan struct{}),
 	}
 
@@ -448,6 +492,7 @@ func (s *Scheduler) snapshotLocked(j *job) Snapshot {
 		ID: j.id, Owner: j.owner, Cmd: j.cmd, Model: j.model,
 		State: j.state, Result: j.res, Err: j.err,
 		Ops: j.ops, Flops: j.flops, Cycles: j.cycles,
+		Attempt: j.attempt,
 	}
 }
 

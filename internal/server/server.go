@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/errs"
 	"repro/internal/job"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -50,6 +51,14 @@ type Config struct {
 	// DefaultUser names sessions of connections that skip the Hello
 	// handshake; defaults to "anon".
 	DefaultUser string
+	// RequestTimeout bounds each command's execution server-side; a
+	// request past it answers with the cancelled code.  <= 0 disables.
+	// wait and submit are exempt: blocking until a job finishes is
+	// wait's contract, and a submitted job inherits the submitting
+	// request's context — a deadline here would cancel the queued job
+	// the moment the submit answered.  Job lifetime is bounded by
+	// disconnect and cancel, not by the request that enqueued it.
+	RequestTimeout time.Duration
 	// Logf, when non-nil, receives one line per connection lifecycle
 	// event.
 	Logf func(format string, args ...any)
@@ -372,7 +381,8 @@ func (c *conn) handleHello(req *wire.Request) {
 	c.send(&wire.Response{ID: req.ID, Welcome: &wire.Welcome{
 		Server: "fem2d", Release: command.Release,
 		Proto: command.ProtocolVersion, Session: sessName,
-		Storage: c.srv.sys.StorageBackend(),
+		Storage:  c.srv.sys.StorageBackend(),
+		Degraded: c.srv.sys.Degraded(),
 	}})
 }
 
@@ -390,8 +400,20 @@ func (c *conn) handleCommand(req *wire.Request) {
 			Message: fmt.Sprintf("server is draining; %q not accepted", command.Value(cmd))}})
 		return
 	}
+	if c.srv.sys.Degraded() && refusedWhenDegraded(cmd) {
+		c.send(&wire.Response{ID: req.ID, Error: &wire.Error{
+			Code:    wire.CodeDegraded,
+			Message: fmt.Sprintf("store degraded (read-only); %q not accepted", command.Value(cmd))}})
+		return
+	}
+	ctx := c.ctx
+	if t := c.srv.cfg.RequestTimeout; t > 0 && !timeoutExempt(cmd) {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
 	sess := c.session("")
-	res, err := sess.Do(c.ctx, cmd)
+	res, err := sess.Do(ctx, cmd)
 
 	resp := &wire.Response{ID: req.ID}
 	if res != nil {
@@ -430,6 +452,31 @@ func mutatesUnderDrain(cmd command.Command) bool {
 	}
 }
 
+// timeoutExempt reports the verbs RequestTimeout must not bound: wait
+// blocks by contract, and submit's context outlives the request as the
+// queued job's context — a deadline would cancel the job right after
+// the submit answered.
+func timeoutExempt(cmd command.Command) bool {
+	switch command.Value(cmd).(type) {
+	case command.Wait, command.Submit:
+		return true
+	}
+	return false
+}
+
+// refusedWhenDegraded reports whether a command is refused while the
+// store is degraded to read-only.  The set is the drain set minus
+// retrieve: drain refuses retrieve because it mutates the workspace
+// being flushed, but under degradation the workspace is fine and
+// retrieve only *reads* the store — a degraded daemon's whole point is
+// that reads keep serving.
+func refusedWhenDegraded(cmd command.Command) bool {
+	if _, ok := command.Value(cmd).(command.Retrieve); ok {
+		return false
+	}
+	return mutatesUnderDrain(cmd)
+}
+
 // wireError maps a server-side error onto its wire code, carrying the
 // error text verbatim so the client renders the identical line.
 func wireError(err error) *wire.Error {
@@ -441,6 +488,8 @@ func wireError(err error) *wire.Error {
 		code = wire.CodeQuota
 	case errors.Is(err, job.ErrClosed):
 		code = wire.CodeClosed
+	case errors.Is(err, store.ErrDegraded):
+		code = wire.CodeDegraded
 	case errors.Is(err, errs.ErrUsage):
 		code = wire.CodeUsage
 	case errors.Is(err, errs.ErrNotFound):

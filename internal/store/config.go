@@ -20,22 +20,41 @@ type Config struct {
 	Backend string
 	// Path is the store file for BackendFile; ignored for BackendMem.
 	Path string
+	// Sync makes the file backend fsync after every Batch (the
+	// -store-sync flag).  Off by default: the log's CRC framing already
+	// makes a crash lose at most the unsynced tail, never corrupt it,
+	// and fsync-per-batch costs orders of magnitude in throughput.
+	Sync bool
+	// Wrap, when non-nil, decorates the freshly opened backend before
+	// anything else sees it.  It exists for fault injection: chaos tests
+	// interpose internal/fault's store wrapper here, underneath the
+	// degradation guard and the cache.
+	Wrap func(Store) Store
 }
 
-// Open builds the configured backend.  The caller usually wraps the
-// result in NewCached.
+// Open builds the configured backend and applies the Wrap hook.  The
+// caller usually wraps the result in NewCached.
 func Open(cfg Config) (Store, error) {
+	var s Store
 	switch cfg.Backend {
 	case "", BackendMem:
-		return NewMemStore(), nil
+		s = NewMemStore()
 	case BackendFile:
 		if cfg.Path == "" {
 			return nil, fmt.Errorf("store: file backend needs a path")
 		}
-		return OpenFileStore(cfg.Path)
+		fs, err := OpenFileStoreSync(cfg.Path, cfg.Sync)
+		if err != nil {
+			return nil, err
+		}
+		s = fs
 	default:
 		return nil, fmt.Errorf("store: unknown backend %q (want %s or %s)", cfg.Backend, BackendMem, BackendFile)
 	}
+	if cfg.Wrap != nil {
+		s = cfg.Wrap(s)
+	}
+	return s, nil
 }
 
 // BackendName normalizes a Config's backend for display (the version

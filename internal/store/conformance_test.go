@@ -1,228 +1,111 @@
-package store
+package store_test
 
 import (
-	"errors"
-	"fmt"
 	"path/filepath"
 	"testing"
 
-	"repro/internal/errs"
+	"repro/internal/fault"
+	"repro/internal/store"
+	"repro/internal/store/storetest"
 )
 
 // The conformance suite pins the Store contract against every
-// implementation: MemStore, FileStore, and CachedStore over each.
-func conformanceStores(t *testing.T) map[string]func(t *testing.T) Store {
-	return map[string]func(t *testing.T) Store{
-		"mem": func(t *testing.T) Store { return NewMemStore() },
-		"file": func(t *testing.T) Store {
-			s, err := OpenFileStore(filepath.Join(t.TempDir(), "conf.db"))
-			if err != nil {
-				t.Fatalf("open file store: %v", err)
-			}
-			return s
+// implementation: MemStore, FileStore (with and without fsync-per-batch),
+// CachedStore over each, a healthy degradation Guard, and the fault
+// wrapper with its weather disarmed — a decorator must be invisible
+// until it injects.
+func conformanceStores(t *testing.T) map[string]func(t *testing.T) store.Store {
+	openFile := func(t *testing.T, sync bool) store.Store {
+		s, err := store.OpenFileStoreSync(filepath.Join(t.TempDir(), "conf.db"), sync)
+		if err != nil {
+			t.Fatalf("open file store: %v", err)
+		}
+		return s
+	}
+	return map[string]func(t *testing.T) store.Store{
+		"mem":       func(t *testing.T) store.Store { return store.NewMemStore() },
+		"file":      func(t *testing.T) store.Store { return openFile(t, false) },
+		"file-sync": func(t *testing.T) store.Store { return openFile(t, true) },
+		"cached-mem": func(t *testing.T) store.Store {
+			return store.NewCached(store.NewMemStore(), 8)
 		},
-		"cached-mem": func(t *testing.T) Store { return NewCached(NewMemStore(), 8) },
-		"cached-file": func(t *testing.T) Store {
-			b, err := OpenFileStore(filepath.Join(t.TempDir(), "conf.db"))
-			if err != nil {
-				t.Fatalf("open file store: %v", err)
-			}
+		"cached-file": func(t *testing.T) store.Store {
 			// A tiny cache bound forces eviction + backend refill paths.
-			return NewCached(b, 2)
+			return store.NewCached(openFile(t, false), 2)
+		},
+		"cached-file-sync": func(t *testing.T) store.Store {
+			return store.NewCached(openFile(t, true), 2)
+		},
+		"guard-mem": func(t *testing.T) store.Store {
+			return store.NewGuard(store.NewMemStore(), store.GuardOpts{})
+		},
+		"fault-mem-disarmed": func(t *testing.T) store.Store {
+			in := fault.NewInjector(1, fault.Rule{Fault: fault.Fault{Err: fault.ErrIO}})
+			in.Disarm()
+			return fault.NewStore(store.NewMemStore(), in)
+		},
+		"fault-file-disarmed": func(t *testing.T) store.Store {
+			in := fault.NewInjector(1, fault.Rule{Fault: fault.Fault{Err: fault.ErrIO}})
+			in.Disarm()
+			return fault.NewStore(openFile(t, false), in)
 		},
 	}
 }
 
 func TestConformance(t *testing.T) {
 	for name, open := range conformanceStores(t) {
-		t.Run(name, func(t *testing.T) {
-			t.Run("get-put-delete", func(t *testing.T) { testGetPutDelete(t, open(t)) })
-			t.Run("seek-prefix-order", func(t *testing.T) { testSeekPrefixOrder(t, open(t)) })
-			t.Run("batch-atomic", func(t *testing.T) { testBatch(t, open(t)) })
-			t.Run("closed", func(t *testing.T) { testClosed(t, open(t)) })
-			t.Run("caller-owns-buffers", func(t *testing.T) { testBufferOwnership(t, open(t)) })
-		})
-	}
-}
-
-func testGetPutDelete(t *testing.T, s Store) {
-	defer s.Close()
-	if _, err := s.Get("missing"); !errors.Is(err, errs.ErrNotFound) {
-		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
-	}
-	if err := s.Put("k", []byte("v1")); err != nil {
-		t.Fatalf("Put: %v", err)
-	}
-	if v, err := s.Get("k"); err != nil || string(v) != "v1" {
-		t.Fatalf("Get(k) = %q, %v, want v1", v, err)
-	}
-	if err := s.Put("k", []byte("v2")); err != nil {
-		t.Fatalf("overwrite: %v", err)
-	}
-	if v, _ := s.Get("k"); string(v) != "v2" {
-		t.Fatalf("Get after overwrite = %q, want v2", v)
-	}
-	// Empty values round-trip (they are puts, not deletes).
-	if err := s.Put("empty", nil); err != nil {
-		t.Fatalf("Put empty: %v", err)
-	}
-	if v, err := s.Get("empty"); err != nil || len(v) != 0 {
-		t.Fatalf("Get(empty) = %q, %v, want empty value", v, err)
-	}
-	if err := s.Delete("k"); err != nil {
-		t.Fatalf("Delete: %v", err)
-	}
-	if _, err := s.Get("k"); !errors.Is(err, errs.ErrNotFound) {
-		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
-	}
-	if err := s.Delete("never-existed"); err != nil {
-		t.Fatalf("Delete of missing key = %v, want nil", err)
-	}
-}
-
-func testSeekPrefixOrder(t *testing.T, s Store) {
-	defer s.Close()
-	// Inserted out of order; Seek must return ascending byte order.
-	for _, k := range []string{"m:plate", "m:beam", "s:beam:00000002", "s:beam:00000001", "j:0001", "m:arch"} {
-		if err := s.Put(k, []byte("v-"+k)); err != nil {
-			t.Fatalf("Put(%s): %v", k, err)
-		}
-	}
-	var got []string
-	if err := s.Seek("m:", func(k string, v []byte) bool {
-		if string(v) != "v-"+k {
-			t.Errorf("Seek value for %s = %q", k, v)
-		}
-		got = append(got, k)
-		return true
-	}); err != nil {
-		t.Fatalf("Seek: %v", err)
-	}
-	want := []string{"m:arch", "m:beam", "m:plate"}
-	if fmt.Sprint(got) != fmt.Sprint(want) {
-		t.Fatalf("Seek(m:) = %v, want %v", got, want)
-	}
-	// Early stop.
-	n := 0
-	s.Seek("m:", func(string, []byte) bool { n++; return false })
-	if n != 1 {
-		t.Fatalf("Seek early-stop visited %d keys, want 1", n)
-	}
-	// Prefix with trailing separator does not leak sibling families.
-	var sol []string
-	s.Seek("s:beam:", func(k string, _ []byte) bool { sol = append(sol, k); return true })
-	want = []string{"s:beam:00000001", "s:beam:00000002"}
-	if fmt.Sprint(sol) != fmt.Sprint(want) {
-		t.Fatalf("Seek(s:beam:) = %v, want %v", sol, want)
-	}
-	// Empty prefix sees everything.
-	n = 0
-	s.Seek("", func(string, []byte) bool { n++; return true })
-	if n != 6 {
-		t.Fatalf("Seek(\"\") visited %d keys, want 6", n)
-	}
-}
-
-func testBatch(t *testing.T, s Store) {
-	defer s.Close()
-	s.Put("a", []byte("old"))
-	s.Put("gone", []byte("x"))
-	err := s.Batch([]Op{
-		Put("a", []byte("new")),
-		Put("b", []byte("2")),
-		Del("gone"),
-	})
-	if err != nil {
-		t.Fatalf("Batch: %v", err)
-	}
-	if v, _ := s.Get("a"); string(v) != "new" {
-		t.Fatalf("a = %q after batch", v)
-	}
-	if v, _ := s.Get("b"); string(v) != "2" {
-		t.Fatalf("b = %q after batch", v)
-	}
-	if _, err := s.Get("gone"); !errors.Is(err, errs.ErrNotFound) {
-		t.Fatalf("gone still present after batch delete: %v", err)
-	}
-}
-
-func testClosed(t *testing.T, s Store) {
-	s.Put("k", []byte("v"))
-	if err := s.Close(); err != nil {
-		t.Fatalf("Close: %v", err)
-	}
-	if _, err := s.Get("k"); !errors.Is(err, ErrClosed) {
-		t.Errorf("Get after close = %v, want ErrClosed", err)
-	}
-	if err := s.Put("k", nil); !errors.Is(err, ErrClosed) {
-		t.Errorf("Put after close = %v, want ErrClosed", err)
-	}
-	if err := s.Delete("k"); !errors.Is(err, ErrClosed) {
-		t.Errorf("Delete after close = %v, want ErrClosed", err)
-	}
-	if err := s.Seek("", func(string, []byte) bool { return true }); !errors.Is(err, ErrClosed) {
-		t.Errorf("Seek after close = %v, want ErrClosed", err)
-	}
-	if err := s.Batch([]Op{Put("k", nil)}); !errors.Is(err, ErrClosed) {
-		t.Errorf("Batch after close = %v, want ErrClosed", err)
-	}
-	if err := s.Close(); !errors.Is(err, ErrClosed) {
-		t.Errorf("second Close = %v, want ErrClosed", err)
-	}
-}
-
-func testBufferOwnership(t *testing.T, s Store) {
-	defer s.Close()
-	buf := []byte("original")
-	s.Put("k", buf)
-	copy(buf, "CLOBBER!")
-	if v, _ := s.Get("k"); string(v) != "original" {
-		t.Fatalf("store kept a reference to the caller's Put buffer: %q", v)
-	}
-	v1, _ := s.Get("k")
-	copy(v1, "SCRIBBLE")
-	if v2, _ := s.Get("k"); string(v2) != "original" {
-		t.Fatalf("mutating a Get result corrupted the store: %q", v2)
+		t.Run(name, func(t *testing.T) { storetest.Run(t, open) })
 	}
 }
 
 func TestEnsureFormat(t *testing.T) {
-	s := NewMemStore()
+	s := store.NewMemStore()
 	defer s.Close()
-	if err := EnsureFormat(s); err != nil {
+	if err := store.EnsureFormat(s); err != nil {
 		t.Fatalf("EnsureFormat on fresh store: %v", err)
 	}
-	if v, err := s.Get(KeyFormat); err != nil || string(v) != FormatVersion {
+	if v, err := s.Get(store.KeyFormat); err != nil || string(v) != store.FormatVersion {
 		t.Fatalf("format key = %q, %v", v, err)
 	}
-	if err := EnsureFormat(s); err != nil {
+	if err := store.EnsureFormat(s); err != nil {
 		t.Fatalf("EnsureFormat idempotent: %v", err)
 	}
-	s.Put(KeyFormat, []byte("99"))
-	if err := EnsureFormat(s); err == nil {
+	s.Put(store.KeyFormat, []byte("99"))
+	if err := store.EnsureFormat(s); err == nil {
 		t.Fatal("EnsureFormat accepted future format version")
 	}
 }
 
 func TestOpenConfig(t *testing.T) {
-	if s, err := Open(Config{}); err != nil {
+	if s, err := store.Open(store.Config{}); err != nil {
 		t.Fatalf("Open default: %v", err)
-	} else if _, ok := s.(*MemStore); !ok {
+	} else if _, ok := s.(*store.MemStore); !ok {
 		t.Fatalf("Open default = %T, want *MemStore", s)
 	}
 	path := filepath.Join(t.TempDir(), "x.db")
-	s, err := Open(Config{Backend: BackendFile, Path: path})
+	s, err := store.Open(store.Config{Backend: store.BackendFile, Path: path, Sync: true})
 	if err != nil {
 		t.Fatalf("Open file: %v", err)
 	}
 	s.Close()
-	if _, err := Open(Config{Backend: BackendFile}); err == nil {
+	if _, err := store.Open(store.Config{Backend: store.BackendFile}); err == nil {
 		t.Fatal("Open file without path succeeded")
 	}
-	if _, err := Open(Config{Backend: "bolt"}); err == nil {
+	if _, err := store.Open(store.Config{Backend: "bolt"}); err == nil {
 		t.Fatal("Open unknown backend succeeded")
 	}
-	if got := (Config{}).BackendName(); got != BackendMem {
+	if got := (store.Config{}).BackendName(); got != store.BackendMem {
 		t.Fatalf("BackendName() = %q", got)
 	}
+	// The Wrap hook decorates the backend before Open returns it.
+	wrapped, err := store.Open(store.Config{Wrap: func(s store.Store) store.Store {
+		return store.NewGuard(s, store.GuardOpts{})
+	}})
+	if err != nil {
+		t.Fatalf("Open with Wrap: %v", err)
+	}
+	if _, ok := wrapped.(*store.Guard); !ok {
+		t.Fatalf("Open with Wrap = %T, want *Guard", wrapped)
+	}
+	wrapped.Close()
 }

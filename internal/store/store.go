@@ -39,6 +39,10 @@ const FormatVersion = "1"
 // KeyFormat is the metadata key holding the store format version.
 const KeyFormat = "meta:format"
 
+// KeyProbe is the metadata key the degradation guard's health probe
+// writes to test whether the backend accepts writes again (see Guard).
+const KeyProbe = "meta:probe"
+
 // Key-schema prefixes.  Callers build full keys with the helpers below
 // and iterate families with Seek(prefix).
 const (

@@ -109,6 +109,10 @@ type Welcome struct {
 	// Storage names the server's storage backend ("mem", "file"), so a
 	// client knows at connect time whether its models outlive the daemon.
 	Storage string `json:"storage,omitempty"`
+	// Degraded reports that the server's store is in read-only degraded
+	// mode at connect time (see the degraded error code); healthy
+	// servers omit it.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Response is one server → client message: the answer to a request
@@ -154,6 +158,10 @@ const (
 	// CodeDraining reports a command rejected because the server is
 	// draining; job-control reads and ping/version still answer.
 	CodeDraining = "draining"
+	// CodeDegraded maps store.ErrDegraded: the server's store stopped
+	// accepting writes, the daemon is serving read-only, and mutating
+	// commands are refused until the background probe re-arms writes.
+	CodeDegraded = "degraded"
 	// CodeQuit accompanies the quit verb's result; the server closes the
 	// connection after flushing it.
 	CodeQuit = "quit"

@@ -6,7 +6,8 @@
 # solves through the factor-once plan layer), BENCH_server.json
 # (network job throughput at 1/4/16 concurrent wire clients), and
 # BENCH_store.json (write-through put latency, cold open + recovery vs
-# stored-model count, snapshot/restore round-trip).
+# stored-model count, snapshot/restore round-trip, and SIGKILL-to-
+# serving daemon recovery time).
 #
 # Each JSON file holds one entry per benchmark with iterations, ns/op,
 # B/op, allocs/op, and any custom metrics (jobs/s, profile-nnz).

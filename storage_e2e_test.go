@@ -92,7 +92,7 @@ func mustExecute(t *testing.T, s *fem2.Session, line string) string {
 }
 
 // buildFem2d compiles the daemon into dir and returns the binary path.
-func buildFem2d(t *testing.T, dir string) string {
+func buildFem2d(t testing.TB, dir string) string {
 	t.Helper()
 	bin := filepath.Join(dir, "fem2d")
 	cmd := exec.Command("go", "build", "-o", bin, "./cmd/fem2d")
@@ -105,7 +105,7 @@ func buildFem2d(t *testing.T, dir string) string {
 // startDaemon launches fem2d on a loopback port with the given store
 // file, parses the bound address from its log, and returns the process
 // and address.
-func startDaemon(t *testing.T, bin, storePath string) (*exec.Cmd, string) {
+func startDaemon(t testing.TB, bin, storePath string) (*exec.Cmd, string) {
 	t.Helper()
 	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1",
 		"-store", "file", "-store-path", storePath)
