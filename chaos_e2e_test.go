@@ -9,7 +9,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"net"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -17,6 +19,36 @@ import (
 	fem2 "repro"
 	"repro/internal/fault"
 )
+
+// attachChaosMetrics opts a chaos test into live metrics emission when
+// FEM2_METRICS is set to an interval (e.g. 50ms): CI runs the chaos
+// suite with the emitter ticking hard to prove it neither flakes nor
+// races the fault storms.  FEM2_METRICS_OUT appends the emitted lines
+// to a file (each line is one Write, so concurrent emitters do not
+// interleave); unset, the lines are generated and discarded.
+func attachChaosMetrics(t *testing.T, sys *fem2.System) {
+	t.Helper()
+	spec := os.Getenv("FEM2_METRICS")
+	if spec == "" {
+		return
+	}
+	interval, err := time.ParseDuration(spec)
+	if err != nil {
+		t.Fatalf("FEM2_METRICS=%q: %v", spec, err)
+	}
+	w := io.Writer(io.Discard)
+	if path := os.Getenv("FEM2_METRICS_OUT"); path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		w = f
+	}
+	em := fem2.NewMetricsEmitter(sys.Obs, fem2.MetricsEmitterOpts{Interval: interval, W: w})
+	em.Start()
+	t.Cleanup(em.Stop)
+}
 
 // TestChaosStoreDegradeAndRecover drives the full degradation arc over
 // the wire: persistent injected write failures trip the guard, the
@@ -32,6 +64,7 @@ func TestChaosStoreDegradeAndRecover(t *testing.T) {
 	sys, srv, addr, _ := startServer(t, fem2.ServerConfig{},
 		fem2.WithStore(fem2.StoreConfig{Wrap: fault.WrapStore(in)}),
 		fem2.WithStoreGuard(fem2.GuardOpts{ProbeInterval: -1})) // probe manually, deterministically
+	attachChaosMetrics(t, sys)
 	defer sys.Close()
 	defer srv.Shutdown(context.Background())
 	cl, err := fem2.Dial(addr, "eng")
@@ -142,6 +175,7 @@ jobs
 func TestChaosConnectionDropsByteIdentical(t *testing.T) {
 	run := func(dialer func(string) (net.Conn, error)) (string, *fem2.Client) {
 		sys, srv, addr, _ := startServer(t, fem2.ServerConfig{})
+		attachChaosMetrics(t, sys)
 		t.Cleanup(func() { srv.Shutdown(context.Background()); sys.Close() })
 		cl, err := fem2.DialWithOptions(addr, "eng", fem2.ClientOptions{
 			MaxRetries: 4, BaseBackoff: time.Millisecond, Seed: 11, Dialer: dialer})
@@ -200,6 +234,7 @@ func TestChaosConnectionDropsByteIdentical(t *testing.T) {
 // wait must return the solve result, not "cancelled".
 func TestChaosRequestTimeoutExemptsSubmit(t *testing.T) {
 	sys, srv, addr, _ := startServer(t, fem2.ServerConfig{RequestTimeout: 250 * time.Millisecond})
+	attachChaosMetrics(t, sys)
 	defer sys.Close()
 	defer srv.Shutdown(context.Background())
 	cl, err := fem2.Dial(addr, "eng")

@@ -8,8 +8,9 @@
 //
 //	fem2 [-clusters N] [-pes N] [-workers N] [-store mem|file]
 //	     [-store-path fem2.db] [-store-sync] [-script file]
+//	     [-metrics 0] [-metrics-out file]
 //	fem2 -connect host:port [-notify] [-retries N] [-retry-backoff 50ms]
-//	     [-request-timeout 0] [-script file]
+//	     [-request-timeout 0] [-script file] [-metrics 0] [-metrics-out file]
 //
 // Without -script it reads commands from stdin; type `help` for the
 // command language.  Long-running solves can run asynchronously on the
@@ -30,6 +31,12 @@
 // (wait is exempt).  In both modes SIGINT/SIGTERM cancels the
 // in-flight command (and, connected, the session's server-side jobs)
 // cleanly.
+//
+// With -metrics <interval> the workstation streams one JSON line of
+// live metrics per interval to stderr (or appended to -metrics-out):
+// locally the whole system's registry, connected the client's own
+// reconnect/retry counters.  The `stats` verb prints the serving
+// system's snapshot either way.  See docs/observability.md.
 package main
 
 import (
@@ -46,6 +53,29 @@ import (
 	"repro/internal/client"
 )
 
+// startMetrics starts the -metrics emitter over reg, writing to path
+// (created if needed, appended to) or stderr.  The returned stop
+// flushes the emitter out.
+func startMetrics(reg *fem2.ObsRegistry, interval time.Duration, path string) (stop func(), err error) {
+	w := io.Writer(os.Stderr)
+	var f *os.File
+	if path != "" {
+		f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		w = f
+	}
+	em := fem2.NewMetricsEmitter(reg, fem2.MetricsEmitterOpts{Interval: interval, W: w})
+	em.Start()
+	return func() {
+		em.Stop()
+		if f != nil {
+			f.Close()
+		}
+	}, nil
+}
+
 func main() {
 	clusters := flag.Int("clusters", 4, "number of PE clusters")
 	pes := flag.Int("pes", 8, "PEs per cluster (including the kernel PE)")
@@ -61,6 +91,8 @@ func main() {
 	retries := flag.Int("retries", 5, "with -connect: reconnect budget per request (0 = fail on first drop)")
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "with -connect: base backoff between reconnect attempts")
 	requestTimeout := flag.Duration("request-timeout", 0, "with -connect: per-request client-side deadline (0 = none; wait is exempt)")
+	metricsInterval := flag.Duration("metrics", 0, "emit one JSON metrics line per interval (0 = off)")
+	metricsOut := flag.String("metrics-out", "", "with -metrics: append metric lines to this file instead of stderr")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the root context: the in-flight solve (local
@@ -82,9 +114,21 @@ func main() {
 	}
 
 	if *connect != "" {
+		// Connected, the local registry sees only the client's own
+		// metrics (reconnects, retries); the server's live through the
+		// stats verb.
+		reg := fem2.NewObsRegistry()
+		if *metricsInterval > 0 {
+			stop, err := startMetrics(reg, *metricsInterval, *metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fem2:", err)
+				os.Exit(1)
+			}
+			defer stop()
+		}
 		cl, err := client.DialWithOptions(*connect, *user, client.Options{
 			MaxRetries: *retries, BaseBackoff: *retryBackoff,
-			RequestTimeout: *requestTimeout})
+			RequestTimeout: *requestTimeout, Obs: reg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fem2:", err)
 			os.Exit(1)
@@ -113,6 +157,14 @@ func main() {
 		os.Exit(1)
 	}
 	defer sys.Close()
+	if *metricsInterval > 0 {
+		stop, err := startMetrics(sys.Obs, *metricsInterval, *metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fem2:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
 	sess := sys.Session(*user)
 
 	if banner {

@@ -11,7 +11,7 @@
 //	      [-store mem|file] [-store-path fem2.db] [-store-sync]
 //	      [-max-jobs N] [-quota-policy reject|queue]
 //	      [-request-timeout 0] [-resubmit-lost N] [-resubmit-backoff 1s]
-//	      [-drain-timeout 30s]
+//	      [-drain-timeout 30s] [-metrics 0] [-metrics-out file]
 //
 // With -store file -store-path fem2.db the daemon is durable: stored
 // models, solution history, and the job journal live in the store
@@ -36,12 +36,18 @@
 // job control still answers, waits up to -drain-timeout for running
 // jobs (then cancels the rest), flushes pending notifications, and
 // exits.
+//
+// With -metrics <interval> the daemon streams one JSON line of live
+// metrics per interval — jobs/s, queue depth, cache hit rates,
+// per-verb latency histograms — to stderr, or appended to the
+// -metrics-out file.  See docs/observability.md.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -53,6 +59,29 @@ import (
 	"repro/internal/job"
 	"repro/internal/server"
 )
+
+// startMetrics starts the -metrics emitter over reg, writing to path
+// (created if needed, appended to) or stderr.  The returned stop
+// flushes the emitter out.
+func startMetrics(reg *fem2.ObsRegistry, interval time.Duration, path string) (stop func(), err error) {
+	w := io.Writer(os.Stderr)
+	var f *os.File
+	if path != "" {
+		f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		w = f
+	}
+	em := fem2.NewMetricsEmitter(reg, fem2.MetricsEmitterOpts{Interval: interval, W: w})
+	em.Start()
+	return func() {
+		em.Stop()
+		if f != nil {
+			f.Close()
+		}
+	}, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":7432", "TCP address to listen on")
@@ -70,6 +99,8 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-command server-side execution bound (0 = none; wait and submit are exempt)")
 	resubmitLost := flag.Int("resubmit-lost", 0, "auto-resubmit jobs lost to a crash, up to N attempts each (0 = off)")
 	resubmitBackoff := flag.Duration("resubmit-backoff", time.Second, "base backoff between lost-job resubmissions")
+	metricsInterval := flag.Duration("metrics", 0, "emit one JSON metrics line per interval (0 = off)")
+	metricsOut := flag.String("metrics-out", "", "with -metrics: append metric lines to this file instead of stderr")
 	flag.Parse()
 
 	qp, err := job.ParseQuotaPolicy(*policy)
@@ -93,6 +124,15 @@ func main() {
 		os.Exit(1)
 	}
 	sys.Jobs.SetLogf(logger.Printf)
+
+	if *metricsInterval > 0 {
+		stopMetrics, err := startMetrics(sys.Obs, *metricsInterval, *metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fem2d:", err)
+			os.Exit(1)
+		}
+		defer stopMetrics()
+	}
 
 	cfg := server.Config{MaxJobsPerSession: *maxJobs, QuotaPolicy: qp,
 		RequestTimeout: *requestTimeout}

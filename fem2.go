@@ -81,6 +81,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/navm"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/wire"
@@ -254,6 +255,9 @@ type (
 	CancelCommand = command.Cancel
 	// JobsCommand enumerates the scheduler's jobs.
 	JobsCommand = command.Jobs
+	// StatsCommand reports the serving system's live metrics snapshot —
+	// read-only, answerable even draining or degraded, like ping.
+	StatsCommand = command.Stats
 )
 
 // SolveMethod names a solver backend in a SolveCommand; the zero value
@@ -354,6 +358,12 @@ type (
 	JobRow = command.JobRow
 	// CancelResult reports a cancel attempt's outcome.
 	CancelResult = command.CancelResult
+	// StatsResult carries a metrics snapshot; StatEntry is one counter
+	// or gauge, StatHistogram one latency histogram of StatBuckets.
+	StatsResult   = command.StatsResult
+	StatEntry     = command.StatEntry
+	StatBucket    = command.StatBucket
+	StatHistogram = command.StatHistogram
 )
 
 // The asynchronous job service — the concurrent multi-tenant front end.
@@ -538,6 +548,37 @@ type RemoteError = client.RemoteError
 
 // JobEvent is one server-pushed job lifecycle notification.
 type JobEvent = wire.JobEvent
+
+// The observability layer: every System carries a registry of live
+// counters, gauges, and latency histograms (System.Obs), updated
+// lock-free by the instrumented layers.  System.StatsSnapshot and the
+// stats verb read it point-in-time; a MetricsEmitter streams it as one
+// JSON line per interval — the fem2/fem2d -metrics flag.  See
+// docs/observability.md for the metric catalog and line format.
+
+// ObsRegistry is a live metrics registry; System.Obs is the system's.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a point-in-time copy of a registry's metrics, sorted
+// by name — what System.StatsSnapshot and the stats verb report.
+type ObsSnapshot = obs.Snapshot
+
+// NewObsRegistry builds an empty standalone registry — for clients
+// that want reconnect/retry counters without a local System.
+func NewObsRegistry() *ObsRegistry { return obs.New() }
+
+// MetricsEmitter writes one JSON metrics line per tick; Start begins
+// ticking, Stop flushes out.
+type MetricsEmitter = obs.Emitter
+
+// MetricsEmitterOpts parameterises a MetricsEmitter: the tick interval
+// and the destination writer.
+type MetricsEmitterOpts = obs.EmitterOpts
+
+// NewMetricsEmitter builds an emitter over a registry.
+func NewMetricsEmitter(reg *ObsRegistry, o MetricsEmitterOpts) *MetricsEmitter {
+	return obs.NewEmitter(reg, o)
+}
 
 // MarshalCommand and UnmarshalCommand are the typed command wire
 // codec; MarshalResult and UnmarshalResult the result codec.  Both

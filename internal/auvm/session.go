@@ -15,6 +15,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/navm"
+	"repro/internal/obs"
 )
 
 // ErrQuit is returned by Do and Execute when the user issues the quit
@@ -71,6 +72,11 @@ type Session struct {
 	// degraded to read-only; ping and version surface it.  Nil means
 	// healthy (a standalone session has no degradation machinery).
 	Health func() bool
+	// Obs, when non-nil, is the system's live-metrics registry: the
+	// stats verb snapshots it, and ping/version replies carry its
+	// uptime.  A standalone session leaves it nil and stats answers an
+	// empty snapshot.
+	Obs *obs.Registry
 
 	// stateMu guards the interpreter-local state below.  Cheap verbs
 	// run inline on submitter goroutines, so two SubmitAsync calls on
@@ -101,6 +107,28 @@ func cancelled(ctx context.Context) error { return errs.Cancelled(ctx) }
 
 // degraded consults the Health hook; sessions without one are healthy.
 func (s *Session) degraded() bool { return s.Health != nil && s.Health() }
+
+// statsResult converts an obs snapshot into the typed stats reply.  The
+// snapshot arrives sorted by metric name, and the conversion preserves
+// order, so the result's rendering is deterministic — and a result
+// decoded from the wire renders byte-identically to the serving side.
+func statsResult(snap obs.Snapshot) *command.StatsResult {
+	res := &command.StatsResult{UptimeSeconds: snap.UptimeSeconds}
+	for _, c := range snap.Counters {
+		res.Counters = append(res.Counters, command.StatEntry{Name: c.Name, Value: c.Value})
+	}
+	for _, g := range snap.Gauges {
+		res.Gauges = append(res.Gauges, command.StatEntry{Name: g.Name, Value: g.Value})
+	}
+	for _, h := range snap.Histograms {
+		sh := command.StatHistogram{Name: h.Name, Count: h.Count, SumNS: h.SumNS}
+		for _, b := range h.Buckets {
+			sh.Buckets = append(sh.Buckets, command.StatBucket{Pow: b.Pow, Count: b.Count})
+		}
+		res.Histograms = append(res.Histograms, sh)
+	}
+	return res
+}
 
 // collector resolves the metrics sink for one request: a context-carried
 // override (the job scheduler's per-job Tee collector) when present, the
@@ -180,14 +208,17 @@ func (s *Session) Do(ctx context.Context, cmd command.Command) (command.Result, 
 	case command.Help:
 		return &command.HelpResult{}, nil
 	case command.Ping:
-		return &command.PingResult{Degraded: s.degraded()}, nil
+		return &command.PingResult{Degraded: s.degraded(), UptimeSeconds: s.Obs.UptimeSeconds()}, nil
 	case command.Version:
 		res := &command.VersionResult{Server: "fem2", Release: command.Release,
-			Protocol: command.ProtocolVersion, Degraded: s.degraded()}
+			Protocol: command.ProtocolVersion, Degraded: s.degraded(),
+			UptimeSeconds: s.Obs.UptimeSeconds()}
 		if s.DB != nil {
 			res.Storage = s.DB.Backend()
 		}
 		return res, nil
+	case command.Stats:
+		return statsResult(s.Obs.Snapshot()), nil
 	case command.Quit:
 		return &command.QuitResult{}, ErrQuit
 	case command.Define:

@@ -46,6 +46,7 @@ import (
 	"repro/internal/command"
 	"repro/internal/errs"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -139,6 +140,10 @@ type Options struct {
 	// Dialer replaces net.Dial("tcp", addr) — the hook fault.Dialer
 	// plugs into.  Nil means plain TCP.
 	Dialer func(addr string) (net.Conn, error)
+	// Obs, when non-nil, receives the client's resilience metrics
+	// (client.reconnects, client.retries) — a standalone registry for
+	// the CLI's -metrics flag, or a shared one in larger deployments.
+	Obs *obs.Registry
 }
 
 // eventQueue bounds the notification buffer; a client that never reads
@@ -166,6 +171,10 @@ type Client struct {
 
 	done   chan struct{} // closed on permanent close
 	events chan *wire.JobEvent
+
+	// Resilience metrics (Options.Obs); nil no-op sinks by default.
+	mReconnects *obs.Counter
+	mRetries    *obs.Counter
 }
 
 // link is one TCP connection's worth of state: its own writer, its own
@@ -213,6 +222,9 @@ func DialWithOptions(addr, user string, o Options) (*Client, error) {
 		rng:    rand.New(rand.NewSource(o.Seed)),
 		done:   make(chan struct{}),
 		events: make(chan *wire.JobEvent, eventQueue),
+
+		mReconnects: o.Obs.Counter(obs.ClientReconnects),
+		mRetries:    o.Obs.Counter(obs.ClientRetries),
 	}
 	ln, w, err := c.connect(context.Background())
 	if err != nil {
@@ -305,6 +317,7 @@ func (c *Client) live(ctx context.Context) (*link, error) {
 	c.ln, c.welcome = ln, w
 	if c.everLinked {
 		c.reconnects++
+		c.mReconnects.Inc()
 	}
 	c.everLinked = true
 	c.mu.Unlock()
@@ -393,6 +406,18 @@ func (c *Client) Degraded() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.welcome != nil && c.welcome.Degraded
+}
+
+// Uptime returns the server's uptime in whole seconds as announced by
+// the most recent handshake's Welcome envelope (rev 4); zero from
+// servers that predate it or that just started.
+func (c *Client) Uptime() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.welcome == nil {
+		return 0
+	}
+	return c.welcome.UptimeSeconds
 }
 
 // Reconnects reports how many times the client has replaced a dead
@@ -515,7 +540,7 @@ func (ln *link) roundTrip(ctx context.Context, req *wire.Request) (*wire.Respons
 // state the old session held.
 func replayable(cmd command.Command) bool {
 	switch command.Value(cmd).(type) {
-	case command.Ping, command.Version, command.Status, command.Jobs, command.Wait:
+	case command.Ping, command.Version, command.Stats, command.Status, command.Jobs, command.Wait:
 		return true
 	}
 	return false
@@ -564,6 +589,7 @@ func (c *Client) roundTrip(ctx context.Context, data json.RawMessage, idem, dead
 			}
 		}
 		attempts++
+		c.mRetries.Inc()
 		if attempts > c.opts.MaxRetries {
 			if c.opts.MaxRetries == 0 {
 				return nil, err

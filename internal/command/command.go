@@ -73,6 +73,12 @@ type Ping struct{}
 // serving side speaks.
 type Version struct{}
 
+// Stats returns a point-in-time snapshot of the serving system's live
+// metrics — job throughput, queue depth, cache hit rates, per-verb
+// latency histograms (see internal/obs).  Read-only and answerable
+// while draining or degraded, like ping.
+type Stats struct{}
+
 // Quit ends the session; the interpreter answers with ErrQuit.
 type Quit struct{}
 
@@ -371,6 +377,7 @@ func (Status) isCommand()        {}
 func (Wait) isCommand()          {}
 func (Cancel) isCommand()        {}
 func (Jobs) isCommand()          {}
+func (Stats) isCommand()         {}
 
 // Value returns the value form of cmd: a pointer command is dereferenced
 // so the value and pointer spellings dispatch identically everywhere a
@@ -396,6 +403,9 @@ func (Ping) String() string { return "ping" }
 
 // String renders the canonical command line.
 func (Version) String() string { return "version" }
+
+// String renders the canonical command line.
+func (Stats) String() string { return "stats" }
 
 // String renders the canonical command line.
 func (Quit) String() string { return "quit" }

@@ -17,6 +17,8 @@ func TestParseEveryVerb(t *testing.T) {
 		{"help", Help{}},
 		{"ping", Ping{}},
 		{"version", Version{}},
+		{"stats", Stats{}},
+		{"STATS", Stats{}},
 		{"quit", Quit{}},
 		{"exit", Quit{}},
 		{"QUIT", Quit{}}, // verbs are case-insensitive

@@ -34,6 +34,11 @@ func Parse(line string) (Command, error) {
 			return nil, usage("ping")
 		}
 		return Ping{}, nil
+	case "stats":
+		if len(args) != 0 {
+			return nil, usage("stats")
+		}
+		return Stats{}, nil
 	case "version":
 		if len(args) != 0 {
 			return nil, usage("version")

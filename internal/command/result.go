@@ -38,7 +38,7 @@ const HelpText = `FEM-2 workstation commands:
   submit <command>                       (run asynchronously, returns a job id)
   status <job> | wait <job> | cancel <job>
   jobs [user <name>] [state queued|running|done|failed|cancelled]
-  ping | version
+  ping | version | stats
   help | quit`
 
 // HelpResult is the reply to Help.
@@ -50,6 +50,11 @@ type PingResult struct {
 	// store.Guard); false on a healthy system, so pre-degradation
 	// renderings are unchanged.
 	Degraded bool
+	// UptimeSeconds is whole seconds since the serving system started
+	// (rev 4).  Machine-readable only: String never renders it, so the
+	// "pong" line stays byte-identical to rev 3; zero is omitted on the
+	// wire.
+	UptimeSeconds int64 `json:"uptime_s,omitempty"`
 }
 
 // VersionResult is the reply to Version.
@@ -66,6 +71,9 @@ type VersionResult struct {
 	Storage string
 	// Degraded reports read-only degraded mode, as on PingResult.
 	Degraded bool
+	// UptimeSeconds is whole seconds since the serving system started
+	// (rev 4); JSON-only and never rendered, as on PingResult.
+	UptimeSeconds int64 `json:"uptime_s,omitempty"`
 }
 
 // QuitResult is the reply to Quit (delivered alongside ErrQuit).
@@ -332,6 +340,42 @@ type CancelResult struct {
 	State JobState
 }
 
+// StatEntry is one named counter or gauge value in a StatsResult.
+type StatEntry struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// StatBucket is one non-empty latency-histogram bucket: Count
+// observations with 2^(Pow-1) <= v < 2^Pow nanoseconds (Pow 0 is
+// exactly zero).
+type StatBucket struct {
+	Pow   int   `json:"pow"`
+	Count int64 `json:"count"`
+}
+
+// StatHistogram is one latency histogram in a StatsResult.
+type StatHistogram struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	SumNS   int64        `json:"sum_ns"`
+	Buckets []StatBucket `json:"buckets,omitempty"`
+}
+
+// StatsResult is the reply to Stats: the serving system's live-metrics
+// snapshot (see internal/obs).  Sections are sorted by metric name, so
+// the rendering of a given snapshot is stable and a decoded result
+// renders byte-identically to the serving side's.
+type StatsResult struct {
+	// UptimeSeconds is whole seconds since the serving system started.
+	UptimeSeconds int64 `json:"uptime_s"`
+	// Counters, Gauges, and Histograms list every registered metric,
+	// ascending by name; empty sections are omitted.
+	Counters   []StatEntry     `json:"counters,omitempty"`
+	Gauges     []StatEntry     `json:"gauges,omitempty"`
+	Histograms []StatHistogram `json:"histograms,omitempty"`
+}
+
 func (HelpResult) isResult()          {}
 func (PingResult) isResult()          {}
 func (VersionResult) isResult()       {}
@@ -360,6 +404,32 @@ func (SubmitResult) isResult()        {}
 func (JobStatusResult) isResult()     {}
 func (JobsResult) isResult()          {}
 func (CancelResult) isResult()        {}
+func (StatsResult) isResult()         {}
+
+// String renders the REPL display line: one header, then one line per
+// metric, sections in counter/gauge/histogram order.  Histogram lines
+// show count, mean, and the populated power-of-two buckets.
+func (r StatsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stats (uptime %ds)", r.UptimeSeconds)
+	for _, c := range r.Counters {
+		fmt.Fprintf(&b, "\n  counter %s = %d", c.Name, c.Value)
+	}
+	for _, g := range r.Gauges {
+		fmt.Fprintf(&b, "\n  gauge %s = %d", g.Name, g.Value)
+	}
+	for _, h := range r.Histograms {
+		mean := int64(0)
+		if h.Count > 0 {
+			mean = h.SumNS / h.Count
+		}
+		fmt.Fprintf(&b, "\n  hist %s: n=%d mean=%dns", h.Name, h.Count, mean)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, " 2^%d:%d", bk.Pow, bk.Count)
+		}
+	}
+	return b.String()
+}
 
 // String renders the REPL display line.
 func (HelpResult) String() string { return HelpText }

@@ -15,7 +15,7 @@ import (
 // Result.String() rendering is byte-identical to local execution.
 
 // Release is the FEM-2 software release the version verb reports.
-const Release = "0.7.0"
+const Release = "0.8.0"
 
 // ProtocolVersion is the wire protocol revision.  A client and server
 // must agree on it exactly; the version verb and the connection
@@ -23,8 +23,11 @@ const Release = "0.7.0"
 // verbs, the Storage field on version replies, and the storage field
 // of the Welcome envelope.  Revision 3 added the "degraded" error code
 // and the health (Degraded) fields on ping/version replies and the
-// Welcome envelope.
-const ProtocolVersion = 3
+// Welcome envelope.  Revision 4 added the stats verb and the optional
+// uptime_s fields on ping/version replies and the Welcome envelope;
+// the uptime fields are JSON-only (never rendered), so every healthy
+// rev-3 rendering is byte-identical under rev 4.
+const ProtocolVersion = 4
 
 // cmdEnvelope is the wire form of one Command.  Submit nests its wrapped
 // command as another envelope under "cmd"; every other verb carries its
@@ -75,6 +78,7 @@ var commandVerbs = map[string]reflect.Type{
 	"wait":           reflect.TypeOf(Wait{}),
 	"cancel":         reflect.TypeOf(Cancel{}),
 	"jobs":           reflect.TypeOf(Jobs{}),
+	"stats":          reflect.TypeOf(Stats{}),
 }
 
 // resultKinds maps wire result kinds onto result struct types.
@@ -107,6 +111,7 @@ var resultKinds = map[string]reflect.Type{
 	"job-status":     reflect.TypeOf(JobStatusResult{}),
 	"jobs":           reflect.TypeOf(JobsResult{}),
 	"cancel":         reflect.TypeOf(CancelResult{}),
+	"stats":          reflect.TypeOf(StatsResult{}),
 }
 
 // verbOfCommand and kindOfResult are the marshal-direction inverses.
@@ -121,6 +126,24 @@ func invert(m map[string]reflect.Type) map[reflect.Type]string {
 		out[t] = k
 	}
 	return out
+}
+
+// Verb returns a command's wire verb name ("solve", "ping", …; "submit"
+// for Submit, "?" for a type the codec does not know).  Per-verb metric
+// families (job.latency.*, server.request.*) key on it, so the metric
+// vocabulary and the wire vocabulary are the same vocabulary.
+func Verb(cmd Command) string {
+	if cmd == nil {
+		return "?"
+	}
+	cmd = Value(cmd)
+	if _, ok := cmd.(Submit); ok {
+		return "submit"
+	}
+	if verb, ok := verbOfCommand[reflect.TypeOf(cmd)]; ok {
+		return verb
+	}
+	return "?"
 }
 
 // MarshalCommand encodes a command as its wire envelope.  Pointer

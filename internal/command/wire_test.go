@@ -41,6 +41,7 @@ var wireCommandSamples = []Command{
 	Wait{ID: 7},
 	Cancel{ID: 7},
 	Jobs{Owner: "engineer", State: JobRunning},
+	Stats{},
 }
 
 // wireResultSamples is one populated sample per result kind.
@@ -77,6 +78,15 @@ var wireResultSamples = []Result{
 		Cmd: "solve m ls", Error: "boom", Ops: 1, Flops: 2, Cycles: 3},
 	&JobsResult{Rows: []JobRow{{ID: 7, Owner: "engineer", State: JobDone, Cmd: "solve m ls"}}},
 	&CancelResult{ID: 7, State: JobCancelled},
+	&StatsResult{
+		UptimeSeconds: 12,
+		Counters:      []StatEntry{{Name: "job.done", Value: 42}, {Name: "job.submitted", Value: 43}},
+		Gauges:        []StatEntry{{Name: "job.queue_depth", Value: 2}},
+		Histograms: []StatHistogram{{
+			Name: "job.latency.solve", Count: 3, SumNS: 150000,
+			Buckets: []StatBucket{{Pow: 15, Count: 1}, {Pow: 16, Count: 2}},
+		}},
+	},
 }
 
 // TestWireCommandRoundTrip encodes and decodes every command sample and

@@ -33,6 +33,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/navm"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -228,6 +229,10 @@ type System struct {
 	// instead of letting errors cascade, and its background probe
 	// re-arms writes once the backend recovers.  See store.Guard.
 	Health *store.Guard
+	// Obs is the system's live-metrics registry: every layer routes its
+	// counters, gauges, and latency histograms through it, the stats
+	// verb snapshots it, and the -metrics emitter ticks from it.
+	Obs *obs.Registry
 
 	storeCfg store.Config
 	mu       sync.RWMutex
@@ -289,10 +294,14 @@ func NewSystemWithStoreGuard(cfg arch.Config, workers int, sc store.Config, g st
 		Trace:    trace.NewCapped(1 << 16),
 		Store:    st,
 		Health:   guard,
+		Obs:      obs.New(),
 		storeCfg: sc,
 		sessions: map[string]*auvm.Session{},
 	}
+	st.SetObs(s.Obs)
+	guard.SetObs(s.Obs)
 	s.Jobs = job.NewScheduler(workers, s.Metrics)
+	s.Jobs.SetObs(s.Obs)
 	if _, err := s.Jobs.AttachJournal(st); err != nil {
 		s.Jobs.Close()
 		st.Close()
@@ -311,6 +320,10 @@ func (s *System) StorageBackend() string { return s.storeCfg.BackendName() }
 // ping/version surface it, and the server refuses mutating verbs with
 // the "degraded" wire code while it holds.
 func (s *System) Degraded() bool { return s.Health != nil && s.Health.Degraded() }
+
+// StatsSnapshot returns a point-in-time copy of the system's live
+// metrics — exactly what the stats verb answers.
+func (s *System) StatsSnapshot() obs.Snapshot { return s.Obs.Snapshot() }
 
 // Session returns the named user session, creating it on first use —
 // FEM-2's multi-user access.  Safe for concurrent use: simultaneous
@@ -332,6 +345,7 @@ func (s *System) Session(user string) *auvm.Session {
 	sess.Metrics = s.Metrics
 	sess.Jobs = s.Jobs
 	sess.Health = s.Degraded
+	sess.Obs = s.Obs
 	s.sessions[user] = sess
 	return sess
 }

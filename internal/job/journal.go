@@ -168,6 +168,7 @@ func (s *Scheduler) persistLocked(j *job) {
 // write, and one line per job beats one line per write.
 func (s *Scheduler) journalWriteFailedLocked(j *job, err error) {
 	s.journalErrs++
+	s.mJournalErrs.Inc()
 	if s.journalErrs <= 3 || s.journalErrs%100 == 0 {
 		s.logfLocked("job: journal write for %s failed (%d so far, continuing): %v", j.id, s.journalErrs, err)
 	}

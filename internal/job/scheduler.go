@@ -8,10 +8,13 @@ import (
 	"sort"
 	"sync"
 
+	"time"
+
 	"repro/internal/command"
 	"repro/internal/errs"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -107,6 +110,22 @@ type Scheduler struct {
 	journalErrs int64
 	logf        func(format string, args ...any)
 	wg          sync.WaitGroup
+
+	// obs is the live-metrics registry (SetObs); the resolved metrics
+	// below are nil no-op sinks until it is installed, so a bare
+	// scheduler observes for free.  Counters are resolved once here and
+	// observed lock-free on the hot path.
+	obs              *obs.Registry
+	mSubmitted       *obs.Counter
+	mDone            *obs.Counter
+	mFailed          *obs.Counter
+	mCancelled       *obs.Counter
+	mQuotaRejected   *obs.Counter
+	mJournalErrs     *obs.Counter
+	mFactorEvictions *obs.Counter
+	gQueueDepth      *obs.Gauge
+	gRunning         *obs.Gauge
+	gWorkers         *obs.Gauge
 }
 
 // maxModelCaches bounds the per-model factor caches a scheduler keeps;
@@ -142,6 +161,37 @@ func NewScheduler(workers int, shared *metrics.Collector) *Scheduler {
 
 // Workers returns the pool bound.
 func (s *Scheduler) Workers() int { return s.workers }
+
+// SetObs routes the scheduler's live metrics through reg (see
+// internal/obs and docs/observability.md for the catalog).  Metric
+// pointers are resolved once here; nil reg leaves them as no-op sinks.
+// Call before traffic — typically right after NewScheduler.
+func (s *Scheduler) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = reg
+	s.mSubmitted = reg.Counter(obs.JobSubmitted)
+	s.mDone = reg.Counter(obs.JobDone)
+	s.mFailed = reg.Counter(obs.JobFailed)
+	s.mCancelled = reg.Counter(obs.JobCancelled)
+	s.mQuotaRejected = reg.Counter(obs.JobQuotaRejected)
+	s.mJournalErrs = reg.Counter(obs.JobJournalErrors)
+	s.mFactorEvictions = reg.Counter(obs.FactorEvictions)
+	s.gQueueDepth = reg.Gauge(obs.JobQueueDepth)
+	s.gRunning = reg.Gauge(obs.JobRunning)
+	s.gWorkers = reg.Gauge(obs.JobWorkers)
+	s.gWorkers.Set(int64(s.workers))
+	for _, fc := range s.caches {
+		fc.Instrument(reg.Counter(obs.FactorHits), reg.Counter(obs.FactorMisses), reg.Counter(obs.FactorRefactors))
+	}
+}
+
+// syncQueueGaugeLocked publishes the current heavy-queue length.  Jobs
+// cancelled while queued stay in the slice until a worker pops past
+// them, so the gauge can briefly overcount by the cancelled stragglers.
+func (s *Scheduler) syncQueueGaugeLocked() {
+	s.gQueueDepth.Set(int64(len(s.queue)))
+}
 
 // SetLogf installs the scheduler's diagnostic log sink (the daemon's
 // logger).  Only journal failures and resubmission activity log; nil
@@ -250,10 +300,14 @@ func (s *Scheduler) submit(ctx context.Context, owner string, ex Executor, cmd c
 
 	s.mu.Lock()
 	if err := s.admitLocked(ctx, owner); err != nil {
+		if errors.Is(err, ErrQuota) {
+			s.mQuotaRejected.Inc()
+		}
 		s.mu.Unlock()
 		cancel()
 		return 0, err
 	}
+	s.mSubmitted.Inc()
 	s.next++
 	j.id = JobID(s.next)
 	s.jobs[j.id] = j
@@ -266,6 +320,7 @@ func (s *Scheduler) submit(ctx context.Context, owner string, ex Executor, cmd c
 	if Heavy(cmd) {
 		s.startWorkersLocked()
 		s.queue = append(s.queue, j)
+		s.syncQueueGaugeLocked()
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		return j.id, nil
@@ -305,6 +360,7 @@ func (s *Scheduler) worker() {
 			return
 		}
 		j.state = Running
+		s.gRunning.Add(1)
 		if j.model != "" {
 			s.busy[j.model] = true
 		}
@@ -325,6 +381,7 @@ func (s *Scheduler) worker() {
 // popLocked removes and returns the first queued job whose model is not
 // busy, dropping jobs cancelled while they waited.
 func (s *Scheduler) popLocked() *job {
+	defer s.syncQueueGaugeLocked()
 	for i := 0; i < len(s.queue); i++ {
 		j := s.queue[i]
 		if j.state != Queued {
@@ -371,6 +428,7 @@ func (s *Scheduler) runInline(j *job) {
 		return
 	}
 	j.state = Running
+	s.gRunning.Add(1)
 	if j.model != "" {
 		s.busy[j.model] = true
 	}
@@ -406,11 +464,15 @@ func (s *Scheduler) FactorCache(model string) *linalg.FactorCache {
 				if !s.busy[name] {
 					delete(s.caches, name)
 					s.cacheOrder = append(s.cacheOrder[:i], s.cacheOrder[i+1:]...)
+					s.mFactorEvictions.Inc()
 					break
 				}
 			}
 		}
 		fc = &linalg.FactorCache{}
+		if s.obs != nil {
+			fc.Instrument(s.obs.Counter(obs.FactorHits), s.obs.Counter(obs.FactorMisses), s.obs.Counter(obs.FactorRefactors))
+		}
 		s.caches[model] = fc
 		s.cacheOrder = append(s.cacheOrder, model)
 	}
@@ -446,7 +508,9 @@ func (s *Scheduler) execute(j *job) {
 	if j.model != "" && CacheableSolve(j.cmd) {
 		ctx = linalg.NewFactorCacheContext(ctx, s.FactorCache(j.model))
 	}
+	start := time.Now()
 	res, err := j.ex.Do(ctx, j.cmd)
+	elapsed := time.Since(start)
 	j.cancel()
 
 	state := Done
@@ -455,6 +519,16 @@ func (s *Scheduler) execute(j *job) {
 		if errors.Is(err, errs.ErrCancelled) {
 			state = Cancelled
 		}
+	}
+	s.obs.Histogram(obs.JobLatencyPrefix + command.Verb(j.cmd)).Observe(elapsed)
+	s.gRunning.Add(-1)
+	switch state {
+	case Done:
+		s.mDone.Inc()
+	case Failed:
+		s.mFailed.Inc()
+	case Cancelled:
+		s.mCancelled.Inc()
 	}
 	s.mu.Lock()
 	j.state = state
@@ -558,6 +632,7 @@ func (s *Scheduler) Cancel(id JobID) (State, error) {
 // cancelQueuedLocked finalizes a job that never ran.
 func (s *Scheduler) cancelQueuedLocked(j *job) {
 	j.state = Cancelled
+	s.mCancelled.Inc()
 	j.err = fmt.Errorf("%w: %s cancelled before it started", errs.ErrCancelled, j.id)
 	close(j.done)
 	j.cancel()

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/errs"
+	"repro/internal/obs"
 )
 
 // Factorization is a reusable direct factorisation of a sparse SPD
@@ -383,6 +384,20 @@ type FactorCache struct {
 	// time a solve could not reuse the current factor.
 	gen     uint64
 	entries map[string]*factorEntry
+
+	// Shared observability counters (Instrument): warm solves, plan
+	// misses, and refactorisations.  Nil no-op sinks by default, so an
+	// uninstrumented cache pays one nil check per solve.
+	hits, misses, refactors *obs.Counter
+}
+
+// Instrument routes the cache's hit/miss/refactor counts into shared
+// counters — the scheduler points every per-model cache at the system
+// registry's factor.* family.  Any argument may be nil.
+func (fc *FactorCache) Instrument(hits, misses, refactors *obs.Counter) {
+	fc.mu.Lock()
+	fc.hits, fc.misses, fc.refactors = hits, misses, refactors
+	fc.mu.Unlock()
 }
 
 // factorEntry is one backend's cached plan plus the exact values the
@@ -428,6 +443,7 @@ func (fc *FactorCache) SolveCached(backend string, a *CSR, b Vector, st *Stats) 
 	}
 	e := fc.entries[backend]
 	if e == nil || !e.plan.MatchesPattern(a) {
+		fc.misses.Inc()
 		plan, perr := NewDirectPlan(a, po)
 		if perr != nil {
 			return nil, false, perr
@@ -436,6 +452,7 @@ func (fc *FactorCache) SolveCached(backend string, a *CSR, b Vector, st *Stats) 
 		fc.entries[backend] = e
 	}
 	if !e.plan.factored || !valuesEqual(e.vals, a.Val) {
+		fc.refactors.Inc()
 		if err := e.plan.Refactor(a, st); err != nil {
 			return nil, true, err
 		}
@@ -445,6 +462,8 @@ func (fc *FactorCache) SolveCached(backend string, a *CSR, b Vector, st *Stats) 
 		copy(e.vals, a.Val)
 		fc.gen++
 		refactored = true
+	} else {
+		fc.hits.Inc()
 	}
 	x, err = e.plan.SolveInto(b, nil, st)
 	return x, refactored, err

@@ -1,0 +1,49 @@
+package obs
+
+// The canonical metric catalog.  Every instrumented package resolves
+// its metrics by these names, the stats verb and the emitter expose
+// them verbatim, and docs/observability.md documents each one — a
+// single vocabulary from hot path to dashboard.
+//
+// Dynamic families (per-verb latency) are built with the prefix
+// constants: "job.latency.solve", "server.request.ping", …
+const (
+	// Job service (internal/job).
+	JobSubmitted     = "job.submitted"      // counter: jobs admitted (inline + pooled)
+	JobDone          = "job.done"           // counter: jobs finished successfully
+	JobFailed        = "job.failed"         // counter: jobs finished in error
+	JobCancelled     = "job.cancelled"      // counter: jobs cancelled (queued or mid-run)
+	JobQuotaRejected = "job.quota_rejected" // counter: submissions refused by per-owner quota
+	JobJournalErrors = "job.journal_errors" // counter: journal writes that failed (scheduler carried on)
+	JobQueueDepth    = "job.queue_depth"    // gauge: heavy jobs waiting for a worker or a model lock
+	JobRunning       = "job.running"        // gauge: jobs executing right now (worker utilization numerator)
+	JobWorkers       = "job.workers"        // gauge: worker pool bound (utilization denominator)
+	JobLatencyPrefix = "job.latency."       // histogram family: execution time per verb
+
+	// Durable store (internal/store).
+	StoreCacheHits       = "store.cache_hits"       // counter: CachedStore Gets served from memory
+	StoreCacheMisses     = "store.cache_misses"     // counter: CachedStore Gets that hit the backend
+	StoreGuardTrips      = "store.guard_trips"      // counter: times the guard entered degraded mode
+	StoreDegraded        = "store.degraded"         // gauge: 1 while the store is read-only, else 0
+	StoreDegradedSeconds = "store.degraded_seconds" // counter: whole seconds spent degraded (completed episodes)
+	StoreGetLatency      = "store.get"              // histogram: Get latency, cache hits included
+	StorePutLatency      = "store.put"              // histogram: Put latency (write-through, rides Batch)
+	StoreBatchLatency    = "store.batch"            // histogram: Batch latency, backend write included
+
+	// Network front end (internal/server).
+	ServerConnections   = "server.connections"    // gauge: open client connections
+	ServerFramesIn      = "server.frames_in"      // counter: request frames decoded
+	ServerFramesOut     = "server.frames_out"     // counter: response/notification frames written
+	ServerQuotaRejected = "server.quota_rejected" // counter: requests answered with the quota code
+	ServerRequestPrefix = "server.request."       // histogram family: decode-to-reply latency per verb
+
+	// Direct-solve factor cache (internal/linalg + scheduler eviction).
+	FactorHits      = "factor.hits"      // counter: solves served by a warm factor
+	FactorMisses    = "factor.misses"    // counter: solves that had to plan (cold or pattern change)
+	FactorRefactors = "factor.refactors" // counter: numeric refactorisations (misses included)
+	FactorEvictions = "factor.evictions" // counter: per-model caches dropped by the scheduler bound
+
+	// Network client (internal/client).
+	ClientReconnects = "client.reconnects" // counter: dead connections replaced
+	ClientRetries    = "client.retries"    // counter: request attempts beyond the first
+)

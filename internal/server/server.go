@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/errs"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -71,6 +72,14 @@ type Server struct {
 
 	draining atomic.Bool
 
+	// Front-end metrics, resolved once from the system registry; nil
+	// no-op sinks when the system has none (see internal/obs).
+	obs            *obs.Registry
+	gConnections   *obs.Gauge
+	mFramesIn      *obs.Counter
+	mFramesOut     *obs.Counter
+	mQuotaRejected *obs.Counter
+
 	mu      sync.Mutex
 	ln      net.Listener
 	conns   map[*conn]struct{}
@@ -85,7 +94,13 @@ func New(sys *core.System, cfg Config) *Server {
 		cfg.DefaultUser = "anon"
 	}
 	sys.Jobs.SetQuota(cfg.MaxJobsPerSession, cfg.QuotaPolicy)
-	return &Server{sys: sys, cfg: cfg, conns: map[*conn]struct{}{}}
+	s := &Server{sys: sys, cfg: cfg, conns: map[*conn]struct{}{}}
+	s.obs = sys.Obs
+	s.gConnections = s.obs.Gauge(obs.ServerConnections)
+	s.mFramesIn = s.obs.Counter(obs.ServerFramesIn)
+	s.mFramesOut = s.obs.Counter(obs.ServerFramesOut)
+	s.mQuotaRejected = s.obs.Counter(obs.ServerQuotaRejected)
+	return s
 }
 
 // logf writes one log line when configured.
@@ -135,6 +150,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.connSeq++
 		c := newConn(s, nc, s.connSeq)
 		s.conns[c] = struct{}{}
+		s.gConnections.Add(1)
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go c.serve()
@@ -145,6 +161,7 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) removeConn(c *conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
+	s.gConnections.Add(-1)
 	s.mu.Unlock()
 	s.wg.Done()
 }
@@ -237,6 +254,7 @@ func (c *conn) serve() {
 				c.cancel()
 				return
 			}
+			c.srv.mFramesOut.Inc()
 			// Flush per frame only when the queue is empty, so a burst of
 			// notifications coalesces into one write.
 			if len(c.out) == 0 {
@@ -261,6 +279,7 @@ func (c *conn) serve() {
 		if err != nil {
 			break
 		}
+		c.srv.mFramesIn.Inc()
 		if req.Hello != nil {
 			c.handleHello(req)
 			continue
@@ -381,8 +400,9 @@ func (c *conn) handleHello(req *wire.Request) {
 	c.send(&wire.Response{ID: req.ID, Welcome: &wire.Welcome{
 		Server: "fem2d", Release: command.Release,
 		Proto: command.ProtocolVersion, Session: sessName,
-		Storage:  c.srv.sys.StorageBackend(),
-		Degraded: c.srv.sys.Degraded(),
+		Storage:       c.srv.sys.StorageBackend(),
+		Degraded:      c.srv.sys.Degraded(),
+		UptimeSeconds: c.srv.sys.Obs.UptimeSeconds(),
 	}})
 }
 
@@ -413,7 +433,12 @@ func (c *conn) handleCommand(req *wire.Request) {
 		defer cancel()
 	}
 	sess := c.session("")
+	start := time.Now()
 	res, err := sess.Do(ctx, cmd)
+	c.srv.obs.Histogram(obs.ServerRequestPrefix + command.Verb(cmd)).Observe(time.Since(start))
+	if errors.Is(err, job.ErrQuota) {
+		c.srv.mQuotaRejected.Inc()
+	}
 
 	resp := &wire.Response{ID: req.ID}
 	if res != nil {
@@ -443,9 +468,9 @@ func (c *conn) handleCommand(req *wire.Request) {
 // last act before a shutdown — while restore mutates and is refused.
 func mutatesUnderDrain(cmd command.Command) bool {
 	switch command.Value(cmd).(type) {
-	case command.Help, command.Ping, command.Version, command.Quit,
-		command.Status, command.Wait, command.Cancel, command.Jobs,
-		command.List, command.Display, command.Snapshot:
+	case command.Help, command.Ping, command.Version, command.Stats,
+		command.Quit, command.Status, command.Wait, command.Cancel,
+		command.Jobs, command.List, command.Display, command.Snapshot:
 		return false
 	default:
 		return true

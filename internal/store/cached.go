@@ -2,6 +2,9 @@ package store
 
 import (
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // DefaultCacheEntries bounds the CachedStore read cache.
@@ -26,6 +29,11 @@ type CachedStore struct {
 	hits   int64
 	misses int64
 	closed bool
+
+	// obs mirrors of the ad-hoc stats above, plus latency histograms;
+	// nil no-op sinks until SetObs (see internal/obs).
+	mHits, mMisses     *obs.Counter
+	hGet, hPut, hBatch *obs.Histogram
 }
 
 // NewCached wraps backend with a read cache of at most limit entries
@@ -40,6 +48,19 @@ func NewCached(backend Store, limit int) *CachedStore {
 // Backend returns the wrapped store.
 func (s *CachedStore) Backend() Store { return s.backend }
 
+// SetObs routes the cache's hit/miss stats and operation latencies
+// through reg — the same numbers Stats reports, finally reachable from
+// the binaries.  Nil reg reverts to no-op sinks.
+func (s *CachedStore) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mHits = reg.Counter(obs.StoreCacheHits)
+	s.mMisses = reg.Counter(obs.StoreCacheMisses)
+	s.hGet = reg.Histogram(obs.StoreGetLatency)
+	s.hPut = reg.Histogram(obs.StorePutLatency)
+	s.hBatch = reg.Histogram(obs.StoreBatchLatency)
+}
+
 // Stats reports cache hits and misses since open.
 func (s *CachedStore) Stats() (hits, misses int64) {
 	s.mu.Lock()
@@ -50,6 +71,8 @@ func (s *CachedStore) Stats() (hits, misses int64) {
 // Get returns the cached value, filling the cache from the backend on
 // a miss.  The returned slice is the caller's copy.
 func (s *CachedStore) Get(key string) ([]byte, error) {
+	start := time.Now()
+	defer func() { s.hGet.Observe(time.Since(start)) }()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -57,12 +80,14 @@ func (s *CachedStore) Get(key string) ([]byte, error) {
 	}
 	if v, ok := s.cache[key]; ok {
 		s.hits++
+		s.mHits.Inc()
 		out := make([]byte, len(v))
 		copy(out, v)
 		s.mu.Unlock()
 		return out, nil
 	}
 	s.misses++
+	s.mMisses.Inc()
 	s.mu.Unlock()
 	v, err := s.backend.Get(key)
 	if err != nil {
@@ -76,6 +101,8 @@ func (s *CachedStore) Get(key string) ([]byte, error) {
 
 // Put writes through to the backend, then updates the cache.
 func (s *CachedStore) Put(key string, value []byte) error {
+	start := time.Now()
+	defer func() { s.hPut.Observe(time.Since(start)) }()
 	return s.Batch([]Op{Put(key, value)})
 }
 
@@ -87,6 +114,8 @@ func (s *CachedStore) Delete(key string) error {
 // Batch writes through to the backend atomically, then applies the
 // same ops to the cache.
 func (s *CachedStore) Batch(ops []Op) error {
+	start := time.Now()
+	defer func() { s.hBatch.Observe(time.Since(start)) }()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrDegraded is returned by writes while the guard holds the store in
@@ -68,6 +70,16 @@ type Guard struct {
 	trips    int64 // how many times the guard has tripped
 	closed   bool
 	stop     chan struct{} // closes the probe goroutine, non-nil while probing
+	// trippedAt is when the current degraded episode began (zero while
+	// healthy); recovery folds the episode into mDegradedSecs.
+	trippedAt time.Time
+
+	// obs mirrors (SetObs): trip count, live degraded gauge, and whole
+	// seconds spent degraded across completed episodes.  Nil no-op sinks
+	// until routed.
+	mTrips        *obs.Counter
+	mDegradedSecs *obs.Counter
+	gDegraded     *obs.Gauge
 }
 
 // NewGuard wraps inner with the degradation policy.
@@ -79,6 +91,21 @@ func NewGuard(inner Store, opts GuardOpts) *Guard {
 		opts.ProbeInterval = GuardDefaultProbeInterval
 	}
 	return &Guard{inner: inner, opts: opts}
+}
+
+// SetObs routes the guard's health metrics through reg: the trip count
+// that previously only Trips could read, a live degraded gauge, and the
+// seconds spent degraded (completed episodes; an episode still open
+// shows on the gauge, not the counter).  Nil reg reverts to no-op sinks.
+func (g *Guard) SetObs(reg *obs.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mTrips = reg.Counter(obs.StoreGuardTrips)
+	g.mDegradedSecs = reg.Counter(obs.StoreDegradedSeconds)
+	g.gDegraded = reg.Gauge(obs.StoreDegraded)
+	if g.degraded {
+		g.gDegraded.Set(1)
+	}
 }
 
 // Degraded reports whether the guard currently refuses writes.
@@ -151,6 +178,9 @@ func (g *Guard) tripLocked() {
 	g.degraded = true
 	g.trips++
 	g.fails = 0
+	g.trippedAt = time.Now()
+	g.mTrips.Inc()
+	g.gDegraded.Set(1)
 	if g.opts.ProbeInterval > 0 && !g.closed {
 		g.stop = make(chan struct{})
 		go g.probeLoop(g.stop, g.trips)
@@ -211,6 +241,11 @@ func (g *Guard) Probe() bool {
 	}
 	g.degraded = false
 	g.fails = 0
+	if !g.trippedAt.IsZero() {
+		g.mDegradedSecs.Add(int64(time.Since(g.trippedAt) / time.Second))
+		g.trippedAt = time.Time{}
+	}
+	g.gDegraded.Set(0)
 	if g.stop != nil {
 		close(g.stop)
 		g.stop = nil

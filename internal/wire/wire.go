@@ -113,6 +113,10 @@ type Welcome struct {
 	// mode at connect time (see the degraded error code); healthy
 	// servers omit it.
 	Degraded bool `json:"degraded,omitempty"`
+	// UptimeSeconds is whole seconds since the serving system started
+	// (rev 4); just-started servers omit it, which also keeps the
+	// envelope byte-identical to rev 3 in that state.
+	UptimeSeconds int64 `json:"uptime_s,omitempty"`
 }
 
 // Response is one server → client message: the answer to a request

@@ -1,0 +1,214 @@
+// Acceptance tests for ISSUE 9's observability subsystem: server-side
+// counters move when a scripted wire session drives the daemon, the
+// stats verb renders identically over the wire and locally, and the
+// instrumented hot paths (job dispatch, warm direct solve) stay within
+// a few percent of their uninstrumented cost.  CI runs the server test
+// under -race.
+package fem2_test
+
+import (
+	"context"
+	"testing"
+
+	fem2 "repro"
+	"repro/internal/command"
+	"repro/internal/job"
+	"repro/internal/linalg"
+	"repro/internal/obs"
+)
+
+// statVal finds a named entry in a stats table, -1 when absent.
+func statVal(entries []fem2.StatEntry, name string) int64 {
+	for _, e := range entries {
+		if e.Name == name {
+			return e.Value
+		}
+	}
+	return -1
+}
+
+// statHist finds a named histogram in a stats result, nil when absent.
+func statHist(hists []fem2.StatHistogram, name string) *fem2.StatHistogram {
+	for i := range hists {
+		if hists[i].Name == name {
+			return &hists[i]
+		}
+	}
+	return nil
+}
+
+// TestServerCountersMoveOverWire drives a scripted wire session —
+// ping, model build, an asynchronous solve — and then asks the server
+// for its stats over the same connection: the frame counters, job
+// counters, connection gauge, and per-verb latency histograms must all
+// have moved, and the stats rendering must survive a wire round trip
+// byte-identically.
+func TestServerCountersMoveOverWire(t *testing.T) {
+	sys, srv, addr, _ := startServer(t, fem2.ServerConfig{})
+	defer srv.Shutdown(context.Background())
+	cl, err := fem2.Dial(addr, "eng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	if _, err := cl.Do(ctx, fem2.PingCommand{}); err != nil {
+		t.Fatal(err)
+	}
+	remotePlate(t, cl, "plate", 8, 4)
+	if _, _, err := submitAndWait(cl, "plate"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cl.Do(ctx, fem2.StatsCommand{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := res.(*fem2.StatsResult)
+	if !ok {
+		t.Fatalf("stats answered %T, want *StatsResult", res)
+	}
+
+	for _, c := range []struct {
+		name string
+		min  int64
+	}{
+		{obs.ServerFramesIn, 5},  // hello + ping + 2 builds + submit + wait + stats
+		{obs.ServerFramesOut, 5}, // their responses
+		{obs.JobSubmitted, 1},
+		{obs.JobDone, 1},
+	} {
+		if got := statVal(sr.Counters, c.name); got < c.min {
+			t.Errorf("counter %s = %d, want >= %d", c.name, got, c.min)
+		}
+	}
+	if got := statVal(sr.Gauges, obs.ServerConnections); got < 1 {
+		t.Errorf("gauge %s = %d, want >= 1 (this connection)", obs.ServerConnections, got)
+	}
+	if h := statHist(sr.Histograms, obs.ServerRequestPrefix+"ping"); h == nil || h.Count < 1 {
+		t.Errorf("histogram %sping missing or empty: %+v", obs.ServerRequestPrefix, h)
+	}
+	if h := statHist(sr.Histograms, obs.JobLatencyPrefix+"solve"); h == nil || h.Count < 1 {
+		t.Errorf("histogram %ssolve missing or empty: %+v", obs.JobLatencyPrefix, h)
+	}
+
+	// The rendering a REPL would print must survive the codec untouched
+	// — the "byte-identical over the wire" guarantee for the new verb.
+	data, err := fem2.MarshalResult(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := fem2.UnmarshalResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != sr.String() {
+		t.Errorf("stats rendering diverged across the codec:\n%q\nvs\n%q", back.String(), sr.String())
+	}
+
+	// The server-side snapshot agrees the work happened.
+	snap := sys.StatsSnapshot()
+	if snap.Counter(obs.JobDone) < 1 {
+		t.Errorf("local snapshot job.done = %d, want >= 1", snap.Counter(obs.JobDone))
+	}
+	if snap.Counter(obs.ServerFramesIn) < statVal(sr.Counters, obs.ServerFramesIn) {
+		t.Errorf("local snapshot frames_in went backwards: %d < %d",
+			snap.Counter(obs.ServerFramesIn), statVal(sr.Counters, obs.ServerFramesIn))
+	}
+}
+
+// TestStatsAnswersLocally pins the local path: a plain session answers
+// the stats verb from its system's registry, counting its own jobs.
+func TestStatsAnswersLocally(t *testing.T) {
+	sys, err := fem2.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	s := sys.Session("eng")
+	for _, line := range []string{
+		"generate grid g 6 4 6 4 clamp-left",
+		"load g tip endload 0 -100",
+		"solve g tip",
+	} {
+		if _, err := s.Execute(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.Execute("stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Do(context.Background(), fem2.StatsCommand{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.(*fem2.StatsResult)
+	if got := statVal(sr.Counters, obs.FactorMisses); got < 1 {
+		t.Errorf("factor.misses = %d, want >= 1 after a cold solve", got)
+	}
+	if out == "" {
+		t.Error("stats rendered empty")
+	}
+}
+
+// pingExec is the cheapest possible Executor: the benchmark measures
+// the scheduler's dispatch machinery, not the command.
+type pingExec struct{}
+
+func (pingExec) Do(ctx context.Context, cmd command.Command) (command.Result, error) {
+	return &command.PingResult{}, nil
+}
+
+// BenchmarkObsOverhead pins the cost of instrumentation on the two hot
+// paths the metrics ride.  Each pair runs the identical workload with
+// the obs registry absent (nil no-op sinks) and present; the committed
+// BENCH_obs.json carries the before/after and docs/observability.md
+// quotes the measured overhead.
+func BenchmarkObsOverhead(b *testing.B) {
+	runDispatch := func(b *testing.B, instrumented bool) {
+		s := job.NewScheduler(1, nil)
+		defer s.Close()
+		if instrumented {
+			s.SetObs(obs.New())
+		}
+		ctx := context.Background()
+		ex := pingExec{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id, err := s.Submit(ctx, "bench", ex, command.Ping{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Wait(ctx, id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("dispatch/bare", func(b *testing.B) { runDispatch(b, false) })
+	b.Run("dispatch/instrumented", func(b *testing.B) { runDispatch(b, true) })
+
+	runWarm := func(b *testing.B, instrumented bool) {
+		k, rhs := benchSystem(b, 16)
+		fc := &linalg.FactorCache{}
+		if instrumented {
+			reg := obs.New()
+			fc.Instrument(reg.Counter(obs.FactorHits), reg.Counter(obs.FactorMisses),
+				reg.Counter(obs.FactorRefactors))
+		}
+		// Prime the cache so every measured solve is the warm path.
+		if _, _, err := fc.SolveCached(linalg.BackendCholeskyRCM, k, rhs, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fc.SolveCached(linalg.BackendCholeskyRCM, k, rhs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("warmsolve/bare", func(b *testing.B) { runWarm(b, false) })
+	b.Run("warmsolve/instrumented", func(b *testing.B) { runWarm(b, true) })
+}

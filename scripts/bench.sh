@@ -4,10 +4,12 @@
 # solver kernels), BENCH_jobs.json (job-service throughput at 1/4/16
 # parallel sessions), BENCH_direct.json (cold/warm/refactor direct
 # solves through the factor-once plan layer), BENCH_server.json
-# (network job throughput at 1/4/16 concurrent wire clients), and
+# (network job throughput at 1/4/16 concurrent wire clients),
 # BENCH_store.json (write-through put latency, cold open + recovery vs
 # stored-model count, snapshot/restore round-trip, and SIGKILL-to-
-# serving daemon recovery time).
+# serving daemon recovery time), and BENCH_obs.json (the observability
+# overhead pairs: job dispatch and warm direct solve, bare vs
+# instrumented).
 #
 # Each JSON file holds one entry per benchmark with iterations, ns/op,
 # B/op, allocs/op, and any custom metrics (jobs/s, profile-nnz).
@@ -24,11 +26,14 @@
 #   SERVER_BENCHTIME=<n>x|s per-benchmark time    (default: 20x)
 #   STORE_BENCH=<regex>     storage benchmarks    (default: ^BenchmarkStore)
 #   STORE_BENCHTIME=<n>x|s  per-benchmark time    (default: 50x)
+#   OBS_BENCH=<regex>       obs overhead benches  (default: ^BenchmarkObsOverhead$)
+#   OBS_BENCHTIME=<n>x|s    per-benchmark time    (default: 200x)
 #   OUT=<path>              assembly output JSON  (default: BENCH_assembly.json)
 #   JOBS_OUT=<path>         jobs output JSON      (default: BENCH_jobs.json)
 #   DIRECT_OUT=<path>       direct output JSON    (default: BENCH_direct.json)
 #   SERVER_OUT=<path>       server output JSON    (default: BENCH_server.json)
 #   STORE_OUT=<path>        storage output JSON   (default: BENCH_store.json)
+#   OBS_OUT=<path>          obs output JSON       (default: BENCH_obs.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,11 +47,14 @@ SERVER_BENCH="${SERVER_BENCH:-ServerThroughput}"
 SERVER_BENCHTIME="${SERVER_BENCHTIME:-20x}"
 STORE_BENCH="${STORE_BENCH:-^BenchmarkStore}"
 STORE_BENCHTIME="${STORE_BENCHTIME:-50x}"
+OBS_BENCH="${OBS_BENCH:-^BenchmarkObsOverhead$}"
+OBS_BENCHTIME="${OBS_BENCHTIME:-200x}"
 OUT="${OUT:-BENCH_assembly.json}"
 JOBS_OUT="${JOBS_OUT:-BENCH_jobs.json}"
 DIRECT_OUT="${DIRECT_OUT:-BENCH_direct.json}"
 SERVER_OUT="${SERVER_OUT:-BENCH_server.json}"
 STORE_OUT="${STORE_OUT:-BENCH_store.json}"
+OBS_OUT="${OBS_OUT:-BENCH_obs.json}"
 
 # Go appends a "-<GOMAXPROCS>" suffix to benchmark names only when
 # GOMAXPROCS != 1; strip exactly that suffix so names are comparable
@@ -114,3 +122,7 @@ write_json "$raw" "$SERVER_OUT"
 raw=$(go test -run '^$' -bench "$STORE_BENCH" -benchmem -benchtime "$STORE_BENCHTIME" .)
 echo "$raw"
 write_json "$raw" "$STORE_OUT"
+
+raw=$(go test -run '^$' -bench "$OBS_BENCH" -benchmem -benchtime "$OBS_BENCHTIME" .)
+echo "$raw"
+write_json "$raw" "$OBS_OUT"

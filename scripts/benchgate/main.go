@@ -1,0 +1,139 @@
+// Command benchgate is the perf-trajectory CI gate: it compares a
+// fresh benchmark run against the committed BENCH_*.json history and
+// fails when a headline metric regresses beyond the tolerance.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate -baseline . -current /tmp/benchnow [-tolerance 0.20]
+//
+// The gated headlines are the numbers the project steers by:
+//
+//	BENCH_jobs.json    BenchmarkConcurrentSolves/sessions=4  jobs_per_sec  (higher is better)
+//	BENCH_direct.json  BenchmarkDirectSolve/warm             ns_per_op     (lower is better)
+//	BENCH_store.json   BenchmarkStoreKillRecovery            ns_per_op     (lower is better)
+//
+// A headline missing from either side is a failure too — a renamed or
+// dropped benchmark must not silently unguard the trajectory.  The
+// tolerance is deliberately loose (20% by default): CI machines are
+// noisy, and the gate exists to catch real cliffs, not jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// benchFile mirrors the JSON scripts/bench.sh writes.
+type benchFile struct {
+	Date   string       `json:"date"`
+	Commit string       `json:"commit"`
+	Bench  []benchEntry `json:"bench"`
+}
+
+type benchEntry struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// headline is one gated metric: where it lives, which benchmark row,
+// which field, and which direction is good.
+type headline struct {
+	file         string
+	bench        string
+	metric       string // "ns_per_op" | "jobs_per_sec"
+	higherBetter bool
+}
+
+var headlines = []headline{
+	{"BENCH_jobs.json", "BenchmarkConcurrentSolves/sessions=4", "jobs_per_sec", true},
+	{"BENCH_direct.json", "BenchmarkDirectSolve/warm", "ns_per_op", false},
+	{"BENCH_store.json", "BenchmarkStoreKillRecovery", "ns_per_op", false},
+}
+
+func main() {
+	baseline := flag.String("baseline", ".", "directory holding the committed BENCH_*.json history")
+	current := flag.String("current", "", "directory holding the fresh run's BENCH_*.json files")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression per headline")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, h := range headlines {
+		base, err := lookup(filepath.Join(*baseline, h.file), h)
+		if err != nil {
+			fmt.Printf("FAIL %-60s baseline: %v\n", h.bench, err)
+			failed = true
+			continue
+		}
+		cur, err := lookup(filepath.Join(*current, h.file), h)
+		if err != nil {
+			fmt.Printf("FAIL %-60s current: %v\n", h.bench, err)
+			failed = true
+			continue
+		}
+		if base <= 0 {
+			fmt.Printf("FAIL %-60s baseline %s is %g, cannot gate\n", h.bench, h.metric, base)
+			failed = true
+			continue
+		}
+		// regression is the fractional move in the bad direction;
+		// improvements come out negative and always pass.
+		regression := (cur - base) / base
+		if h.higherBetter {
+			regression = (base - cur) / base
+		}
+		verdict := "ok  "
+		if regression > *tolerance {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-60s %s %12.1f -> %12.1f  (%+.1f%%, tolerance %.0f%%)\n",
+			verdict, h.bench, h.metric, base, cur, 100*delta(base, cur), 100**tolerance)
+	}
+	if failed {
+		fmt.Println("benchgate: headline regression beyond tolerance (or metric missing)")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all headlines within tolerance")
+}
+
+// delta is the signed fractional change current/baseline - 1.
+func delta(base, cur float64) float64 { return cur/base - 1 }
+
+// lookup reads one BENCH file and extracts a headline's value.
+func lookup(path string, h headline) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, e := range f.Bench {
+		if e.Name != h.bench {
+			continue
+		}
+		switch h.metric {
+		case "jobs_per_sec":
+			if e.JobsPerSec == 0 {
+				return 0, fmt.Errorf("%s: %s has no jobs_per_sec", path, h.bench)
+			}
+			return e.JobsPerSec, nil
+		case "ns_per_op":
+			if e.NsPerOp == 0 {
+				return 0, fmt.Errorf("%s: %s has no ns_per_op", path, h.bench)
+			}
+			return e.NsPerOp, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: benchmark %q not present", path, h.bench)
+}
