@@ -9,8 +9,9 @@
 //	fem2 [-clusters N] [-pes N] [-workers N] [-store mem|file]
 //	     [-store-path fem2.db] [-store-sync] [-script file]
 //	     [-metrics 0] [-metrics-out file]
-//	fem2 -connect host:port [-notify] [-retries N] [-retry-backoff 50ms]
-//	     [-request-timeout 0] [-script file] [-metrics 0] [-metrics-out file]
+//	fem2 -connect host:port[,host:port...] [-notify] [-retries N]
+//	     [-retry-backoff 50ms] [-request-timeout 0] [-script file]
+//	     [-metrics 0] [-metrics-out file]
 //
 // Without -script it reads commands from stdin; type `help` for the
 // command language.  Long-running solves can run asynchronously on the
@@ -28,9 +29,12 @@
 // connection is redialed transparently up to -retries times per
 // request (0 disables reconnection), replaying only the idempotent
 // global verbs; -request-timeout bounds each request client-side
-// (wait is exempt).  In both modes SIGINT/SIGTERM cancels the
-// in-flight command (and, connected, the session's server-side jobs)
-// cleanly.
+// (wait is exempt).  -connect may list several endpoints of one
+// cluster, comma-separated: the client dials the first that answers,
+// follows not-leader redirects to the leaseholder, and fails over to
+// a surviving peer when a daemon dies (see docs/cluster.md).  In both
+// modes SIGINT/SIGTERM cancels the in-flight command (and, connected,
+// the session's server-side jobs) cleanly.
 //
 // With -metrics <interval> the workstation streams one JSON line of
 // live metrics per interval to stderr (or appended to -metrics-out):
@@ -83,7 +87,7 @@ func main() {
 	script := flag.String("script", "", "command script to run instead of stdin")
 	user := flag.String("user", "engineer", "user name for the session")
 	report := flag.Bool("report", false, "print the machine report on exit")
-	connect := flag.String("connect", "", "serve the REPL from a fem2d daemon at host:port")
+	connect := flag.String("connect", "", "serve the REPL from a fem2d daemon at host:port (comma-separate cluster endpoints)")
 	notify := flag.Bool("notify", false, "with -connect: print job-state notifications")
 	storeBackend := flag.String("store", "mem", "storage backend: mem | file")
 	storePath := flag.String("store-path", "", "with -store file: the store's file path")

@@ -9,6 +9,7 @@
 //
 //	fem2d [-addr :7432] [-clusters N] [-pes N] [-workers N]
 //	      [-store mem|file] [-store-path fem2.db] [-store-sync]
+//	      [-advertise host:port] [-lease-ttl 2s]
 //	      [-max-jobs N] [-quota-policy reject|queue]
 //	      [-request-timeout 0] [-resubmit-lost N] [-resubmit-backoff 1s]
 //	      [-drain-timeout 30s] [-metrics 0] [-metrics-out file]
@@ -28,6 +29,15 @@
 // and a background probe re-arms writes when the backend recovers —
 // see docs/robustness.md.  -request-timeout, when set, bounds each
 // command's execution server-side (wait and submit are exempt).
+//
+// With -advertise the daemon joins (or founds) a cluster: any number
+// of fem2d processes sharing one -store file coordinate through a
+// lease in the store itself; the leaseholder serves writes, the rest
+// serve reads and redirect mutating commands to the leader's
+// advertised address, and a dead leader is replaced within about one
+// -lease-ttl.  Point `fem2 -connect a:port,b:port` at several of them
+// and the client follows redirects and fails over by itself.  See
+// docs/cluster.md.
 //
 // Each connection is one tenant: -max-jobs bounds its in-flight jobs,
 // with -quota-policy choosing whether a saturated connection's submits
@@ -96,6 +106,8 @@ func main() {
 	storeBackend := flag.String("store", "mem", "storage backend: mem | file")
 	storePath := flag.String("store-path", "", "with -store file: the store's file path")
 	storeSync := flag.Bool("store-sync", false, "with -store file: fsync every batch (durable through power loss, slower)")
+	advertise := flag.String("advertise", "", "join a cluster over the shared -store file, advertising this address to redirected clients")
+	leaseTTL := flag.Duration("lease-ttl", 0, "with -advertise: cluster lease lifetime (0 = default)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-command server-side execution bound (0 = none; wait and submit are exempt)")
 	resubmitLost := flag.Int("resubmit-lost", 0, "auto-resubmit jobs lost to a crash, up to N attempts each (0 = off)")
 	resubmitBackoff := flag.Duration("resubmit-backoff", time.Second, "base backoff between lost-job resubmissions")
@@ -109,7 +121,7 @@ func main() {
 		os.Exit(2)
 	}
 	logger := log.New(os.Stderr, "fem2d: ", log.LstdFlags)
-	sys, err := fem2.New(fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes),
+	opts := []fem2.Option{fem2.WithClusters(*clusters), fem2.WithPEsPerCluster(*pes),
 		fem2.WithWorkers(*workers),
 		fem2.WithStore(fem2.StoreConfig{Backend: *storeBackend, Path: *storePath, Sync: *storeSync}),
 		fem2.WithStoreGuard(fem2.GuardOpts{OnChange: func(degraded bool) {
@@ -118,7 +130,27 @@ func main() {
 			} else {
 				logger.Printf("store recovered: writes re-armed")
 			}
-		}}))
+		}})}
+	if *advertise != "" {
+		if *storeBackend != "file" {
+			fmt.Fprintln(os.Stderr, "fem2d: -advertise requires -store file (the store file is the coordination medium)")
+			os.Exit(2)
+		}
+		host, _ := os.Hostname()
+		opts = append(opts, fem2.WithCluster(fem2.ClusterOpts{
+			Owner:     fmt.Sprintf("%s/%d", host, os.Getpid()),
+			Advertise: *advertise,
+			TTL:       *leaseTTL,
+			OnPromote: func(epoch int64) {
+				logger.Printf("cluster: serving as leader (epoch %d)", epoch)
+			},
+			OnDemote: func(reason string) {
+				logger.Printf("cluster: serving as follower (%s)", reason)
+			},
+			Logf: logger.Printf,
+		}))
+	}
+	sys, err := fem2.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fem2d:", err)
 		os.Exit(1)
@@ -148,6 +180,9 @@ func main() {
 	}
 	logger.Printf("serving FEM-2 (%d clusters × %d PEs, storage %s) on %s",
 		*clusters, *pes, sys.StorageBackend(), ln.Addr())
+	if *advertise != "" {
+		logger.Printf("cluster: %s (advertising %s)", sys.ClusterRole(), *advertise)
+	}
 
 	// Serve until a signal arrives, then drain gracefully.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -106,6 +106,7 @@ type options struct {
 	workers int
 	store   StoreConfig
 	guard   store.GuardOpts
+	cluster *ClusterOpts
 }
 
 // Option adjusts one dimension of the system New builds.
@@ -150,6 +151,17 @@ func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 // were in flight at a crash deterministically failed.
 func WithStore(sc StoreConfig) Option { return func(o *options) { o.store = sc } }
 
+// ClusterOpts configures lease-based multi-daemon failover: N daemons
+// over one shared store, one leaseholder serving writes, the rest
+// serving reads and redirecting.  See core.ClusterOpts, internal/cluster
+// and docs/cluster.md.
+type ClusterOpts = core.ClusterOpts
+
+// WithCluster makes New build the system as one member of a
+// multi-daemon cluster sharing the configured store.  Requires the
+// file store backend (the store file is the coordination medium).
+func WithCluster(co ClusterOpts) Option { return func(o *options) { o.cluster = &co } }
+
 // New builds the full four-layer stack over the default configuration
 // adjusted by the given options.
 func New(opts ...Option) (*System, error) {
@@ -159,6 +171,9 @@ func New(opts ...Option) (*System, error) {
 	}
 	if o.store.Backend == "" {
 		o.store.Backend = StoreMem
+	}
+	if o.cluster != nil {
+		return core.NewSystemClustered(o.cfg, o.workers, o.store, o.guard, *o.cluster)
 	}
 	return core.NewSystemWithStoreGuard(o.cfg, o.workers, o.store, o.guard)
 }

@@ -47,6 +47,18 @@ func NewDatabase() *Database {
 // where the previous process stopped.
 func NewDatabaseOn(st store.Store, backend string) *Database {
 	db := &Database{st: st, backend: backend, seqs: map[string]int{}}
+	db.Reload()
+	return db
+}
+
+// Reload re-derives the solution sequence counters from the store.  A
+// cluster takeover calls it after sealing the shared store: the dead
+// leader may have appended history this process has never counted, and
+// continuing from stale counters would overwrite its records.
+func (db *Database) Reload() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.seqs = map[string]int{}
 	db.st.Seek(store.PrefixSolution, func(k string, _ []byte) bool {
 		// s:<name>:<seq> — name may itself contain colons, so split at
 		// the last one.
@@ -64,7 +76,6 @@ func NewDatabaseOn(st store.Store, backend string) *Database {
 		}
 		return true
 	})
-	return db
 }
 
 // Backend reports the configured storage backend name ("mem", "file").

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/command"
 	"repro/internal/errs"
@@ -559,6 +560,7 @@ func (s *Session) doSolve(ctx context.Context, c command.Solve) (command.Result,
 	// One context-aware solve path: the command maps onto SolveOpts and
 	// fem.Solve routes to sequential, distributed, or substructured
 	// execution through the solver registry.
+	start := time.Now()
 	sol, err := fem.Solve(ctx, m, ls, fem.SolveOpts{
 		Backend:       string(c.Method),
 		Precond:       string(c.Precond),
@@ -569,6 +571,10 @@ func (s *Session) doSolve(ctx context.Context, c command.Solve) (command.Result,
 	if err != nil {
 		return nil, err
 	}
+	// Per-backend solve latency, keyed by the backend that actually ran
+	// (sol.Backend resolves "auto"); sync and scheduled solves both pass
+	// through here, so one histogram family covers both paths.
+	s.Obs.Histogram(obs.JobLatencySolvePrefix + sol.Backend).Observe(time.Since(start))
 	res := &command.SolveResult{
 		Model: c.Model, Set: c.Set,
 		Backend: sol.Backend, Precond: sol.Precond,

@@ -28,6 +28,20 @@
 // With MaxRetries == 0 (the default, and Dial's behaviour) any
 // connection failure is permanent, as before: in-flight and future
 // calls fail with ErrClientClosed and the Events channel closes.
+//
+// # Clusters
+//
+// The address may name several endpoints, comma-separated
+// ("a:9900,b:9900").  The client connects to the first that answers
+// and rotates through the rest when a connection cannot be dialed, so
+// a daemon dying moves the client to a surviving peer under the same
+// replay rules as any reconnect.  A follower answering a mutating verb
+// with the "not-leader" code redirects the client: the refusal happens
+// before the command executes, so the client re-dials the advertised
+// leader and retries the command — any command, idempotent or not —
+// within the same MaxRetries budget (with retries disabled the
+// not-leader error surfaces to the caller instead).  See
+// docs/cluster.md.
 package client
 
 import (
@@ -39,10 +53,12 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/auvm"
+	"repro/internal/cluster"
 	"repro/internal/command"
 	"repro/internal/errs"
 	"repro/internal/job"
@@ -79,6 +95,8 @@ func (e *RemoteError) Is(target error) bool {
 		return target == job.ErrClosed
 	case wire.CodeDegraded:
 		return target == store.ErrDegraded
+	case wire.CodeNotLeader:
+		return target == cluster.ErrNotLeader
 	case wire.CodeQuit:
 		return target == auvm.ErrQuit
 	default:
@@ -151,19 +169,25 @@ type Options struct {
 const eventQueue = 256
 
 // Client is a connection to a fem2d daemon — with retries enabled, a
-// lineage of connections behind one stable handle.
+// lineage of connections behind one stable handle, possibly across
+// several endpoints of one cluster.
 type Client struct {
-	addr string
 	user string
 	opts Options
 
-	mu           sync.Mutex
+	mu sync.Mutex
+	// addrs is the endpoint list; cur indexes the one the live link is
+	// (or the next dial will be) on.  A not-leader redirect may append
+	// an advertised address the caller did not list.
+	addrs        []string
+	cur          int
 	ln           *link // live connection, nil between them
 	welcome      *wire.Welcome
 	closed       bool
 	closeErr     error
 	eventsClosed bool
 	reconnects   int
+	failovers    int
 	everLinked   bool
 	rng          *rand.Rand
 
@@ -175,6 +199,7 @@ type Client struct {
 	// Resilience metrics (Options.Obs); nil no-op sinks by default.
 	mReconnects *obs.Counter
 	mRetries    *obs.Counter
+	mFailovers  *obs.Counter
 }
 
 // link is one TCP connection's worth of state: its own writer, its own
@@ -202,9 +227,10 @@ func Dial(addr, user string) (*Client, error) {
 }
 
 // DialWithOptions connects with explicit resilience settings.  The
-// initial dial and handshake must succeed (a daemon that is down at
-// start is a configuration problem, not weather); the retry budget
-// applies from then on.
+// initial dial and handshake must succeed on some endpoint (a cluster
+// that is entirely down at start is a configuration problem, not
+// weather); the retry budget applies from then on.  addr may be a
+// comma-separated endpoint list.
 func DialWithOptions(addr, user string, o Options) (*Client, error) {
 	if o.Dialer == nil {
 		o.Dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
@@ -217,14 +243,24 @@ func DialWithOptions(addr, user string, o Options) (*Client, error) {
 			o.MaxBackoff = 2 * time.Second
 		}
 	}
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: no endpoint in address %q", addr)
+	}
 	c := &Client{
-		addr: addr, user: user, opts: o,
+		addrs: addrs, user: user, opts: o,
 		rng:    rand.New(rand.NewSource(o.Seed)),
 		done:   make(chan struct{}),
 		events: make(chan *wire.JobEvent, eventQueue),
 
 		mReconnects: o.Obs.Counter(obs.ClientReconnects),
 		mRetries:    o.Obs.Counter(obs.ClientRetries),
+		mFailovers:  o.Obs.Counter(obs.ClientFailovers),
 	}
 	ln, w, err := c.connect(context.Background())
 	if err != nil {
@@ -236,12 +272,37 @@ func DialWithOptions(addr, user string, o Options) (*Client, error) {
 	return c, nil
 }
 
-// connect dials and handshakes one fresh link.  The caller installs it.
+// connect dials and handshakes one fresh link.  The caller installs
+// it.  The dial starts at the current endpoint and rotates through the
+// rest until one answers; moving off the endpoint of an established
+// lineage counts as a failover.
 func (c *Client) connect(ctx context.Context) (*link, *wire.Welcome, error) {
-	nc, err := c.opts.Dialer(c.addr)
-	if err != nil {
+	c.mu.Lock()
+	addrs := append([]string(nil), c.addrs...)
+	cur := c.cur
+	c.mu.Unlock()
+	var nc net.Conn
+	var err error
+	picked := -1
+	for i := range addrs {
+		idx := (cur + i) % len(addrs)
+		if nc, err = c.opts.Dialer(addrs[idx]); err == nil {
+			picked = idx
+			break
+		}
+	}
+	if picked < 0 {
 		return nil, nil, err
 	}
+	c.mu.Lock()
+	if picked != c.cur {
+		c.cur = picked
+		if c.everLinked {
+			c.failovers++
+			c.mFailovers.Inc()
+		}
+	}
+	c.mu.Unlock()
 	ln := &link{
 		cl: c, nc: nc, bw: bufio.NewWriter(nc),
 		pending: map[uint64]chan *wire.Response{},
@@ -266,7 +327,7 @@ func (c *Client) connect(ctx context.Context) (*link, *wire.Welcome, error) {
 	}
 	if resp.Welcome == nil || resp.Welcome.Proto != command.ProtocolVersion {
 		ln.fail(ErrClientClosed)
-		return nil, nil, fmt.Errorf("client: bad handshake reply from %s", c.addr)
+		return nil, nil, fmt.Errorf("client: bad handshake reply from %s", addrs[picked])
 	}
 	return ln, resp.Welcome, nil
 }
@@ -428,6 +489,36 @@ func (c *Client) Reconnects() int {
 	return c.reconnects
 }
 
+// Role reports the server's cluster role ("leader", "follower") from
+// the most recent handshake; empty outside a cluster.
+func (c *Client) Role() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.welcome == nil {
+		return ""
+	}
+	return c.welcome.Role
+}
+
+// Leader reports the cluster leader's address as the most recent
+// handshake announced it; empty outside a cluster.
+func (c *Client) Leader() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.welcome == nil {
+		return ""
+	}
+	return c.welcome.Leader
+}
+
+// Failovers reports how many times the client moved between endpoints
+// — by dial rotation off a dead daemon or by not-leader redirect.
+func (c *Client) Failovers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failovers
+}
+
 // Events is the notification stream: one JobEvent per lifecycle
 // transition of the current connection's jobs.  The channel closes
 // when the client closes for good (Close, or any connection failure
@@ -552,10 +643,16 @@ func isWait(cmd command.Command) bool {
 	return ok
 }
 
+// errRedirected marks a link retired because a follower pointed us at
+// the leader — bookkeeping, not a transport failure.
+var errRedirected = errors.New("client: redirected to cluster leader")
+
 // roundTrip runs one request through the retry machinery: dial
 // failures retry for any verb (nothing was sent), link failures after
 // the send retry only when the verb is replayable, context
-// cancellations and per-attempt deadlines never retry.
+// cancellations and per-attempt deadlines never retry.  A not-leader
+// refusal retries any verb — the server refuses before executing — by
+// re-dialing toward the advertised leader.
 func (c *Client) roundTrip(ctx context.Context, data json.RawMessage, idem, deadlineExempt bool) (*wire.Response, error) {
 	attempts := 0
 	for {
@@ -571,21 +668,30 @@ func (c *Client) roundTrip(ctx context.Context, data json.RawMessage, idem, dead
 				cancel()
 			}
 			if err == nil {
-				return resp, nil
-			}
-			if errors.Is(err, errs.ErrCancelled) {
-				return nil, err // the caller's context or our deadline, not weather
-			}
-			c.drop(ln, err)
-			c.mu.Lock()
-			closed := c.closed
-			closeErr := c.closeErr
-			c.mu.Unlock()
-			if closed { // retries disabled: first failure is final
-				return nil, closeErr
-			}
-			if !idem {
-				return nil, err // may have reached the server; never replay
+				e := resp.Error
+				if e == nil || e.Code != wire.CodeNotLeader || c.opts.MaxRetries == 0 {
+					return resp, nil
+				}
+				// Follower refused before execution: chase the leader and
+				// replay, whatever the verb.  With retries disabled the
+				// caller got the not-leader RemoteError above instead.
+				c.redirect(ln, e.Leader)
+				err = fmt.Errorf("%w (%s)", errRedirected, e.Message)
+			} else {
+				if errors.Is(err, errs.ErrCancelled) {
+					return nil, err // the caller's context or our deadline, not weather
+				}
+				c.drop(ln, err)
+				c.mu.Lock()
+				closed := c.closed
+				closeErr := c.closeErr
+				c.mu.Unlock()
+				if closed { // retries disabled: first failure is final
+					return nil, closeErr
+				}
+				if !idem {
+					return nil, err // may have reached the server; never replay
+				}
 			}
 		}
 		attempts++
@@ -600,6 +706,34 @@ func (c *Client) roundTrip(ctx context.Context, data json.RawMessage, idem, dead
 			return nil, serr
 		}
 	}
+}
+
+// redirect retires the link to a non-leader and aims the next dial at
+// the advertised leader address, learning it if the caller's endpoint
+// list did not include it.  Without a hint (no leader known yet —
+// mid-takeover) the next endpoint in the rotation is tried instead.
+func (c *Client) redirect(ln *link, leader string) {
+	c.mu.Lock()
+	if leader != "" {
+		found := -1
+		for i, a := range c.addrs {
+			if a == leader {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			c.addrs = append(c.addrs, leader)
+			found = len(c.addrs) - 1
+		}
+		c.cur = found
+	} else {
+		c.cur = (c.cur + 1) % len(c.addrs)
+	}
+	c.failovers++
+	c.mu.Unlock()
+	c.mFailovers.Inc()
+	c.drop(ln, errRedirected)
 }
 
 // backoff sleeps the exponential-with-jitter delay before retry n,

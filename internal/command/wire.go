@@ -15,7 +15,7 @@ import (
 // Result.String() rendering is byte-identical to local execution.
 
 // Release is the FEM-2 software release the version verb reports.
-const Release = "0.8.0"
+const Release = "0.9.0"
 
 // ProtocolVersion is the wire protocol revision.  A client and server
 // must agree on it exactly; the version verb and the connection
@@ -26,8 +26,12 @@ const Release = "0.8.0"
 // Welcome envelope.  Revision 4 added the stats verb and the optional
 // uptime_s fields on ping/version replies and the Welcome envelope;
 // the uptime fields are JSON-only (never rendered), so every healthy
-// rev-3 rendering is byte-identical under rev 4.
-const ProtocolVersion = 4
+// rev-3 rendering is byte-identical under rev 4.  Revision 5 added the
+// "not-leader" error code (with its leader field) and the optional
+// role/leader fields on the Welcome envelope; all are JSON-only and
+// omitted outside a cluster, so every single-daemon rev-4 exchange is
+// byte-identical under rev 5.
+const ProtocolVersion = 5
 
 // cmdEnvelope is the wire form of one Command.  Submit nests its wrapped
 // command as another envelope under "cmd"; every other verb carries its

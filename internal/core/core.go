@@ -25,9 +25,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/auvm"
+	"repro/internal/cluster"
 	"repro/internal/errs"
 	"repro/internal/hgraph"
 	"repro/internal/job"
@@ -229,6 +231,11 @@ type System struct {
 	// instead of letting errors cascade, and its background probe
 	// re-arms writes once the backend recovers.  See store.Guard.
 	Health *store.Guard
+	// Cluster, when non-nil, is the lease coordinator of a multi-daemon
+	// deployment (NewSystemClustered): it decides whether this daemon
+	// may serve writes, and the server redirects mutating verbs to its
+	// LeaderAddr otherwise.  Nil on a standalone system.
+	Cluster *cluster.Coordinator
 	// Obs is the system's live-metrics registry: every layer routes its
 	// counters, gauges, and latency histograms through it, the stats
 	// verb snapshots it, and the -metrics emitter ticks from it.
@@ -309,6 +316,148 @@ func NewSystemWithStoreGuard(cfg arch.Config, workers int, sc store.Config, g st
 	}
 	s.Runtime.AttachInstrumentation(s.Metrics, s.Trace)
 	return s, nil
+}
+
+// ClusterOpts configures lease-based multi-daemon coordination for
+// NewSystemClustered (see internal/cluster and docs/cluster.md).
+type ClusterOpts struct {
+	// Owner names this daemon in the lease record (diagnostics only).
+	Owner string
+	// Advertise is the address written into the lease — where followers
+	// redirect clients' mutating commands.  Required.
+	Advertise string
+	// TTL is the lease lifetime (zero selects cluster.DefaultTTL);
+	// RenewEvery and PollEvery default to TTL/3.
+	TTL        time.Duration
+	RenewEvery time.Duration
+	PollEvery  time.Duration
+	// OnPromote, when non-nil, runs after the system finished takeover
+	// recovery (store sealed, database reloaded, journal replayed) —
+	// the daemon logs and optionally resubmits lost jobs from it.
+	OnPromote func(epoch int64)
+	// OnDemote, when non-nil, runs when this daemon loses the lease.
+	OnDemote func(reason string)
+	// Logf logs coordination transitions; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// NewSystemClustered builds the full stack as one member of a
+// multi-daemon cluster sharing sc's store.  The layering grows one
+// stage over the standalone stack: backend → degradation guard →
+// epoch fence → write-through cache.  The fence sits under the cache
+// so a write refused on a follower (or fenced on a stale leader)
+// never pollutes the cache; the coordinator's own lease traffic goes
+// through the guard, below the fence, because lease writes are how
+// epochs change.
+//
+// Unlike the standalone constructors, the job journal is attached
+// without a recovery scan: recovery rewrites records, which only the
+// leader may do, so it runs in the promotion sequence instead.  The
+// coordinator is started before returning — a daemon pointed at an
+// unowned store is leader when this returns.
+func NewSystemClustered(cfg arch.Config, workers int, sc store.Config, g store.GuardOpts, co ClusterOpts) (*System, error) {
+	if co.Advertise == "" {
+		return nil, fmt.Errorf("core: cluster mode requires an advertise address")
+	}
+	if sc.Backend == store.BackendFile {
+		sc.Shared = true // N daemons append to one log; see store.FileOpts
+	}
+	m, err := arch.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	backing, err := store.Open(sc)
+	if err != nil {
+		return nil, err
+	}
+	guard := store.NewGuard(backing, g)
+	reg := obs.New()
+	// s is closed over by the coordinator hooks below; they only fire
+	// after coord.Start(), by which point it is fully built.
+	var s *System
+	coord := cluster.New(cluster.Config{
+		Store:      guard,
+		Owner:      co.Owner,
+		Advertise:  co.Advertise,
+		TTL:        co.TTL,
+		RenewEvery: co.RenewEvery,
+		PollEvery:  co.PollEvery,
+		Refresh:    func() error { return s.Store.Refresh() },
+		OnPromote:  func(epoch int64) error { return s.promote(epoch, co.OnPromote) },
+		OnDemote:   co.OnDemote,
+		Obs:        reg,
+		Logf:       co.Logf,
+	})
+	fenced := cluster.NewFenced(guard, coord, reg)
+	st := store.NewCached(fenced, 0)
+	// Format check through the guard: on a follower the fenced handle
+	// refuses the first-ever format write, and the key predates any
+	// lease by definition.
+	if err := store.EnsureFormat(guard); err != nil {
+		st.Close()
+		return nil, err
+	}
+	s = &System{
+		Machine:  m,
+		Runtime:  navm.NewRuntime(m),
+		Database: auvm.NewDatabaseOn(st, sc.BackendName()),
+		Metrics:  metrics.NewCollector(),
+		Trace:    trace.NewCapped(1 << 16),
+		Store:    st,
+		Health:   guard,
+		Cluster:  coord,
+		Obs:      reg,
+		storeCfg: sc,
+		sessions: map[string]*auvm.Session{},
+	}
+	st.SetObs(reg)
+	guard.SetObs(reg)
+	s.Jobs = job.NewScheduler(workers, s.Metrics)
+	s.Jobs.SetObs(reg)
+	s.Jobs.SetJournal(st)
+	s.Jobs.SetEpochSource(coord.Epoch)
+	s.Runtime.AttachInstrumentation(s.Metrics, s.Trace)
+	coord.Start()
+	return s, nil
+}
+
+// promote is the takeover sequence, run on the coordinator goroutine
+// with the lease won but IsLeader still false, so the server keeps
+// refusing writes until recovery finished.  Seal truncates the dead
+// leader's torn tail and folds in everything it committed; Reload
+// re-derives the solution counters it may have advanced; and
+// RecoverJournal rebuilds the job history, failing whatever was in
+// flight when it died.
+func (s *System) promote(epoch int64, hook func(int64)) error {
+	if err := s.Store.Seal(); err != nil {
+		return fmt.Errorf("sealing store: %w", err)
+	}
+	s.Database.Reload()
+	if _, err := s.Jobs.RecoverJournal(); err != nil {
+		return fmt.Errorf("replaying job journal: %w", err)
+	}
+	if hook != nil {
+		hook(epoch)
+	}
+	return nil
+}
+
+// ClusterRole reports "leader" or "follower" in clustered mode, ""
+// on a standalone system.  The wire Welcome envelope carries it.
+func (s *System) ClusterRole() string {
+	if s.Cluster == nil {
+		return ""
+	}
+	return s.Cluster.Role()
+}
+
+// ClusterLeader reports the cluster leader's advertised address as
+// this daemon knows it; "" standalone or before any leader was seen.
+func (s *System) ClusterLeader() string {
+	if s.Cluster == nil {
+		return ""
+	}
+	return s.Cluster.LeaderAddr()
 }
 
 // StorageBackend reports the configured storage backend name ("mem",
@@ -408,8 +557,13 @@ func (s *System) Drain(ctx context.Context) error { return s.Jobs.Drain(ctx) }
 // Close shuts the system down: queued jobs are cancelled, running jobs
 // are interrupted, the worker pool drains, and the store closes (every
 // acknowledged write is already on disk — the store needs no flush).
-// Idempotent.
+// Idempotent.  In clustered mode the coordinator stops first,
+// releasing the lease in place so a healthy peer takes over without
+// waiting out the TTL.
 func (s *System) Close() {
+	if s.Cluster != nil {
+		s.Cluster.Stop()
+	}
 	s.Jobs.Close()
 	if s.Store != nil {
 		s.Store.Close()

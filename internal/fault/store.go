@@ -8,11 +8,12 @@ import (
 
 // Store op names, as seen by Injector rules.
 const (
-	OpGet    = "get"
-	OpPut    = "put"
-	OpDelete = "delete"
-	OpSeek   = "seek"
-	OpBatch  = "batch"
+	OpGet     = "get"
+	OpPut     = "put"
+	OpDelete  = "delete"
+	OpSeek    = "seek"
+	OpBatch   = "batch"
+	OpBatchIf = "batchif"
 )
 
 // Store decorates a store.Store with an Injector.  Every operation
@@ -95,6 +96,25 @@ func (s *Store) Batch(ops []Op) error {
 	}
 	return s.inner.Batch(ops)
 }
+
+// BatchIf forwards the conditional batch under its own op name, so
+// chaos schedules can stall or fail lease traffic (which rides
+// BatchIf) without touching the data path.  Latency-only rules
+// (Fault.Err nil) delay inside check and then pass through — that is
+// how the lease-race tests hold one contender at the door while the
+// other acquires.
+func (s *Store) BatchIf(key string, want []byte, ops []Op) error {
+	if f := s.in.check(OpBatchIf); f != nil && f.Err != nil {
+		return fmt.Errorf("batchif %q: %w", key, f.Err)
+	}
+	return store.BatchIf(s.inner, key, want, ops)
+}
+
+// Refresh forwards to the inner store's Refresh when it has one.
+func (s *Store) Refresh() error { return store.Refresh(s.inner) }
+
+// Seal forwards to the inner store's Seal when it has one.
+func (s *Store) Seal() error { return store.Seal(s.inner) }
 
 func (s *Store) Close() error { return s.inner.Close() }
 

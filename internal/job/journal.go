@@ -41,6 +41,10 @@ type journalRecord struct {
 	// requeued as a fresh job, so recovery never requeues it again.
 	Attempt     int  `json:"attempt,omitempty"`
 	Resubmitted bool `json:"resubmitted,omitempty"`
+	// Epoch is the cluster lease epoch the writing daemon held (see
+	// internal/cluster); 0 outside a cluster.  A takeover's journal
+	// replay can tell which leadership stint wrote each record.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // lostErr is the deterministic failure text recovery writes on a job
@@ -57,6 +61,63 @@ func lostErr(id int64) string { return fmt.Sprintf("job-%d lost to restart", id)
 // It returns the number of records recovered.  Call it once, before
 // the scheduler sees traffic.
 func (s *Scheduler) AttachJournal(st store.Store) (int, error) {
+	s.SetJournal(st)
+	return s.loadJournal(st)
+}
+
+// SetJournal attaches the store handle without the recovery scan.  The
+// clustered constructor uses it: a follower answers job lookups from
+// the journal read-only (journalLookup), while recovery — which
+// rewrites records — waits for promotion (RecoverJournal).
+func (s *Scheduler) SetJournal(st store.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = st
+}
+
+// RecoverJournal is the cluster-takeover replay: a freshly promoted
+// leader re-reads the journal its dead predecessor wrote (the store
+// was sealed and refreshed first) and rebuilds the in-memory job map
+// from it — non-terminal records become deterministic "lost to
+// restart" failures, the id counter resumes past the highest id, and
+// the jobs verb lists the same history the old leader would have.
+// Terminal in-memory records from an earlier stint are dropped in
+// favour of the journal's view; jobs still executing locally (a
+// demoted-then-repromoted leader) are kept and shielded from the
+// replay.
+func (s *Scheduler) RecoverJournal() (int, error) {
+	s.mu.Lock()
+	st := s.journal
+	kept := map[JobID]*job{}
+	var order []JobID
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok && !j.state.Terminal() {
+			kept[id] = j
+			order = append(order, id)
+		}
+	}
+	s.jobs, s.order = kept, order
+	s.mu.Unlock()
+	if st == nil {
+		return 0, nil
+	}
+	return s.loadJournal(st)
+}
+
+// loadJournal is the shared recovery scan behind AttachJournal and
+// RecoverJournal.  Records whose id is currently live in memory are
+// skipped entirely — they are this process's own running jobs, not the
+// dead writer's leftovers.
+func (s *Scheduler) loadJournal(st store.Store) (int, error) {
+	s.mu.Lock()
+	liveIDs := map[int64]bool{}
+	for id, j := range s.jobs {
+		if !j.state.Terminal() {
+			liveIDs[int64(id)] = true
+		}
+	}
+	s.mu.Unlock()
+
 	var recs []journalRecord
 	var decodeErr error
 	st.Seek(store.PrefixJob, func(k string, v []byte) bool {
@@ -65,7 +126,9 @@ func (s *Scheduler) AttachJournal(st store.Store) (int, error) {
 			decodeErr = fmt.Errorf("job: corrupt journal record %q: %w", k, err)
 			return false
 		}
-		recs = append(recs, rec)
+		if !liveIDs[rec.ID] {
+			recs = append(recs, rec)
+		}
 		return true
 	})
 	if decodeErr != nil {
@@ -96,7 +159,6 @@ func (s *Scheduler) AttachJournal(st store.Store) (int, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.journal = st
 	// Load the most recent records into memory, oldest first so order
 	// and eviction behave exactly as if the jobs had run here.
 	sort.Slice(recs, func(i, k int) bool { return recs[i].ID < recs[k].ID })
@@ -120,8 +182,9 @@ func (s *Scheduler) AttachJournal(st store.Store) (int, error) {
 	return len(recs), nil
 }
 
-// recordLocked builds the journal encoding of a job's current state.
-func recordLocked(j *job) ([]byte, error) {
+// recordLocked builds the journal encoding of a job's current state,
+// stamped with the cluster epoch when an epoch source is wired.
+func (s *Scheduler) recordLocked(j *job) ([]byte, error) {
 	cmdRaw, err := command.MarshalCommand(j.cmd)
 	if err != nil {
 		return nil, err
@@ -131,6 +194,9 @@ func recordLocked(j *job) ([]byte, error) {
 		State: j.state.String(),
 		Ops:   j.ops, Flops: j.flops, Cycles: j.cycles,
 		Attempt: j.attempt, Resubmitted: j.resubmitted,
+	}
+	if s.epoch != nil {
+		rec.Epoch = s.epoch()
 	}
 	if j.err != nil {
 		rec.Err = j.err.Error()
@@ -153,7 +219,7 @@ func (s *Scheduler) persistLocked(j *job) {
 	if s.journal == nil {
 		return
 	}
-	raw, err := recordLocked(j)
+	raw, err := s.recordLocked(j)
 	if err != nil {
 		s.journalWriteFailedLocked(j, err)
 		return

@@ -108,8 +108,12 @@ type Scheduler struct {
 	// never takes down the scheduler — the write is logged through logf
 	// and the job carries on — but the count surfaces the rot.
 	journalErrs int64
-	logf        func(format string, args ...any)
-	wg          sync.WaitGroup
+	// epoch, when non-nil, reports the cluster lease epoch this daemon
+	// holds (see internal/cluster); journal records are stamped with it
+	// so a takeover can tell which leadership stint wrote what.
+	epoch func() int64
+	logf  func(format string, args ...any)
+	wg    sync.WaitGroup
 
 	// obs is the live-metrics registry (SetObs); the resolved metrics
 	// below are nil no-op sinks until it is installed, so a bare
@@ -161,6 +165,16 @@ func NewScheduler(workers int, shared *metrics.Collector) *Scheduler {
 
 // Workers returns the pool bound.
 func (s *Scheduler) Workers() int { return s.workers }
+
+// SetEpochSource wires the cluster lease epoch into journal records.
+// f is called under the scheduler lock at each journal write, so it
+// must be cheap and non-blocking (cluster.Coordinator.Epoch is both).
+// Nil reverts to unstamped records.
+func (s *Scheduler) SetEpochSource(f func() int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch = f
+}
 
 // SetObs routes the scheduler's live metrics through reg (see
 // internal/obs and docs/observability.md for the catalog).  Metric

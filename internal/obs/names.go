@@ -20,6 +20,12 @@ const (
 	JobWorkers       = "job.workers"        // gauge: worker pool bound (utilization denominator)
 	JobLatencyPrefix = "job.latency."       // histogram family: execution time per verb
 
+	// Per-solver-backend solve cost (internal/auvm doSolve): one
+	// histogram per backend actually used, e.g. job.latency.solve.cg
+	// vs job.latency.solve.cholesky-env.  Covers sync solves and
+	// scheduled jobs alike — both funnel through the same session path.
+	JobLatencySolvePrefix = "job.latency.solve." // histogram family: solve wall time per backend
+
 	// Durable store (internal/store).
 	StoreCacheHits       = "store.cache_hits"       // counter: CachedStore Gets served from memory
 	StoreCacheMisses     = "store.cache_misses"     // counter: CachedStore Gets that hit the backend
@@ -46,4 +52,12 @@ const (
 	// Network client (internal/client).
 	ClientReconnects = "client.reconnects" // counter: dead connections replaced
 	ClientRetries    = "client.retries"    // counter: request attempts beyond the first
+	ClientFailovers  = "client.failovers"  // counter: endpoint switches (redirects + dead-endpoint rotation)
+
+	// Cluster coordination (internal/cluster).
+	ClusterLeader       = "cluster.leader"        // gauge: 1 while this daemon holds the lease, else 0
+	ClusterEpoch        = "cluster.epoch"         // gauge: current lease epoch as seen by this daemon
+	ClusterFailovers    = "cluster.failovers"     // counter: takeovers this daemon performed (lease acquired after expiry)
+	ClusterFencedWrites = "cluster.fenced_writes" // counter: writes rejected because this daemon's epoch went stale
+	ClusterRenewLatency = "cluster.lease_renew"   // histogram: lease renewal round-trip against the store
 )

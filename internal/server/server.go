@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/auvm"
+	"repro/internal/cluster"
 	"repro/internal/command"
 	"repro/internal/core"
 	"repro/internal/errs"
@@ -403,6 +404,8 @@ func (c *conn) handleHello(req *wire.Request) {
 		Storage:       c.srv.sys.StorageBackend(),
 		Degraded:      c.srv.sys.Degraded(),
 		UptimeSeconds: c.srv.sys.Obs.UptimeSeconds(),
+		Role:          c.srv.sys.ClusterRole(),
+		Leader:        c.srv.sys.ClusterLeader(),
 	}})
 }
 
@@ -424,6 +427,15 @@ func (c *conn) handleCommand(req *wire.Request) {
 		c.send(&wire.Response{ID: req.ID, Error: &wire.Error{
 			Code:    wire.CodeDegraded,
 			Message: fmt.Sprintf("store degraded (read-only); %q not accepted", command.Value(cmd))}})
+		return
+	}
+	if cl := c.srv.sys.Cluster; cl != nil && !cl.IsLeader() && refusedOnFollower(cmd) {
+		// Refused before execution, so the client may retry any verb on
+		// the leader — see wire.CodeNotLeader.
+		c.send(&wire.Response{ID: req.ID, Error: &wire.Error{
+			Code:    wire.CodeNotLeader,
+			Leader:  cl.LeaderAddr(),
+			Message: fmt.Sprintf("not the cluster leader; %q not accepted here", command.Value(cmd))}})
 		return
 	}
 	ctx := c.ctx
@@ -502,6 +514,19 @@ func refusedWhenDegraded(cmd command.Command) bool {
 	return mutatesUnderDrain(cmd)
 }
 
+// refusedOnFollower reports whether a command is refused on a cluster
+// follower.  The set is the degraded set plus cancel: under
+// degradation cancel still works (job state is in memory), but on a
+// follower every job lives on the leader, so job mutation belongs
+// there too.  Reads — status, wait, jobs, retrieve, list, display —
+// keep serving, which is the point of running followers at all.
+func refusedOnFollower(cmd command.Command) bool {
+	if _, ok := command.Value(cmd).(command.Cancel); ok {
+		return true
+	}
+	return refusedWhenDegraded(cmd)
+}
+
 // wireError maps a server-side error onto its wire code, carrying the
 // error text verbatim so the client renders the identical line.
 func wireError(err error) *wire.Error {
@@ -515,6 +540,8 @@ func wireError(err error) *wire.Error {
 		code = wire.CodeClosed
 	case errors.Is(err, store.ErrDegraded):
 		code = wire.CodeDegraded
+	case errors.Is(err, cluster.ErrNotLeader):
+		code = wire.CodeNotLeader
 	case errors.Is(err, errs.ErrUsage):
 		code = wire.CodeUsage
 	case errors.Is(err, errs.ErrNotFound):

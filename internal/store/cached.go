@@ -139,6 +139,80 @@ func (s *CachedStore) Batch(ops []Op) error {
 	return nil
 }
 
+// BatchIf writes through to the backend's conditional batch, then
+// applies the ops to the cache only when the compare won.  A conflict
+// leaves the cache untouched — the backend rejected the ops, so there
+// is nothing to mirror.
+func (s *CachedStore) BatchIf(key string, want []byte, ops []Op) error {
+	start := time.Now()
+	defer func() { s.hBatch.Observe(time.Since(start)) }()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	if err := BatchIf(s.backend, key, want, ops); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range ops {
+		if op.Delete {
+			s.dropLocked(op.Key)
+			continue
+		}
+		v := make([]byte, len(op.Value))
+		copy(v, op.Value)
+		s.fillLocked(op.Key, v)
+	}
+	return nil
+}
+
+// Refresh folds in state another process committed to the shared
+// backend, then drops the whole cache: entries cached before the
+// refresh may now be stale, and refilling on demand is cheaper than
+// diffing.
+func (s *CachedStore) Refresh() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	if err := Refresh(s.backend); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.cache = map[string][]byte{}
+		s.fifo = s.fifo[:0]
+	}
+	return nil
+}
+
+// Seal runs the backend's takeover step, then drops the cache like
+// Refresh does.
+func (s *CachedStore) Seal() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	if err := Seal(s.backend); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.cache = map[string][]byte{}
+		s.fifo = s.fifo[:0]
+	}
+	return nil
+}
+
 // Seek delegates to the backend; write-through keeps it coherent.
 func (s *CachedStore) Seek(prefix string, fn func(key string, value []byte) bool) error {
 	s.mu.Lock()

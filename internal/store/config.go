@@ -25,6 +25,17 @@ type Config struct {
 	// makes a crash lose at most the unsynced tail, never corrupt it,
 	// and fsync-per-batch costs orders of magnitude in throughput.
 	Sync bool
+	// CompactAt overrides the file backend's compaction threshold:
+	// 0 keeps the default (64 KiB of dead bytes), a positive value
+	// replaces it, a negative value suppresses compaction.  Tests use
+	// it to force or forbid compaction deterministically.
+	CompactAt int64
+	// Shared opens the file backend in multi-process mode: no
+	// truncation or compaction at open, an exclusive file lock around
+	// every append, and Refresh/Seal available for followers and
+	// takeover.  The cluster layer sets it; single-daemon deployments
+	// leave it off.
+	Shared bool
 	// Wrap, when non-nil, decorates the freshly opened backend before
 	// anything else sees it.  It exists for fault injection: chaos tests
 	// interpose internal/fault's store wrapper here, underneath the
@@ -43,7 +54,7 @@ func Open(cfg Config) (Store, error) {
 		if cfg.Path == "" {
 			return nil, fmt.Errorf("store: file backend needs a path")
 		}
-		fs, err := OpenFileStoreSync(cfg.Path, cfg.Sync)
+		fs, err := OpenFileStoreWith(cfg.Path, FileOpts{Sync: cfg.Sync, CompactAt: cfg.CompactAt, Shared: cfg.Shared})
 		if err != nil {
 			return nil, err
 		}

@@ -142,6 +142,19 @@ func (g *Guard) Batch(ops []Op) error {
 	return g.write(func() error { return g.inner.Batch(ops) })
 }
 
+// BatchIf runs the conditional batch under the write policy.  A
+// conflict is an outcome, not a store-health failure — see write.
+func (g *Guard) BatchIf(key string, want []byte, ops []Op) error {
+	return g.write(func() error { return BatchIf(g.inner, key, want, ops) })
+}
+
+// Refresh passes through like the reads: folding in another process's
+// committed frames works fine on a degraded store.
+func (g *Guard) Refresh() error { return Refresh(g.inner) }
+
+// Seal passes through for the takeover sequence.
+func (g *Guard) Seal() error { return Seal(g.inner) }
+
 // write runs one backend write under the policy.
 func (g *Guard) write(op func() error) error {
 	g.mu.Lock()
@@ -163,8 +176,8 @@ func (g *Guard) write(op func() error) error {
 		g.fails = 0
 		return nil
 	}
-	if errors.Is(err, ErrClosed) || errors.Is(err, ErrNotFound) {
-		return err // lifecycle and lookup outcomes are not store health
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrNotFound) || errors.Is(err, ErrConflict) {
+		return err // lifecycle, lookup, and lost-race outcomes are not store health
 	}
 	g.fails++
 	if !g.degraded && g.fails >= g.opts.Threshold {

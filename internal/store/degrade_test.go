@@ -2,6 +2,7 @@ package store_test
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -128,6 +129,37 @@ func TestGuardBackgroundProbeRecovers(t *testing.T) {
 	}
 	if err := g.Put("k", nil); err != nil {
 		t.Fatalf("Put after background recovery: %v", err)
+	}
+}
+
+// Regression: Close must stop the background probe goroutine even
+// while the backend is still failing — a daemon that cycles guards
+// (or a test suite) must not accumulate probe loops.
+func TestGuardProbeGoroutineStopsOnClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		in := fault.NewInjector(1, fault.Rule{Op: fault.OpPut, Fault: fault.Fault{Err: fault.ErrIO}})
+		g := store.NewGuard(fault.NewStore(store.NewMemStore(), in), store.GuardOpts{
+			Threshold:     1,
+			ProbeInterval: time.Millisecond,
+		})
+		if err := g.Put("k", nil); !errors.Is(err, fault.ErrIO) {
+			t.Fatalf("iteration %d: Put = %v, want ErrIO", i, err)
+		}
+		if !g.Degraded() {
+			t.Fatalf("iteration %d: guard not degraded at threshold 1", i)
+		}
+		// Close with the probe loop live and the weather still bad: the
+		// loop must exit on the stop channel, not on recovery.
+		g.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe goroutines leaked: %d before, %d after 10 guard lifecycles",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

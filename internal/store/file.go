@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -42,16 +43,26 @@ import (
 //
 // The index maps each live key to the offset of its value inside the
 // file, so Get is one pread and memory stays proportional to keys,
-// not values.  One process owns a store file at a time; FEM-2's
-// daemon model (one System per store) already guarantees that.
+// not values.
+//
+// Ownership comes in two modes.  In the default exclusive mode one
+// process owns the file: open truncates torn tails and may compact.
+// In shared mode (FileOpts.Shared, used by the cluster layer) several
+// processes hold the same file: nothing truncates or compacts at open,
+// every append takes an exclusive flock and re-tails the log first so
+// concurrent writers from different processes cannot interleave, and
+// Refresh lets a follower fold in frames the leader committed.  Only
+// Seal — called once on takeover, when the old writer is known dead —
+// truncates a torn tail.
 type FileStore struct {
 	mu     sync.RWMutex
 	f      *os.File
 	path   string
-	size   int64 // current end of file = next append offset
+	size   int64 // end of last complete indexed frame = next append offset
 	index  map[string]valueLoc
 	live   int64 // bytes of live payload (keys + values still reachable)
 	sync   bool  // fsync after every Batch (-store-sync)
+	shared bool  // multi-process mode: flock writes, never truncate/compact
 	closed bool
 }
 
@@ -86,18 +97,43 @@ func OpenFileStore(path string) (*FileStore, error) {
 // the unsynced tail, never corrupts the log — and fsync-per-batch
 // trades orders of magnitude of write throughput for that last nine.
 func OpenFileStoreSync(path string, sync bool) (*FileStore, error) {
+	return OpenFileStoreWith(path, FileOpts{Sync: sync})
+}
+
+// FileOpts bundles the file-backend knobs beyond the path.
+type FileOpts struct {
+	// Sync fsyncs after every Batch; see OpenFileStoreSync.
+	Sync bool
+	// CompactAt overrides the dead-byte threshold that triggers
+	// compaction at open: 0 keeps the default (64 KiB), a positive
+	// value replaces it, a negative value suppresses compaction
+	// entirely.  Tests use it to force or forbid compaction
+	// deterministically.
+	CompactAt int64
+	// Shared opens the file for multi-process use: no truncation or
+	// compaction at open, flock around every append.  Implies no
+	// compaction regardless of CompactAt.
+	Shared bool
+}
+
+// OpenFileStoreWith opens the store file at path with explicit opts.
+func OpenFileStoreWith(path string, o FileOpts) (*FileStore, error) {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 		}
 	}
-	s, err := openFile(path)
+	s, err := openFile(path, o.Shared)
 	if err != nil {
 		return nil, err
 	}
-	s.sync = sync
+	s.sync = o.Sync
+	threshold := int64(compactMinGarbage)
+	if o.CompactAt > 0 {
+		threshold = o.CompactAt
+	}
 	garbage := s.size - int64(len(fileMagic)) - s.frameOverhead() - s.live
-	if garbage >= compactMinGarbage && garbage > s.live {
+	if !o.Shared && o.CompactAt >= 0 && garbage >= threshold && garbage > s.live {
 		if err := s.compact(); err != nil {
 			s.f.Close()
 			return nil, err
@@ -106,12 +142,12 @@ func OpenFileStoreSync(path string, sync bool) (*FileStore, error) {
 	return s, nil
 }
 
-func openFile(path string) (*FileStore, error) {
+func openFile(path string, shared bool) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening %s: %w", path, err)
 	}
-	s := &FileStore{f: f, path: path, index: map[string]valueLoc{}}
+	s := &FileStore{f: f, path: path, shared: shared, index: map[string]valueLoc{}}
 	if err := s.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -173,7 +209,10 @@ func (s *FileStore) replay() error {
 		}
 		off = frameEnd
 	}
-	if off != info.Size() {
+	if off != info.Size() && !s.shared {
+		// Exclusive mode: the torn tail is ours, drop it.  Shared mode
+		// leaves it — another live process may be mid-append, and only
+		// Seal (with the old writer known dead) may truncate.
 		if err := s.f.Truncate(off); err != nil {
 			return fmt.Errorf("store: truncating torn tail of %s: %w", s.path, err)
 		}
@@ -181,6 +220,90 @@ func (s *FileStore) replay() error {
 	s.size = off
 	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
 		return fmt.Errorf("store: seeking %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// refreshLocked tails frames appended past s.size by another process
+// sharing the file, folding them into the index.  It stops at the
+// first incomplete or corrupt frame and never truncates.
+func (s *FileStore) refreshLocked() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat %s: %w", s.path, err)
+	}
+	off := s.size
+	var hdr [4]byte
+	for off+8 <= info.Size() {
+		if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+			break
+		}
+		plen := int64(binary.BigEndian.Uint32(hdr[:]))
+		frameEnd := off + 4 + plen + 4
+		if frameEnd > info.Size() {
+			break // torn payload: the writer may still be appending it
+		}
+		payload := make([]byte, plen)
+		if _, err := s.f.ReadAt(payload, off+4); err != nil {
+			break
+		}
+		if _, err := s.f.ReadAt(hdr[:], off+4+plen); err != nil {
+			break
+		}
+		if binary.BigEndian.Uint32(hdr[:]) != crc32.ChecksumIEEE(payload) {
+			break
+		}
+		if err := s.applyPayload(payload, off+4); err != nil {
+			return err
+		}
+		off = frameEnd
+	}
+	s.size = off
+	return nil
+}
+
+// Refresh folds in frames committed by another process sharing the
+// file (shared mode only; exclusive stores are trivially fresh).
+func (s *FileStore) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.shared {
+		return nil
+	}
+	return s.refreshLocked()
+}
+
+// Seal is the takeover step: with the previous writer known dead, tail
+// every complete frame it committed and truncate whatever torn tail
+// its death left, so this process's appends start on a clean frame
+// boundary.  No-op on exclusive stores (replay already sealed them).
+func (s *FileStore) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.shared {
+		return nil
+	}
+	if err := flockFile(s.f); err != nil {
+		return fmt.Errorf("store: locking %s: %w", s.path, err)
+	}
+	defer funlockFile(s.f)
+	if err := s.refreshLocked(); err != nil {
+		return err
+	}
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat %s: %w", s.path, err)
+	}
+	if info.Size() > s.size {
+		if err := s.f.Truncate(s.size); err != nil {
+			return fmt.Errorf("store: sealing torn tail of %s: %w", s.path, err)
+		}
 	}
 	return nil
 }
@@ -263,11 +386,54 @@ func encodeFrame(ops []Op) []byte {
 // Batch appends ops as one frame — a single write, so the batch is
 // all-or-nothing across a crash — then updates the index.
 func (s *FileStore) Batch(ops []Op) error {
+	return s.batch("", nil, false, ops)
+}
+
+// BatchIf is Batch guarded by a compare on one key: the ops land iff
+// the current value under key equals want (nil want = key absent).  In
+// shared mode the compare happens after re-tailing the log under the
+// file lock, so the check-then-append is atomic across processes, not
+// just goroutines.
+func (s *FileStore) BatchIf(key string, want []byte, ops []Op) error {
+	return s.batch(key, want, true, ops)
+}
+
+func (s *FileStore) batch(key string, want []byte, cond bool, ops []Op) error {
 	frame := encodeFrame(ops)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.shared {
+		// Cross-process critical section: lock the file, fold in frames
+		// other writers committed, and only then compare and append at
+		// the true end of the log.
+		if err := flockFile(s.f); err != nil {
+			return fmt.Errorf("store: locking %s: %w", s.path, err)
+		}
+		defer funlockFile(s.f)
+		if err := s.refreshLocked(); err != nil {
+			return err
+		}
+	}
+	if cond {
+		ok, err := s.matchLocked(key, want)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return ErrConflict
+		}
+	}
+	if s.shared {
+		// Anything past the last complete frame is a dead writer's torn
+		// tail (a live one would hold the flock); overwrite it cleanly.
+		if info, err := s.f.Stat(); err == nil && info.Size() > s.size {
+			if err := s.f.Truncate(s.size); err != nil {
+				return fmt.Errorf("store: truncating torn tail of %s: %w", s.path, err)
+			}
+		}
 	}
 	n, err := s.f.WriteAt(frame, s.size)
 	if err != nil {
@@ -290,6 +456,23 @@ func (s *FileStore) Batch(ops []Op) error {
 		}
 	}
 	return nil
+}
+
+// matchLocked reports whether the current value under key equals want
+// byte-for-byte (nil want matches an absent key).
+func (s *FileStore) matchLocked(key string, want []byte) (bool, error) {
+	loc, ok := s.index[key]
+	if !ok {
+		return want == nil, nil
+	}
+	if want == nil || int32(len(want)) != loc.len {
+		return false, nil
+	}
+	cur := make([]byte, loc.len)
+	if _, err := s.f.ReadAt(cur, loc.off); err != nil {
+		return false, fmt.Errorf("store: reading %s: %w", s.path, err)
+	}
+	return bytes.Equal(cur, want), nil
 }
 
 // Put stores value under key.

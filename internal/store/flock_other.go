@@ -1,0 +1,12 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms get no cross-process file locking; shared-mode
+// stores there rely on the in-process mutex alone (single-process
+// tests still work, true multi-daemon sharing needs unix).
+func flockFile(*os.File) error { return nil }
+
+func funlockFile(*os.File) error { return nil }

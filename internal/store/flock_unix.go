@@ -1,0 +1,19 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockFile takes an exclusive advisory lock on f, blocking until the
+// holder releases it.  Shared-mode FileStore brackets every append
+// with it so two daemons on one store file cannot interleave writes.
+func flockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+func funlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

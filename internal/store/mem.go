@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -53,6 +54,32 @@ func (s *MemStore) Batch(ops []Op) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	for _, op := range ops {
+		if op.Delete {
+			delete(s.m, op.Key)
+			continue
+		}
+		v := make([]byte, len(op.Value))
+		copy(v, op.Value)
+		s.m[op.Key] = v
+	}
+	return nil
+}
+
+// BatchIf applies ops atomically iff the current value under key
+// equals want (nil want = key absent); otherwise ErrConflict.  The
+// compare and the writes share the one write lock, so racing callers
+// serialize and exactly one wins.
+func (s *MemStore) BatchIf(key string, want []byte, ops []Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cur, ok := s.m[key]
+	if ok != (want != nil) || !bytes.Equal(cur, want) {
+		return ErrConflict
 	}
 	for _, op := range ops {
 		if op.Delete {

@@ -33,6 +33,11 @@ var ErrClosed = fmt.Errorf("store: closed")
 // with errors.Is(err, errs.ErrNotFound) across every layer.
 var ErrNotFound = errs.ErrNotFound
 
+// ErrConflict is returned by BatchIf when the guarded key's current
+// value does not match the expected bytes: somebody else won the race.
+// The batch was not applied.
+var ErrConflict = errors.New("store: conditional batch conflict")
+
 // FormatVersion is the current on-disk format, kept under KeyFormat.
 const FormatVersion = "1"
 
@@ -42,6 +47,18 @@ const KeyFormat = "meta:format"
 // KeyProbe is the metadata key the degradation guard's health probe
 // writes to test whether the backend accepts writes again (see Guard).
 const KeyProbe = "meta:probe"
+
+// KeyLease is the metadata key holding the cluster leadership lease: a
+// JSON record naming the current leader, its advertised address, the
+// lease epoch, and the expiry instant (see internal/cluster and
+// docs/cluster.md).  It changes on every renewal, which is what makes
+// it usable as the compare key for acquire/renew races.
+const KeyLease = "meta:lease"
+
+// KeyEpoch is the metadata key holding just the current lease epoch as
+// decimal ASCII.  Unlike KeyLease it changes only on takeover, so data
+// batches fence against it without racing the renewal loop.
+const KeyEpoch = "meta:epoch"
 
 // Key-schema prefixes.  Callers build full keys with the helpers below
 // and iterate families with Seek(prefix).
@@ -107,6 +124,62 @@ type Store interface {
 	Seek(prefix string, fn func(key string, value []byte) bool) error
 	Batch(ops []Op) error
 	Close() error
+}
+
+// Conditional is the compare-and-batch extension every backend in this
+// repo implements: BatchIf applies ops atomically if and only if the
+// current value under key equals want byte-for-byte (want nil means
+// "key must be absent").  On mismatch it returns ErrConflict and writes
+// nothing.  The compare and the apply happen under one lock (and, for
+// a shared file store, one file lock), so two racing writers cannot
+// both see the same old value and both win — which is exactly the
+// primitive lease acquisition and epoch fencing need.
+type Conditional interface {
+	BatchIf(key string, want []byte, ops []Op) error
+}
+
+// BatchIf dispatches to the store's Conditional implementation.  Every
+// store in this package (and the fault wrapper) implements it; the
+// error return exists for exotic third-party Store values.
+func BatchIf(s Store, key string, want []byte, ops []Op) error {
+	c, ok := s.(Conditional)
+	if !ok {
+		return fmt.Errorf("store: %T does not support conditional batches", s)
+	}
+	return c.BatchIf(key, want, ops)
+}
+
+// Refresher is implemented by stores that can tail state written by
+// another process sharing the same backing file (see FileStore's
+// shared mode).  Refresh folds newly committed frames into the index;
+// it never truncates, because the writer may be mid-append.
+type Refresher interface {
+	Refresh() error
+}
+
+// Refresh dispatches to the store's Refresher implementation; stores
+// without one (the in-process backends) are trivially fresh.
+func Refresh(s Store) error {
+	if r, ok := s.(Refresher); ok {
+		return r.Refresh()
+	}
+	return nil
+}
+
+// Sealer is implemented by stores with a takeover step: Seal tails
+// everything the dead previous writer committed and truncates its torn
+// tail (see FileStore's shared mode).
+type Sealer interface {
+	Seal() error
+}
+
+// Seal dispatches to the store's Sealer implementation; stores without
+// one have nothing to seal.
+func Seal(s Store) error {
+	if x, ok := s.(Sealer); ok {
+		return x.Seal()
+	}
+	return nil
 }
 
 // EnsureFormat checks the store's format version, writing it on a

@@ -117,6 +117,14 @@ type Welcome struct {
 	// (rev 4); just-started servers omit it, which also keeps the
 	// envelope byte-identical to rev 3 in that state.
 	UptimeSeconds int64 `json:"uptime_s,omitempty"`
+	// Role is the daemon's cluster role ("leader" or "follower", rev 5);
+	// non-clustered daemons omit it, keeping the envelope byte-identical
+	// to rev 4 outside a cluster.
+	Role string `json:"role,omitempty"`
+	// Leader is the cluster leader's advertised address as this daemon
+	// knows it (rev 5) — on a follower, where mutating verbs should go.
+	// Omitted outside a cluster or when no leader is known.
+	Leader string `json:"leader,omitempty"`
 }
 
 // Response is one server → client message: the answer to a request
@@ -142,6 +150,10 @@ type Response struct {
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Leader carries the cluster leader's advertised address on
+	// CodeNotLeader responses (rev 5), so a redirected client knows
+	// where to reconnect without a discovery round.
+	Leader string `json:"leader,omitempty"`
 }
 
 // The wire error codes.  Each corresponds to one sentinel of the shared
@@ -166,6 +178,13 @@ const (
 	// accepting writes, the daemon is serving read-only, and mutating
 	// commands are refused until the background probe re-arms writes.
 	CodeDegraded = "degraded"
+	// CodeNotLeader reports a mutating command sent to a cluster
+	// follower (rev 5): the daemon serves reads, but writes belong to
+	// the leaseholder.  Error.Leader names the leader's advertised
+	// address when known; clients redirect there and retry.  The
+	// refusal happens before the command executes, so retrying it on
+	// the leader is safe for every verb, idempotent or not.
+	CodeNotLeader = "not-leader"
 	// CodeQuit accompanies the quit verb's result; the server closes the
 	// connection after flushing it.
 	CodeQuit = "quit"

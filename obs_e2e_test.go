@@ -8,6 +8,7 @@ package fem2_test
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	fem2 "repro"
@@ -147,6 +148,24 @@ func TestStatsAnswersLocally(t *testing.T) {
 	sr := res.(*fem2.StatsResult)
 	if got := statVal(sr.Counters, obs.FactorMisses); got < 1 {
 		t.Errorf("factor.misses = %d, want >= 1 after a cold solve", got)
+	}
+	// The per-backend solve histogram names the backend that actually
+	// ran, not the requested "auto".
+	var perBackend *fem2.StatHistogram
+	for i := range sr.Histograms {
+		if strings.HasPrefix(sr.Histograms[i].Name, obs.JobLatencySolvePrefix) {
+			perBackend = &sr.Histograms[i]
+		}
+	}
+	if perBackend == nil {
+		t.Errorf("no %s<backend> histogram after a solve", obs.JobLatencySolvePrefix)
+	} else {
+		if perBackend.Count < 1 {
+			t.Errorf("%s count = %d, want >= 1", perBackend.Name, perBackend.Count)
+		}
+		if backend := strings.TrimPrefix(perBackend.Name, obs.JobLatencySolvePrefix); backend == "" || backend == "auto" {
+			t.Errorf("per-backend histogram named %q; want the concrete backend", perBackend.Name)
+		}
 	}
 	if out == "" {
 		t.Error("stats rendered empty")

@@ -7,9 +7,10 @@
 # (network job throughput at 1/4/16 concurrent wire clients),
 # BENCH_store.json (write-through put latency, cold open + recovery vs
 # stored-model count, snapshot/restore round-trip, and SIGKILL-to-
-# serving daemon recovery time), and BENCH_obs.json (the observability
+# serving daemon recovery time), BENCH_obs.json (the observability
 # overhead pairs: job dispatch and warm direct solve, bare vs
-# instrumented).
+# instrumented), and BENCH_cluster.json (leader-crash-to-follower-
+# serving failover latency in a two-daemon cluster).
 #
 # Each JSON file holds one entry per benchmark with iterations, ns/op,
 # B/op, allocs/op, and any custom metrics (jobs/s, profile-nnz).
@@ -28,12 +29,15 @@
 #   STORE_BENCHTIME=<n>x|s  per-benchmark time    (default: 50x)
 #   OBS_BENCH=<regex>       obs overhead benches  (default: ^BenchmarkObsOverhead$)
 #   OBS_BENCHTIME=<n>x|s    per-benchmark time    (default: 200x)
+#   CLUSTER_BENCH=<regex>   cluster benchmarks    (default: ^BenchmarkClusterFailover$)
+#   CLUSTER_BENCHTIME=<n>x|s per-benchmark time   (default: 10x)
 #   OUT=<path>              assembly output JSON  (default: BENCH_assembly.json)
 #   JOBS_OUT=<path>         jobs output JSON      (default: BENCH_jobs.json)
 #   DIRECT_OUT=<path>       direct output JSON    (default: BENCH_direct.json)
 #   SERVER_OUT=<path>       server output JSON    (default: BENCH_server.json)
 #   STORE_OUT=<path>        storage output JSON   (default: BENCH_store.json)
 #   OBS_OUT=<path>          obs output JSON       (default: BENCH_obs.json)
+#   CLUSTER_OUT=<path>      cluster output JSON   (default: BENCH_cluster.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,12 +53,15 @@ STORE_BENCH="${STORE_BENCH:-^BenchmarkStore}"
 STORE_BENCHTIME="${STORE_BENCHTIME:-50x}"
 OBS_BENCH="${OBS_BENCH:-^BenchmarkObsOverhead$}"
 OBS_BENCHTIME="${OBS_BENCHTIME:-200x}"
+CLUSTER_BENCH="${CLUSTER_BENCH:-^BenchmarkClusterFailover$}"
+CLUSTER_BENCHTIME="${CLUSTER_BENCHTIME:-10x}"
 OUT="${OUT:-BENCH_assembly.json}"
 JOBS_OUT="${JOBS_OUT:-BENCH_jobs.json}"
 DIRECT_OUT="${DIRECT_OUT:-BENCH_direct.json}"
 SERVER_OUT="${SERVER_OUT:-BENCH_server.json}"
 STORE_OUT="${STORE_OUT:-BENCH_store.json}"
 OBS_OUT="${OBS_OUT:-BENCH_obs.json}"
+CLUSTER_OUT="${CLUSTER_OUT:-BENCH_cluster.json}"
 
 # Go appends a "-<GOMAXPROCS>" suffix to benchmark names only when
 # GOMAXPROCS != 1; strip exactly that suffix so names are comparable
@@ -126,3 +133,7 @@ write_json "$raw" "$STORE_OUT"
 raw=$(go test -run '^$' -bench "$OBS_BENCH" -benchmem -benchtime "$OBS_BENCHTIME" .)
 echo "$raw"
 write_json "$raw" "$OBS_OUT"
+
+raw=$(go test -run '^$' -bench "$CLUSTER_BENCH" -benchtime "$CLUSTER_BENCHTIME" .)
+echo "$raw"
+write_json "$raw" "$CLUSTER_OUT"

@@ -8,9 +8,10 @@
 //
 // The gated headlines are the numbers the project steers by:
 //
-//	BENCH_jobs.json    BenchmarkConcurrentSolves/sessions=4  jobs_per_sec  (higher is better)
-//	BENCH_direct.json  BenchmarkDirectSolve/warm             ns_per_op     (lower is better)
-//	BENCH_store.json   BenchmarkStoreKillRecovery            ns_per_op     (lower is better)
+//	BENCH_jobs.json     BenchmarkConcurrentSolves/sessions=4  jobs_per_sec  (higher is better)
+//	BENCH_direct.json   BenchmarkDirectSolve/warm             ns_per_op     (lower is better)
+//	BENCH_store.json    BenchmarkStoreKillRecovery            ns_per_op     (lower is better)
+//	BENCH_cluster.json  BenchmarkClusterFailover              ns_per_op     (lower is better)
 //
 // A headline missing from either side is a failure too — a renamed or
 // dropped benchmark must not silently unguard the trajectory.  The
@@ -53,6 +54,7 @@ var headlines = []headline{
 	{"BENCH_jobs.json", "BenchmarkConcurrentSolves/sessions=4", "jobs_per_sec", true},
 	{"BENCH_direct.json", "BenchmarkDirectSolve/warm", "ns_per_op", false},
 	{"BENCH_store.json", "BenchmarkStoreKillRecovery", "ns_per_op", false},
+	{"BENCH_cluster.json", "BenchmarkClusterFailover", "ns_per_op", false},
 }
 
 func main() {
